@@ -1,0 +1,160 @@
+(* Bench harness: regenerates every table and figure of the paper
+   (through Spamlab_eval.Registry) and micro-benchmarks the hot paths
+   with bechamel.
+
+   Usage:
+     main.exe                     run every experiment at --scale (default 0.2)
+     main.exe fig1 fig2           run specific experiments
+     main.exe perf                run the bechamel micro-benchmarks
+     main.exe all perf            both
+     main.exe --scale 1.0 all     paper-scale run
+     main.exe --seed 7 fig3       change the world seed *)
+
+open Spamlab_eval
+
+let default_scale = 0.2
+
+let usage () =
+  prerr_endline
+    ("usage: main.exe [--scale S] [--seed N] [all|perf|"
+    ^ String.concat "|" Registry.ids ^ "]...");
+  exit 2
+
+type cli = { scale : float; seed : int; targets : string list }
+
+let parse_args () =
+  let rec go acc = function
+    | [] -> acc
+    | "--scale" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some scale when scale > 0.0 -> go { acc with scale } rest
+        | _ -> usage ())
+    | "--seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some seed -> go { acc with seed } rest
+        | None -> usage ())
+    | target :: rest ->
+        if target = "all" || target = "perf" || Registry.find target <> None
+        then go { acc with targets = acc.targets @ [ target ] } rest
+        else usage ()
+  in
+  let default = { scale = default_scale; seed = 42; targets = [] } in
+  let cli = go default (List.tl (Array.to_list Sys.argv)) in
+  if cli.targets = [] then { cli with targets = [ "all"; "perf" ] } else cli
+
+(* ------------------------------------------------------------------ *)
+(* Experiment reproduction                                             *)
+
+let hrule = String.make 72 '='
+
+let run_experiment lab (e : Registry.experiment) =
+  Printf.printf "%s\n%s\n%s\n" hrule e.Registry.title hrule;
+  Printf.printf "paper: %s\n\n" e.Registry.paper_claim;
+  let started = Unix.gettimeofday () in
+  let report = e.Registry.run lab in
+  print_string report;
+  Printf.printf "\n[%s finished in %.1fs]\n\n" e.Registry.id
+    (Unix.gettimeofday () -. started);
+  flush stdout
+
+let run_experiments lab = function
+  | "all" -> List.iter (run_experiment lab) Registry.all
+  | id -> (
+      match Registry.find id with
+      | Some e -> run_experiment lab e
+      | None -> usage ())
+
+(* ------------------------------------------------------------------ *)
+(* bechamel micro-benchmarks                                           *)
+
+let perf_tests () =
+  let open Bechamel in
+  let lab = Lab.create ~seed:42 ~scale:0.05 () in
+  let rng = Lab.rng lab "perf" in
+  let config = Lab.config lab in
+  let tokenizer = Lab.tokenizer lab in
+  let message = Spamlab_corpus.Generator.ham config rng in
+  let examples = Lab.corpus lab rng ~size:500 ~spam_fraction:0.5 in
+  let filter = Poison.base_filter tokenizer examples in
+  let tokens = Spamlab_tokenizer.Tokenizer.unique_tokens tokenizer message in
+  let aspell = Lab.aspell lab ~size:20_000 in
+  let payload =
+    Spamlab_core.Dictionary_attack.(
+      payload tokenizer (make ~name:"perf" ~words:aspell))
+  in
+  [
+    Test.make ~name:"tokenize-message"
+      (Staged.stage (fun () ->
+           Spamlab_tokenizer.Tokenizer.unique_tokens tokenizer message));
+    Test.make ~name:"classify-message"
+      (Staged.stage (fun () ->
+           Spamlab_spambayes.Filter.classify_tokens filter tokens));
+    Test.make ~name:"train-untrain-message"
+      (Staged.stage (fun () ->
+           Spamlab_spambayes.Filter.train_tokens filter
+             Spamlab_spambayes.Label.Ham tokens;
+           Spamlab_spambayes.Filter.untrain_tokens filter
+             Spamlab_spambayes.Label.Ham tokens));
+    Test.make ~name:"generate-ham-email"
+      (Staged.stage (fun () -> Spamlab_corpus.Generator.ham config rng));
+    Test.make ~name:"poison-20k-dictionary-x100"
+      (Staged.stage (fun () ->
+           let copy = Spamlab_spambayes.Filter.copy filter in
+           Spamlab_spambayes.Filter.train_tokens_many copy
+             Spamlab_spambayes.Label.Spam payload 100));
+    Test.make ~name:"fisher-indicator-150-clues"
+      (let fs =
+         List.init 150 (fun i -> 0.01 +. (0.98 *. float_of_int i /. 149.0))
+       in
+       Staged.stage (fun () -> Spamlab_stats.Fisher.indicator fs));
+  ]
+
+let run_perf () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  Printf.printf "%s\nbechamel micro-benchmarks\n%s\n" hrule hrule;
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"spamlab" (perf_tests ()))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  let print_instance label unit_name =
+    match Hashtbl.find_opt merged label with
+    | None -> ()
+    | Some tbl ->
+        Printf.printf "\n%-44s %s\n%s\n" "benchmark" unit_name
+          (String.make 60 '-');
+        let rows =
+          Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        List.iter
+          (fun (name, ols) ->
+            match Analyze.OLS.estimates ols with
+            | Some [ estimate ] ->
+                Printf.printf "%-44s %14.1f\n" name estimate
+            | Some _ | None -> Printf.printf "%-44s %14s\n" name "n/a")
+          rows
+  in
+  print_instance (Measure.label Instance.monotonic_clock) "ns/run";
+  print_instance (Measure.label Instance.minor_allocated) "minor words/run";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let cli = parse_args () in
+  Printf.printf
+    "spamlab bench harness | seed %d | scale %.2f of paper Table 1\n\n"
+    cli.seed cli.scale;
+  let lab = Lab.create ~seed:cli.seed ~scale:cli.scale () in
+  List.iter
+    (fun target ->
+      if target = "perf" then run_perf () else run_experiments lab target)
+    cli.targets

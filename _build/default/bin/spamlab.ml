@@ -1,0 +1,594 @@
+(* spamlab — command-line laboratory for training-set poisoning attacks
+   on statistical spam filters.
+
+   Subcommands:
+     corpus      generate a synthetic TREC-like corpus as mbox files
+     train       train a SpamBayes filter from ham/spam mboxes
+     classify    classify an RFC 2822 message with a trained filter
+     tokenize    show the token stream a tokenizer extracts
+     stats       characterize a corpus (lengths, vocabulary, overlap)
+     attack      craft dictionary, focused or pseudospam attack emails
+     evade       good-word evasion against a trained filter
+     roni        RONI-screen a candidate training message
+     thresholds  derive dynamic thresholds from a training corpus
+     experiment  reproduce a table/figure from the paper *)
+
+open Cmdliner
+module Corpus = Spamlab_corpus
+module Filter = Spamlab_spambayes.Filter
+module Label = Spamlab_spambayes.Label
+module Classify = Spamlab_spambayes.Classify
+module Options = Spamlab_spambayes.Options
+module Tokenizer = Spamlab_tokenizer.Tokenizer
+module Message = Spamlab_email.Message
+module Mbox = Spamlab_email.Mbox
+module Rng = Spamlab_stats.Rng
+module Eval = Spamlab_eval
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info)
+
+(* --------------------------------------------------------------- *)
+(* Common arguments                                                 *)
+
+let seed_arg =
+  let doc = "World seed: every spamlab run is deterministic in this." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let tokenizer_arg =
+  let doc = "Tokenizer variant: spambayes, bogofilter or spamassassin." in
+  let parse s =
+    match Tokenizer.find s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown tokenizer %S" s))
+  in
+  let print fmt t =
+    let (module T : Tokenizer.S) = t in
+    Format.pp_print_string fmt T.name
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tokenizer.spambayes
+    & info [ "tokenizer" ] ~docv:"NAME" ~doc)
+
+let ham_mbox_arg =
+  let doc = "Path of the ham mbox." in
+  Arg.(required & opt (some string) None & info [ "ham" ] ~docv:"FILE" ~doc)
+
+let spam_mbox_arg =
+  let doc = "Path of the spam mbox." in
+  Arg.(required & opt (some string) None & info [ "spam" ] ~docv:"FILE" ~doc)
+
+let db_arg =
+  let doc = "Path of the trained filter database." in
+  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+let read_message_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Spamlab_email.Rfc2822.parse (In_channel.input_all ic))
+
+let load_labeled ~ham ~spam =
+  Corpus.Trec.of_mbox_files ~ham_path:ham ~spam_path:spam
+
+(* --------------------------------------------------------------- *)
+(* corpus                                                           *)
+
+let corpus_cmd =
+  let size =
+    Arg.(value & opt int 2_000 & info [ "size" ] ~docv:"N" ~doc:"Messages to generate.")
+  in
+  let spam_fraction =
+    Arg.(value & opt float 0.5 & info [ "spam-fraction" ] ~docv:"F" ~doc:"Spam prevalence.")
+  in
+  let run seed size spam_fraction ham spam =
+    setup_logs ();
+    if spam_fraction < 0.0 || spam_fraction > 1.0 then
+      fail "spam-fraction must lie in [0,1]"
+    else begin
+      let config = Corpus.Generator.default_config ~seed () in
+      let corpus =
+        Corpus.Trec.generate config (Rng.create seed) ~size
+          ~spam_fraction
+      in
+      Corpus.Trec.to_mbox_files ~ham_path:ham ~spam_path:spam corpus;
+      let nham, nspam = Corpus.Trec.counts corpus in
+      Logs.info (fun m -> m "wrote %d ham to %s, %d spam to %s" nham ham nspam spam);
+      `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret (const run $ seed_arg $ size $ spam_fraction $ ham_mbox_arg $ spam_mbox_arg))
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Generate a synthetic TREC-like corpus as two mbox files.")
+    term
+
+(* --------------------------------------------------------------- *)
+(* train                                                            *)
+
+let train_cmd =
+  let run ham spam db tokenizer =
+    setup_logs ();
+    match load_labeled ~ham ~spam with
+    | Error e -> fail "%s" e
+    | Ok corpus ->
+        let filter = Filter.create ~tokenizer () in
+        Array.iter (fun (label, msg) -> Filter.train filter label msg) corpus;
+        Filter.save_file filter db;
+        let dbv = Filter.db filter in
+        Logs.info (fun m ->
+            m "trained on %d ham + %d spam; %d distinct tokens -> %s"
+              (Spamlab_spambayes.Token_db.nham dbv)
+              (Spamlab_spambayes.Token_db.nspam dbv)
+              (Spamlab_spambayes.Token_db.distinct_tokens dbv)
+              db);
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ ham_mbox_arg $ spam_mbox_arg $ db_arg $ tokenizer_arg))
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a SpamBayes filter from ham/spam mbox files.")
+    term
+
+(* --------------------------------------------------------------- *)
+(* classify                                                         *)
+
+let classify_cmd =
+  let message_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MESSAGE" ~doc:"RFC 2822 message file.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "clues" ] ~doc:"Print the discriminator tokens.")
+  in
+  let run db message verbose tokenizer =
+    match Filter.load_file ~tokenizer db with
+    | Error e -> fail "cannot load %s: %s" db e
+    | Ok filter -> (
+        match read_message_file message with
+        | Error e -> fail "cannot parse %s: %s" message e
+        | Ok msg ->
+            let result = Filter.classify filter msg in
+            Printf.printf "%s %.6f\n"
+              (Label.verdict_to_string result.Classify.verdict)
+              result.Classify.indicator;
+            if verbose then
+              List.iter
+                (fun c ->
+                  Printf.printf "  %-24s %.4f\n" c.Classify.token
+                    c.Classify.score)
+                result.Classify.clues;
+            `Ok ())
+  in
+  let term =
+    Term.(ret (const run $ db_arg $ message_arg $ verbose $ tokenizer_arg))
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a message with a trained filter.")
+    term
+
+(* --------------------------------------------------------------- *)
+(* tokenize                                                         *)
+
+let tokenize_cmd =
+  let message_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MESSAGE" ~doc:"RFC 2822 message file.")
+  in
+  let run message tokenizer =
+    match read_message_file message with
+    | Error e -> fail "cannot parse %s: %s" message e
+    | Ok msg ->
+        Array.iter print_endline (Tokenizer.unique_tokens tokenizer msg);
+        `Ok ()
+  in
+  let term = Term.(ret (const run $ message_arg $ tokenizer_arg)) in
+  Cmd.v
+    (Cmd.info "tokenize" ~doc:"Print the distinct tokens of a message.")
+    term
+
+(* --------------------------------------------------------------- *)
+(* attack                                                           *)
+
+let scale_arg =
+  let doc = "Scale of the simulated world relative to the paper's Table 1." in
+  Arg.(value & opt float 0.2 & info [ "scale" ] ~docv:"S" ~doc)
+
+let attack_dictionary_cmd =
+  let variant =
+    Arg.(
+      value
+      & opt (enum [ ("aspell", `Aspell); ("usenet", `Usenet); ("optimal", `Optimal) ]) `Usenet
+      & info [ "variant" ] ~docv:"V" ~doc:"Word source: aspell, usenet or optimal.")
+  in
+  let words =
+    Arg.(value & opt int 25_000 & info [ "words" ] ~docv:"N" ~doc:"Word list size (aspell/usenet).")
+  in
+  let count =
+    Arg.(value & opt int 10 & info [ "count" ] ~docv:"N" ~doc:"Attack emails to emit.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output mbox.")
+  in
+  let run seed scale variant words count out =
+    setup_logs ();
+    let lab = Eval.Lab.create ~seed ~scale () in
+    let word_list =
+      match variant with
+      | `Aspell -> Eval.Lab.aspell lab ~size:words
+      | `Usenet -> Eval.Lab.usenet_top lab ~size:words
+      | `Optimal -> Eval.Lab.optimal_words lab
+    in
+    let name =
+      match variant with
+      | `Aspell -> "aspell"
+      | `Usenet -> "usenet"
+      | `Optimal -> "optimal"
+    in
+    let attack = Spamlab_core.Dictionary_attack.make ~name ~words:word_list in
+    Mbox.write_file out (Spamlab_core.Dictionary_attack.emails attack ~count);
+    Logs.info (fun m ->
+        m "wrote %d %s attack emails (%d words each) to %s" count name
+          (Spamlab_core.Dictionary_attack.word_count attack)
+          out);
+    `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ seed_arg $ scale_arg $ variant $ words $ count $ out))
+  in
+  Cmd.v
+    (Cmd.info "dictionary"
+       ~doc:"Craft dictionary-attack emails (Causative Availability Indiscriminate).")
+    term
+
+let attack_focused_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "target" ] ~docv:"FILE" ~doc:"The email the attacker wants blocked.")
+  in
+  let p_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "guess-p"; "p" ] ~docv:"P" ~doc:"Per-token guess probability.")
+  in
+  let count =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Attack emails to emit.")
+  in
+  let headers_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "headers" ] ~docv:"MBOX" ~doc:"Spam mbox whose headers the attack emails wear.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output mbox.")
+  in
+  let run seed target p count headers out =
+    setup_logs ();
+    match (read_message_file target, Mbox.read_file headers) with
+    | Error e, _ -> fail "cannot parse target: %s" e
+    | _, Error e -> fail "cannot read header mbox: %s" e
+    | Ok target_msg, Ok header_messages ->
+        if header_messages = [] then fail "header mbox is empty"
+        else begin
+          let header_pool =
+            Array.of_list (List.map Message.headers header_messages)
+          in
+          let plan =
+            Spamlab_core.Focused_attack.craft (Rng.create seed)
+              ~target:target_msg ~p ~count ~header_pool
+          in
+          Mbox.write_file out plan.Spamlab_core.Focused_attack.emails;
+          Logs.info (fun m ->
+              m "guessed %d/%d target words; wrote %d attack emails to %s"
+                (List.length plan.Spamlab_core.Focused_attack.guessed)
+                (List.length
+                   (Spamlab_core.Focused_attack.target_words target_msg))
+                count out);
+          `Ok ()
+        end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ target_arg $ p_arg $ count $ headers_arg $ out))
+  in
+  Cmd.v
+    (Cmd.info "focused"
+       ~doc:"Craft a focused attack against a specific email (Causative Availability Targeted).")
+    term
+
+let attack_pseudospam_cmd =
+  let campaign_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "campaign" ] ~docv:"FILE"
+          ~doc:"A sample of the future spam campaign (RFC 2822); its body \
+                words are the vocabulary to whitewash.")
+  in
+  let camouflage_fraction_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "camouflage-fraction" ] ~docv:"F"
+          ~doc:"Fraction of each attack email that is innocent filler.")
+  in
+  let count =
+    Arg.(value & opt int 20 & info [ "count" ] ~docv:"N" ~doc:"Attack emails to emit.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output mbox.")
+  in
+  let run seed scale campaign camouflage_fraction count out =
+    setup_logs ();
+    match read_message_file campaign with
+    | Error e -> fail "cannot parse campaign sample: %s" e
+    | Ok sample ->
+        let campaign_words =
+          Array.of_list
+            (Spamlab_core.Focused_attack.target_words sample)
+        in
+        if Array.length campaign_words = 0 then
+          fail "campaign sample has no usable words"
+        else begin
+          let lab = Eval.Lab.create ~seed ~scale () in
+          let camouflage =
+            (Eval.Lab.config lab).Corpus.Generator.vocabulary
+              .Corpus.Vocabulary.shared
+          in
+          let plan =
+            Spamlab_core.Pseudospam_attack.craft (Rng.create seed)
+              ~campaign:campaign_words ~camouflage
+              ~camouflage_fraction ~count
+          in
+          Mbox.write_file out plan.Spamlab_core.Pseudospam_attack.emails;
+          Logs.info (fun m ->
+              m "whitewashing %d campaign words with %d camouflage words; \
+                 wrote %d emails to %s (train them as HAM to attack)"
+                (List.length plan.Spamlab_core.Pseudospam_attack.campaign_words)
+                (List.length plan.Spamlab_core.Pseudospam_attack.camouflage_words)
+                count out);
+          `Ok ()
+        end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ scale_arg $ campaign_arg
+        $ camouflage_fraction_arg $ count $ out))
+  in
+  Cmd.v
+    (Cmd.info "pseudospam"
+       ~doc:"Craft ham-labeled pseudospam emails that whitewash a future \
+             campaign (Causative Integrity).")
+    term
+
+let attack_cmd =
+  Cmd.group
+    (Cmd.info "attack" ~doc:"Craft poisoning attack emails.")
+    [ attack_dictionary_cmd; attack_focused_cmd; attack_pseudospam_cmd ]
+
+(* --------------------------------------------------------------- *)
+(* evade                                                            *)
+
+let evade_cmd =
+  let message_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MESSAGE" ~doc:"Spam message to smuggle through (RFC 2822).")
+  in
+  let max_words_arg =
+    Arg.(value & opt int 100 & info [ "max-words" ] ~docv:"N" ~doc:"Good-word budget.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the padded message here.")
+  in
+  let run db message max_words out tokenizer =
+    match Filter.load_file ~tokenizer db with
+    | Error e -> fail "cannot load %s: %s" db e
+    | Ok filter -> (
+        match read_message_file message with
+        | Error e -> fail "cannot parse %s: %s" message e
+        | Ok msg ->
+            let good_words =
+              Spamlab_core.Good_word_attack.hammiest_tokens filter ~limit:500
+            in
+            let result =
+              Spamlab_core.Good_word_attack.evade filter msg ~good_words
+                ~max_words
+            in
+            Printf.printf "%s %.6f (added %d good words)\n"
+              (Label.verdict_to_string result.Spamlab_core.Good_word_attack.verdict)
+              result.Spamlab_core.Good_word_attack.score
+              result.Spamlab_core.Good_word_attack.words_added;
+            (match out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                output_string oc
+                  (Spamlab_email.Rfc2822.print
+                     result.Spamlab_core.Good_word_attack.padded);
+                close_out oc);
+            `Ok ())
+  in
+  let term =
+    Term.(
+      ret (const run $ db_arg $ message_arg $ max_words_arg $ out_arg
+           $ tokenizer_arg))
+  in
+  Cmd.v
+    (Cmd.info "evade"
+       ~doc:"Good-word evasion: pad a spam message with the filter's \
+             hammiest tokens (Exploratory Integrity baseline).")
+    term
+
+(* --------------------------------------------------------------- *)
+(* roni                                                             *)
+
+let roni_cmd =
+  let candidate_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MESSAGE" ~doc:"Candidate training message (RFC 2822).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float Spamlab_core.Roni.default_config.Spamlab_core.Roni.threshold
+      & info [ "threshold" ] ~docv:"T" ~doc:"Rejection threshold on mean ham impact.")
+  in
+  let run seed ham spam candidate threshold tokenizer =
+    setup_logs ();
+    match (load_labeled ~ham ~spam, read_message_file candidate) with
+    | Error e, _ -> fail "%s" e
+    | _, Error e -> fail "cannot parse candidate: %s" e
+    | Ok corpus, Ok msg ->
+        let pool = Corpus.Dataset.of_labeled tokenizer corpus in
+        let tokens = Tokenizer.unique_tokens tokenizer msg in
+        let config =
+          { Spamlab_core.Roni.default_config with Spamlab_core.Roni.threshold }
+        in
+        let a =
+          Spamlab_core.Roni.assess ~config (Rng.create seed) ~pool
+            ~candidate:tokens
+        in
+        Printf.printf "mean ham impact: %.2f (threshold %.2f)\n"
+          a.Spamlab_core.Roni.mean_ham_impact threshold;
+        Printf.printf "verdict: %s\n"
+          (if a.Spamlab_core.Roni.rejected then "REJECT (do not train)"
+           else "admit");
+        `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ ham_mbox_arg $ spam_mbox_arg $ candidate_arg
+        $ threshold_arg $ tokenizer_arg))
+  in
+  Cmd.v
+    (Cmd.info "roni"
+       ~doc:"Reject-On-Negative-Impact screening of a candidate training message.")
+    term
+
+(* --------------------------------------------------------------- *)
+(* thresholds                                                       *)
+
+let thresholds_cmd =
+  let quantile_arg =
+    Arg.(value & opt float 0.05 & info [ "quantile" ] ~docv:"Q" ~doc:"Utility quantile (0.05 or 0.10).")
+  in
+  let run seed ham spam quantile tokenizer =
+    setup_logs ();
+    match load_labeled ~ham ~spam with
+    | Error e -> fail "%s" e
+    | Ok corpus ->
+        let examples = Corpus.Dataset.of_labeled tokenizer corpus in
+        let theta0, theta1 =
+          Spamlab_core.Dynamic_threshold.thresholds
+            ~config:{ Spamlab_core.Dynamic_threshold.quantile }
+            (Rng.create seed) examples
+        in
+        Printf.printf "theta0 %.6f\ntheta1 %.6f\n" theta0 theta1;
+        `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ ham_mbox_arg $ spam_mbox_arg $ quantile_arg
+        $ tokenizer_arg))
+  in
+  Cmd.v
+    (Cmd.info "thresholds"
+       ~doc:"Derive dynamic ham/spam cutoffs from a training corpus.")
+    term
+
+(* --------------------------------------------------------------- *)
+(* stats                                                            *)
+
+let stats_cmd =
+  let run ham spam tokenizer =
+    setup_logs ();
+    match load_labeled ~ham ~spam with
+    | Error e -> fail "%s" e
+    | Ok corpus ->
+        print_string
+          (Corpus.Corpus_stats.render
+             (Corpus.Corpus_stats.measure tokenizer corpus));
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ ham_mbox_arg $ spam_mbox_arg $ tokenizer_arg))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Characterize a corpus: lengths, vocabulary growth, singleton \
+             tail, class overlap.")
+    term
+
+(* --------------------------------------------------------------- *)
+(* experiment                                                       *)
+
+let experiment_cmd =
+  let id_arg =
+    let ids = String.concat ", " Eval.Registry.ids in
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:("Experiment id: " ^ ids ^ ", or 'all'."))
+  in
+  let run seed scale id =
+    setup_logs ();
+    let lab = Eval.Lab.create ~seed ~scale () in
+    match id with
+    | "all" ->
+        List.iter
+          (fun (id, report) ->
+            Printf.printf "==== %s ====\n%s\n" id report)
+          (Eval.Registry.run_all lab);
+        `Ok ()
+    | id -> (
+        match Eval.Registry.find id with
+        | None -> fail "unknown experiment %S" id
+        | Some e ->
+            print_string (e.Eval.Registry.run lab);
+            `Ok ())
+  in
+  let term = Term.(ret (const run $ seed_arg $ scale_arg $ id_arg)) in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Reproduce a table or figure from the paper's evaluation.")
+    term
+
+(* --------------------------------------------------------------- *)
+
+let main_cmd =
+  let doc =
+    "laboratory for training-set poisoning attacks on statistical spam \
+     filters (Nelson et al., 2008)"
+  in
+  Cmd.group
+    (Cmd.info "spamlab" ~version:"1.0.0" ~doc)
+    [
+      corpus_cmd; train_cmd; classify_cmd; tokenize_cmd; stats_cmd;
+      attack_cmd; evade_cmd; roni_cmd; thresholds_cmd; experiment_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

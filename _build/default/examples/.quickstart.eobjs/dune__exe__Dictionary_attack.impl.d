@@ -1,0 +1,1 @@
+examples/dictionary_attack.ml: Array Lab List Poison Printf Spamlab_core Spamlab_eval Spamlab_spambayes

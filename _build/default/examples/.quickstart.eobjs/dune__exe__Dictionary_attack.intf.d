@@ -1,0 +1,1 @@
+examples/dictionary_attack.mli:

@@ -1,0 +1,1 @@
+examples/focused_attack.ml: Array Float Lab List Poison Printf Spamlab_core Spamlab_corpus Spamlab_email Spamlab_eval Spamlab_spambayes

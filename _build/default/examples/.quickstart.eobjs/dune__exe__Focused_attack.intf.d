@@ -1,0 +1,1 @@
+examples/focused_attack.mli:

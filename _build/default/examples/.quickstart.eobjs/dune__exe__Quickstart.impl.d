@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Filename List Printf Rng Spamlab_corpus Spamlab_email Spamlab_spambayes Spamlab_stats Sys

@@ -1,0 +1,1 @@
+examples/roni_defense.ml: Lab List Printf Spamlab_core Spamlab_corpus Spamlab_eval Spamlab_spambayes

@@ -1,0 +1,1 @@
+examples/roni_defense.mli:

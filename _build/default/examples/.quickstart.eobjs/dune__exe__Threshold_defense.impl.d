@@ -1,0 +1,1 @@
+examples/threshold_defense.ml: Array Confusion Lab List Poison Printf Spamlab_core Spamlab_corpus Spamlab_eval Spamlab_spambayes

@@ -1,0 +1,1 @@
+examples/weekly_pipeline.ml: Array Lab List Printf Spamlab_core Spamlab_corpus Spamlab_eval Spamlab_spambayes Spamlab_stats

@@ -1,0 +1,1 @@
+examples/weekly_pipeline.mli:

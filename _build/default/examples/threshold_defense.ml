@@ -1,0 +1,87 @@
+(* The paper's Section 5.2 defense: a dictionary attack shifts every
+   score upward, but it shifts ham and spam together — so re-deriving
+   the ham/spam cutoffs from the (poisoned) data keeps the classes
+   apart where the static 0.15/0.9 thresholds fail.
+
+     dune exec examples/threshold_defense.exe *)
+
+open Spamlab_eval
+module Options = Spamlab_spambayes.Options
+module Label = Spamlab_spambayes.Label
+module Classify = Spamlab_spambayes.Classify
+module Filter = Spamlab_spambayes.Filter
+module Dataset = Spamlab_corpus.Dataset
+module Attack = Spamlab_core.Dictionary_attack
+module Dynamic_threshold = Spamlab_core.Dynamic_threshold
+
+let () =
+  let lab = Lab.create ~seed:17 ~scale:0.2 () in
+  let tokenizer = Lab.tokenizer lab in
+  let rng = Lab.rng lab "example-threshold" in
+
+  let train = Lab.corpus lab rng ~size:2_000 ~spam_fraction:0.5 in
+  let test = Lab.corpus lab rng ~size:400 ~spam_fraction:0.5 in
+
+  (* Poison the training set with a 2% usenet dictionary attack. *)
+  let payload =
+    Attack.payload tokenizer
+      (Attack.make ~name:"usenet" ~words:(Lab.usenet_top lab ~size:25_000))
+  in
+  let count =
+    Poison.attack_count ~train_size:(Array.length train) ~fraction:0.02
+  in
+  Printf.printf "poisoning: %d attack emails (2%% of the training set)\n\n" count;
+  let poisoned =
+    Poison.poisoned (Poison.base_filter tokenizer train) ~payload ~count
+  in
+
+  let report label options =
+    let confusion =
+      Poison.confusion_of_scores options
+        (Poison.score_examples poisoned test)
+    in
+    Printf.printf
+      "%-24s theta0=%.3f theta1=%.3f | ham->spam %5.1f%%  ham->unsure %5.1f%%  spam->unsure %5.1f%%\n"
+      label options.Options.ham_cutoff options.Options.spam_cutoff
+      (100.0 *. Confusion.ham_as_spam_rate confusion)
+      (100.0 *. Confusion.ham_as_unsure_rate confusion)
+      (100.0 *. Confusion.spam_as_unsure_rate confusion)
+  in
+
+  report "static thresholds" Options.default;
+
+  (* Derive data-driven thresholds from the poisoned training set: train
+     on one half (with half the attack), score the other half, and place
+     the cutoffs at the g-utility quantiles. *)
+  List.iter
+    (fun quantile ->
+      let half_a, half_b = Dataset.split rng 0.5 train in
+      let derivation = Poison.base_filter tokenizer half_a in
+      let derivation =
+        Poison.poisoned derivation ~payload ~count:(count / 2)
+      in
+      let scores =
+        Array.append
+          (Array.map
+             (fun (e : Dataset.example) ->
+               ( (Dataset.classify derivation e).Classify.indicator,
+                 e.Dataset.label, 1 ))
+             half_b)
+          [|
+            ( (Filter.classify_tokens derivation payload).Classify.indicator,
+              Label.Spam, count - (count / 2) );
+          |]
+      in
+      let theta0, theta1 =
+        Dynamic_threshold.thresholds_of_scores
+          ~config:{ Dynamic_threshold.quantile } scores
+      in
+      report
+        (Printf.sprintf "dynamic (q=%.2f)" quantile)
+        (Options.with_cutoffs Options.default ~ham:theta0 ~spam:theta1))
+    [ 0.05; 0.10 ];
+
+  print_endline
+    "\nThe dynamic thresholds pull ham out of the spam folder (rankings\n\
+     survive the attack even though absolute scores don't), at the price\n\
+     the paper reports: much of the spam now lands in unsure."

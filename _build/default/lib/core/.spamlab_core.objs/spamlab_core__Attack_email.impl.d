@@ -1,0 +1,1 @@
+lib/core/attack_email.ml: Buffer List Spamlab_email Spamlab_tokenizer String

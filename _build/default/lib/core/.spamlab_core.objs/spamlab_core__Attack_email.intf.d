@@ -1,0 +1,1 @@
+lib/core/attack_email.mli: Spamlab_email Spamlab_tokenizer

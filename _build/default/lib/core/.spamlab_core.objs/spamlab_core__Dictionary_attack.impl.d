@@ -1,0 +1,1 @@
+lib/core/dictionary_attack.ml: Array Attack_email List Spamlab_spambayes Spamlab_tokenizer Taxonomy

@@ -1,0 +1,1 @@
+lib/core/dynamic_threshold.ml: Array Float Fun List Spamlab_corpus Spamlab_spambayes

@@ -1,0 +1,1 @@
+lib/core/expected_score.ml: Dictionary_attack Spamlab_spambayes

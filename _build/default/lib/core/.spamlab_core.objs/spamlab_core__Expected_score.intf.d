@@ -1,0 +1,1 @@
+lib/core/expected_score.mli: Spamlab_email Spamlab_spambayes Spamlab_stats

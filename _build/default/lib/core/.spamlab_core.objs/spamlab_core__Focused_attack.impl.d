@@ -1,0 +1,1 @@
+lib/core/focused_attack.ml: Array Attack_email Hashtbl List Option Rng Spamlab_email Spamlab_spambayes Spamlab_stats Spamlab_tokenizer String Taxonomy

@@ -1,0 +1,1 @@
+lib/core/focused_attack.mli: Spamlab_email Spamlab_spambayes Spamlab_stats Taxonomy

@@ -1,0 +1,1 @@
+lib/core/good_word_attack.ml: Attack_email Float List Spamlab_email Spamlab_spambayes String Taxonomy

@@ -1,0 +1,1 @@
+lib/core/good_word_attack.mli: Spamlab_email Spamlab_spambayes Taxonomy

@@ -1,0 +1,1 @@
+lib/core/informed_attack.ml: Array Dictionary_attack Float Hashtbl List Option Spamlab_corpus Spamlab_tokenizer String

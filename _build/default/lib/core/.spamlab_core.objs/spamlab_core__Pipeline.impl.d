@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array List Roni Spamlab_corpus Spamlab_spambayes

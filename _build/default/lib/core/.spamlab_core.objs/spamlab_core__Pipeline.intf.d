@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Roni Spamlab_corpus Spamlab_spambayes Spamlab_stats

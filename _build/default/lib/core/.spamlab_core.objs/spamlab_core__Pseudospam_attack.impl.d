@@ -1,0 +1,1 @@
+lib/core/pseudospam_attack.ml: Array Attack_email Float List Rng Spamlab_email Spamlab_spambayes Spamlab_stats Taxonomy

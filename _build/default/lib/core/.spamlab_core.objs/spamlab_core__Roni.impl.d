@@ -1,0 +1,1 @@
+lib/core/roni.ml: Array Rng Spamlab_corpus Spamlab_spambayes Spamlab_stats Summary

@@ -1,0 +1,1 @@
+lib/core/roni.mli: Spamlab_corpus Spamlab_stats

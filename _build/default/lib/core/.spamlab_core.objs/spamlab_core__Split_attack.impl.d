@@ -1,0 +1,1 @@
+lib/core/split_attack.ml: Array Attack_email List Spamlab_spambayes

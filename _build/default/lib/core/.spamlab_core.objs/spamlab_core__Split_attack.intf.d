@@ -1,0 +1,1 @@
+lib/core/split_attack.mli: Spamlab_email Spamlab_spambayes Spamlab_tokenizer

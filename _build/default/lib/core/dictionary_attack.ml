@@ -1,0 +1,26 @@
+type t = { name : string; words : string array }
+
+let make ~name ~words =
+  if Array.length words = 0 then
+    invalid_arg "Dictionary_attack.make: empty word list";
+  { name; words }
+
+let name t = t.name
+let words t = t.words
+let word_count t = Array.length t.words
+
+let taxonomy = Taxonomy.dictionary_attack
+
+let email t = Attack_email.make ~words:(Array.to_list t.words)
+
+let emails t ~count = List.init count (fun _ -> email t)
+
+let payload tokenizer t = Attack_email.payload_tokens tokenizer (email t)
+
+let raw_token_count tokenizer t =
+  List.length (Spamlab_tokenizer.Tokenizer.tokenize tokenizer (email t))
+
+let train filter tokenizer t ~count =
+  let tokens = payload tokenizer t in
+  Spamlab_spambayes.Filter.train_tokens_many filter Spamlab_spambayes.Label.Spam
+    tokens count

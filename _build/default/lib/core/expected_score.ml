@@ -1,0 +1,21 @@
+module Filter = Spamlab_spambayes.Filter
+module Classify = Spamlab_spambayes.Classify
+
+let estimate filter ~sample ~samples rng =
+  if samples <= 0 then invalid_arg "Expected_score.estimate: samples <= 0";
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let msg = sample rng in
+    total := !total +. (Filter.classify filter msg).Classify.indicator
+  done;
+  !total /. float_of_int samples
+
+let estimate_under_attack ~baseline ~attack_words ~attack_count ~sample
+    ~samples rng =
+  let poisoned = Filter.copy baseline in
+  let attack =
+    Dictionary_attack.make ~name:"expected-score" ~words:attack_words
+  in
+  Dictionary_attack.train poisoned (Filter.tokenizer poisoned) attack
+    ~count:attack_count;
+  estimate poisoned ~sample ~samples rng

@@ -1,0 +1,31 @@
+(** Monte-Carlo machinery for the optimal-attack analysis (§3.4).
+
+    The attacker's objective is max_a E_{m∼p}[I_a(m)]: the expected
+    post-attack score of the victim's next legitimate message.  The
+    section's two structural observations — token scores don't interact
+    across words, and I is monotonically non-decreasing in each f(w) —
+    imply that adding words to the attack never hurts, which the test
+    suite verifies empirically through this module. *)
+
+val estimate :
+  Spamlab_spambayes.Filter.t ->
+  sample:(Spamlab_stats.Rng.t -> Spamlab_email.Message.t) ->
+  samples:int ->
+  Spamlab_stats.Rng.t ->
+  float
+(** [estimate filter ~sample ~samples rng] is the mean indicator I(E)
+    of [samples] messages drawn from [sample] under the (already
+    poisoned or clean) filter.  @raise Invalid_argument if
+    [samples <= 0]. *)
+
+val estimate_under_attack :
+  baseline:Spamlab_spambayes.Filter.t ->
+  attack_words:string array ->
+  attack_count:int ->
+  sample:(Spamlab_stats.Rng.t -> Spamlab_email.Message.t) ->
+  samples:int ->
+  Spamlab_stats.Rng.t ->
+  float
+(** Expected score after poisoning a {e copy} of [baseline] with
+    [attack_count] attack emails carrying [attack_words].  The baseline
+    filter is not modified. *)

@@ -1,0 +1,69 @@
+(** A deployed-filter simulation: the paper's operational setting
+    (§2.1–2.2) where an organization filters incoming mail with the
+    current model and periodically retrains on what arrived.
+
+    Each round ("week"), the pipeline
+
+    + classifies the round's incoming messages with the current filter
+      and records the verdict counts a user would experience,
+    + admits the round's messages into the training pool — every one of
+      them, or only those that pass RONI screening when a defense is
+      installed (screening measures impact against the {e previously}
+      trusted pool),
+    + retrains from scratch on the accumulated pool when the round index
+      hits the retrain period.
+
+    Attack emails enter simply as incoming messages whose gold label is
+    spam (the contamination assumption). *)
+
+type verdict_counts = {
+  ham_as_ham : int;
+  ham_as_unsure : int;
+  ham_as_spam : int;
+  spam_as_ham : int;
+  spam_as_unsure : int;
+  spam_as_spam : int;
+}
+
+val ham_delivery_rate : verdict_counts -> float
+(** Fraction of the round's ham that reached the inbox as ham; 1.0 when
+    the round carried no ham. *)
+
+type training_policy =
+  | Train_everything
+      (** Periodic retraining on all received mail (the paper's primary
+          setting). *)
+  | Train_on_error
+      (** Retrain only on messages the current filter got wrong or was
+          unsure about — the §2.2 variant.  The paper observes this does
+          not stop the attacks: a dictionary email full of unknown words
+          scores near 0.5, lands in unsure, and is trained anyway. *)
+
+type config = {
+  retrain_period : int;  (** Retrain every N rounds; 1 = weekly. *)
+  policy : training_policy;
+  roni : Roni.config option;  (** Screening defense, when installed. *)
+  initial_training : Spamlab_corpus.Dataset.example array;
+      (** The trusted mail the filter starts from. *)
+}
+
+type round_report = {
+  round_index : int;  (** 1-based. *)
+  counts : verdict_counts;
+  rejected : int;  (** Messages RONI kept out of training this round. *)
+}
+
+type report = {
+  rounds : round_report list;
+  total_rejected : int;
+  final_filter : Spamlab_spambayes.Filter.t;
+}
+
+val run :
+  config ->
+  Spamlab_stats.Rng.t ->
+  rounds:Spamlab_corpus.Dataset.example array list ->
+  report
+(** [run config rng ~rounds] simulates the rounds in order.
+    @raise Invalid_argument if [retrain_period <= 0] or the initial
+    training pool is too small for the configured RONI screening. *)

@@ -1,0 +1,63 @@
+open Spamlab_stats
+module Dataset = Spamlab_corpus.Dataset
+module Filter = Spamlab_spambayes.Filter
+module Label = Spamlab_spambayes.Label
+module Classify = Spamlab_spambayes.Classify
+
+type config = {
+  train_size : int;
+  validation_size : int;
+  trials : int;
+  threshold : float;
+}
+
+let default_config =
+  { train_size = 20; validation_size = 50; trials = 5; threshold = 5.0 }
+
+type assessment = {
+  mean_ham_impact : float;
+  per_trial : float array;
+  rejected : bool;
+}
+
+let ham_as_ham filter validation =
+  Array.fold_left
+    (fun acc (e : Dataset.example) ->
+      if e.label = Label.Ham
+         && (Dataset.classify filter e).Classify.verdict = Label.Ham_v
+      then acc + 1
+      else acc)
+    0 validation
+
+let assess ?(config = default_config) rng ~pool ~candidate =
+  let needed = config.train_size + config.validation_size in
+  if Array.length pool < needed then
+    invalid_arg "Roni.assess: pool smaller than train + validation sizes";
+  if not (Array.exists (fun (e : Dataset.example) -> e.label = Label.Ham) pool)
+  then invalid_arg "Roni.assess: pool contains no ham";
+  let per_trial =
+    Array.init config.trials (fun _ ->
+        let sample = Rng.sample_without_replacement rng needed pool in
+        let train = Array.sub sample 0 config.train_size in
+        let validation =
+          Array.sub sample config.train_size config.validation_size
+        in
+        let baseline = Filter.create () in
+        Dataset.train_filter baseline train;
+        let with_candidate = Filter.copy baseline in
+        Filter.train_tokens with_candidate Label.Spam candidate;
+        let before = ham_as_ham baseline validation in
+        let after = ham_as_ham with_candidate validation in
+        float_of_int (before - after))
+  in
+  let mean_ham_impact = Summary.mean per_trial in
+  {
+    mean_ham_impact;
+    per_trial;
+    rejected = mean_ham_impact > config.threshold;
+  }
+
+let screen ?(config = default_config) rng ~pool ~stream =
+  Array.map
+    (fun candidate -> (candidate, assess ~config rng ~pool ~candidate))
+    stream

@@ -1,0 +1,1 @@
+lib/corpus/corpus_stats.ml: Array Buffer Hashtbl List Printf Spamlab_spambayes Spamlab_stats Spamlab_tokenizer

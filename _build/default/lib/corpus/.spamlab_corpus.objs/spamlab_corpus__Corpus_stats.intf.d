@@ -1,0 +1,1 @@
+lib/corpus/corpus_stats.mli: Spamlab_tokenizer Trec

@@ -1,0 +1,1 @@
+lib/corpus/dataset.ml: Array List Spamlab_spambayes Spamlab_stats Spamlab_tokenizer

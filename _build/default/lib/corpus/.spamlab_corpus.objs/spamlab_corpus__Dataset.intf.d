@@ -1,0 +1,1 @@
+lib/corpus/dataset.mli: Spamlab_email Spamlab_spambayes Spamlab_stats Spamlab_tokenizer Trec

@@ -1,0 +1,1 @@
+lib/corpus/dictionary.ml: Array Hashtbl Vocabulary Wordgen

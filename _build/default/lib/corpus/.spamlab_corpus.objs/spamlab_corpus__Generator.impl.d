@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Array Buffer Float Header Language_model List Message Mime Persons Printf Rng Sampler Spamlab_email Spamlab_stats String Vocabulary

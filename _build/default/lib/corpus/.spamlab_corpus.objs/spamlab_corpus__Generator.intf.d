@@ -1,0 +1,1 @@
+lib/corpus/generator.mli: Language_model Persons Spamlab_email Spamlab_stats Vocabulary

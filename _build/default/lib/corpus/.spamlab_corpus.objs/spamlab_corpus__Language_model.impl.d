@@ -1,0 +1,1 @@
+lib/corpus/language_model.ml: Array Hashtbl List Option Sampler Spamlab_stats String Vocabulary

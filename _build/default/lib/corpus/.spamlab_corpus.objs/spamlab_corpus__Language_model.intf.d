@@ -1,0 +1,1 @@
+lib/corpus/language_model.mli: Spamlab_stats Vocabulary

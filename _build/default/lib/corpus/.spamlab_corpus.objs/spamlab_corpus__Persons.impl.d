@@ -1,0 +1,1 @@
+lib/corpus/persons.ml: Array Hashtbl Printf Rng Spamlab_email Spamlab_stats String Wordgen

@@ -1,0 +1,1 @@
+lib/corpus/persons.mli: Spamlab_email Spamlab_stats

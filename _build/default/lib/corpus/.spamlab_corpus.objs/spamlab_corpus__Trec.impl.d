@@ -1,0 +1,1 @@
+lib/corpus/trec.ml: Array Float Generator List Rng Spamlab_email Spamlab_spambayes Spamlab_stats

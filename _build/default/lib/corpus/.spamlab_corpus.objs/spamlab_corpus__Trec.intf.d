@@ -1,0 +1,1 @@
+lib/corpus/trec.mli: Generator Spamlab_email Spamlab_spambayes Spamlab_stats

@@ -1,0 +1,1 @@
+lib/corpus/usenet.mli: Vocabulary

@@ -1,0 +1,1 @@
+lib/corpus/vocabulary.ml: Array Hashtbl List Rng Spamlab_stats Wordgen

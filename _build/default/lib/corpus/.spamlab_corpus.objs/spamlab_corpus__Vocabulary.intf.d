@@ -1,0 +1,1 @@
+lib/corpus/vocabulary.mli:

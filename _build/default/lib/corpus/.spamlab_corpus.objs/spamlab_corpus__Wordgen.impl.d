@@ -1,0 +1,1 @@
+lib/corpus/wordgen.ml: Array Bytes List Rng Spamlab_stats String

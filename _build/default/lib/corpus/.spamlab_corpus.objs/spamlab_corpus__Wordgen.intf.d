@@ -1,0 +1,1 @@
+lib/corpus/wordgen.mli: Spamlab_stats

@@ -1,0 +1,54 @@
+module Label = Spamlab_spambayes.Label
+module Filter = Spamlab_spambayes.Filter
+module Tokenizer = Spamlab_tokenizer.Tokenizer
+
+type example = {
+  label : Label.gold;
+  tokens : string array;
+  raw_token_count : int;
+}
+
+let of_message tokenizer label msg =
+  let stream = Tokenizer.tokenize tokenizer msg in
+  {
+    label;
+    tokens = Tokenizer.unique_of_list stream;
+    raw_token_count = List.length stream;
+  }
+
+let of_labeled tokenizer corpus =
+  Array.map (fun (label, msg) -> of_message tokenizer label msg) corpus
+
+let train_filter filter examples =
+  Array.iter
+    (fun e -> Filter.train_tokens filter e.label e.tokens)
+    examples
+
+let classify filter e = Filter.classify_tokens filter e.tokens
+
+let kfold ~k arr =
+  let n = Array.length arr in
+  if k < 2 then invalid_arg "Dataset.kfold: k must be at least 2";
+  if k > n then invalid_arg "Dataset.kfold: more folds than elements";
+  Array.init k (fun i ->
+      let lo = i * n / k in
+      let hi = (i + 1) * n / k in
+      let test = Array.sub arr lo (hi - lo) in
+      let train =
+        Array.append (Array.sub arr 0 lo) (Array.sub arr hi (n - hi))
+      in
+      (train, test))
+
+let split rng frac arr =
+  if frac < 0.0 || frac > 1.0 then invalid_arg "Dataset.split: bad fraction";
+  let copy = Array.copy arr in
+  Spamlab_stats.Rng.shuffle rng copy;
+  let cut = int_of_float (frac *. float_of_int (Array.length copy)) in
+  (Array.sub copy 0 cut, Array.sub copy cut (Array.length copy - cut))
+
+let total_raw_tokens examples =
+  Array.fold_left (fun acc e -> acc + e.raw_token_count) 0 examples
+
+let filter_label label examples =
+  Array.of_list
+    (List.filter (fun e -> e.label = label) (Array.to_list examples))

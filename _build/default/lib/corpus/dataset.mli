@@ -1,0 +1,42 @@
+(** Tokenized datasets and resampling: the bridge between generated
+    messages and the learner.  Messages are tokenized once into
+    {!example}s; training, attacks and evaluation then operate on token
+    arrays (the fast path for cross-validated sweeps). *)
+
+type example = {
+  label : Spamlab_spambayes.Label.gold;
+  tokens : string array;  (** Distinct tokens, sorted. *)
+  raw_token_count : int;  (** Stream length before dedup (token-volume
+                              accounting, §4.2). *)
+}
+
+val of_labeled :
+  Spamlab_tokenizer.Tokenizer.t -> Trec.labeled array -> example array
+
+val of_message :
+  Spamlab_tokenizer.Tokenizer.t ->
+  Spamlab_spambayes.Label.gold ->
+  Spamlab_email.Message.t ->
+  example
+
+val train_filter : Spamlab_spambayes.Filter.t -> example array -> unit
+(** Train every example into the filter. *)
+
+val classify :
+  Spamlab_spambayes.Filter.t -> example -> Spamlab_spambayes.Classify.result
+
+val kfold : k:int -> 'a array -> ('a array * 'a array) array
+(** [kfold ~k arr] partitions [arr] into [k] consecutive folds and
+    returns [(train, test)] pairs, test being the i-th fold.  The input
+    order is the randomization (corpora are generated shuffled).
+    @raise Invalid_argument if [k < 2] or [k] exceeds the array
+    length. *)
+
+val split : Spamlab_stats.Rng.t -> float -> 'a array -> 'a array * 'a array
+(** [split rng frac arr] shuffles a copy and splits at
+    [frac × length]. *)
+
+val total_raw_tokens : example array -> int
+
+val filter_label :
+  Spamlab_spambayes.Label.gold -> example array -> example array

@@ -1,0 +1,25 @@
+let aspell_size = 98_568
+
+(* The dictionary lists common standard words first, then the standard
+   rare tail, then filler mass the victim never uses.  Sizes below the
+   full standard vocabulary produce a truncated "pocket dictionary"
+   (used by scaled-down experiments and by the RONI attack variants). *)
+let aspell ?(size = aspell_size) (v : Vocabulary.t) =
+  if size <= 0 then invalid_arg "Dictionary.aspell: size must be positive";
+  let standard =
+    Array.append (Vocabulary.standard_words v) v.Vocabulary.rare_standard
+  in
+  let n_standard = Array.length standard in
+  if size <= n_standard then Array.sub standard 0 size
+  else
+    Array.append standard
+      (Wordgen.words v.Vocabulary.filler_start (size - n_standard))
+
+let contains words =
+  let table = Hashtbl.create (2 * Array.length words) in
+  Array.iter (fun w -> Hashtbl.replace table w ()) words;
+  fun w -> Hashtbl.mem table w
+
+let overlap_count a b =
+  let mem = contains a in
+  Array.fold_left (fun acc w -> if mem w then acc + 1 else acc) 0 b

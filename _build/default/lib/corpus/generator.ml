@@ -1,0 +1,237 @@
+open Spamlab_stats
+open Spamlab_email
+
+type config = {
+  vocabulary : Vocabulary.t;
+  ham_model : Language_model.t;
+  spam_model : Language_model.t;
+  ham_people : Persons.person array;
+  spam_people : Persons.person array;
+  victim : Persons.person;
+  spam_domains : string array;
+  ham_body_mean : float;
+  spam_body_mean : float;
+}
+
+let default_config ?sizes ?(ham_body_mean = 220.0) ?(spam_body_mean = 240.0)
+    ~seed () =
+  let vocabulary = Vocabulary.create ?sizes ~seed () in
+  let root = Rng.create seed in
+  let people_rng = Rng.split_named root "people" in
+  let ham_domains = Persons.domains_for people_rng ~tld:"com" 120 in
+  let spam_sender_domains = Persons.domains_for people_rng ~tld:"net" 150 in
+  let spam_domains = Persons.domains_for people_rng ~tld:"biz" 40 in
+  let ham_people = Persons.pool people_rng ~domains:ham_domains 1200 in
+  let spam_people = Persons.pool people_rng ~domains:spam_sender_domains 900 in
+  let victim = (Persons.pool people_rng ~domains:ham_domains 1).(0) in
+  {
+    vocabulary;
+    ham_model = Language_model.ham vocabulary;
+    spam_model = Language_model.spam vocabulary;
+    ham_people;
+    spam_people;
+    victim;
+    spam_domains;
+    ham_body_mean;
+    spam_body_mean;
+  }
+
+let body_of_words rng words =
+  let buffer = Buffer.create 1024 in
+  let sentence_left = ref (Rng.int_in rng 6 14) in
+  let sentences_in_paragraph = ref (Rng.int_in rng 2 5) in
+  let at_sentence_start = ref true in
+  List.iter
+    (fun w ->
+      if !at_sentence_start then begin
+        Buffer.add_string buffer (String.capitalize_ascii w);
+        at_sentence_start := false
+      end
+      else begin
+        Buffer.add_char buffer ' ';
+        Buffer.add_string buffer w
+      end;
+      decr sentence_left;
+      if !sentence_left <= 0 then begin
+        Buffer.add_char buffer '.';
+        at_sentence_start := true;
+        sentence_left := Rng.int_in rng 6 14;
+        decr sentences_in_paragraph;
+        if !sentences_in_paragraph <= 0 then begin
+          Buffer.add_string buffer "\n\n";
+          sentences_in_paragraph := Rng.int_in rng 2 5
+        end
+        else Buffer.add_char buffer ' '
+      end)
+    words;
+  (* Close the final sentence if it is dangling. *)
+  if not !at_sentence_start then Buffer.add_char buffer '.';
+  Buffer.contents buffer
+
+(* Received trace: every inbound message ends at the victim's MX; the
+   hops before it are the sender-side story — the sender's own relay
+   for ham, a chain of shady relays and bare IPs for spam. *)
+let received_line rng ~from_host ~by_host =
+  Printf.sprintf "from %s ([%d.%d.%d.%d]) by %s; %s" from_host
+    (Rng.int_in rng 1 223) (Rng.int rng 256) (Rng.int rng 256)
+    (Rng.int_in rng 1 254) by_host (Persons.header_date rng)
+
+let victim_mx config =
+  "mx." ^ config.victim.Persons.address.Spamlab_email.Address.domain
+
+let ham_received config rng ~sender =
+  let sender_domain = sender.Persons.address.Spamlab_email.Address.domain in
+  [
+    ( "Received",
+      received_line rng ~from_host:("mail." ^ sender_domain)
+        ~by_host:(victim_mx config) );
+  ]
+
+let spam_received config rng =
+  let hops = Rng.int_in rng 1 3 in
+  let relay () =
+    if Rng.bernoulli rng 0.5 then
+      Printf.sprintf "dsl-%d-%d-%d.%s" (Rng.int rng 256) (Rng.int rng 256)
+        (Rng.int rng 256)
+        (Rng.choose rng config.spam_domains)
+    else if Rng.bernoulli rng 0.5 then
+      (* Compromised legitimate mail servers relay campaigns too, so the
+         generic "mail." host prefix is not a ham giveaway. *)
+      "mail." ^ Rng.choose rng config.spam_domains
+    else Rng.choose rng config.spam_domains
+  in
+  let chain =
+    List.init hops (fun i ->
+        let by_host = if i = 0 then victim_mx config else relay () in
+        ("Received", received_line rng ~from_host:(relay ()) ~by_host))
+  in
+  chain
+
+let base_headers rng ~received ~sender ~recipient ~subject =
+  let open Persons in
+  Header.of_list
+    (received
+    @ [
+        ("From", Spamlab_email.Address.to_string sender.address);
+        ("To", Spamlab_email.Address.to_string recipient.address);
+        ("Subject", subject);
+        ("Date", Persons.header_date rng);
+        ( "Message-Id",
+          Persons.message_id rng
+            ~domain:sender.address.Spamlab_email.Address.domain );
+      ])
+
+(* Real email lengths are heavy-tailed: many short notes, occasional
+   long reports.  A shifted lognormal reproduces that; the spread
+   matters — short messages are the ones a focused attack flips all the
+   way to spam, long ones carry enough unpoisoned evidence to resist.
+   The [mean] parameter positions the lognormal median at roughly
+   0.55 × mean with sigma 0.85 (mean of the resulting distribution is
+   close to the requested one). *)
+let body_length rng ~mean =
+  let minimum = 12 in
+  let sigma = 0.85 in
+  let median = Float.max 4.0 (0.55 *. mean) in
+  let draw = Sampler.log_normal rng ~mu:(log median) ~sigma in
+  minimum + int_of_float (Float.round draw)
+
+let ham config rng =
+  let sender = Rng.choose rng config.ham_people in
+  let subject_words =
+    Language_model.sample_words config.ham_model rng (Rng.int_in rng 2 6)
+  in
+  let subject =
+    let s = String.concat " " subject_words in
+    if Rng.bernoulli rng 0.35 then "Re: " ^ s else s
+  in
+  let length = body_length rng ~mean:config.ham_body_mean in
+  let words = Language_model.sample_words config.ham_model rng length in
+  let body =
+    let prose = body_of_words rng words in
+    let signature =
+      if Rng.bernoulli rng 0.6 then
+        "\n\n" ^ sender.Persons.display_name ^ "\n"
+      else ""
+    in
+    prose ^ signature
+  in
+  let headers =
+    base_headers rng
+      ~received:(ham_received config rng ~sender)
+      ~sender ~recipient:config.victim ~subject
+  in
+  (* A minority of legitimate mail is HTML too (newsletters, rich
+     clients); none of it plays transfer-encoding games. *)
+  if Rng.bernoulli rng 0.08 then
+    Mime.make_html ~headers
+      (Printf.sprintf "<html><body><p>%s</p></body></html>" body)
+  else Message.make ~headers body
+
+let spam_url config rng =
+  let host = Rng.choose rng config.spam_domains in
+  let path = Language_model.sample_word config.spam_model rng in
+  Printf.sprintf "http://%s/%s" host path
+
+(* Campaign mail is frequently HTML: paragraphs wrapped in markup, the
+   payload URL hidden in an anchor, a tracking pixel, shouting fonts. *)
+let htmlify config rng ~prose ~url =
+  let paragraphs =
+    String.split_on_char '\n' prose
+    |> List.filter (fun line -> String.trim line <> "")
+    |> List.map (fun line -> "<p>" ^ line ^ "</p>")
+  in
+  let link =
+    match url with
+    | None -> ""
+    | Some u ->
+        Printf.sprintf "<p><a href=\"%s\">%s %s</a></p>" u
+          (Language_model.sample_word config.spam_model rng)
+          (Language_model.sample_word config.spam_model rng)
+  in
+  let pixel =
+    if Rng.bernoulli rng 0.5 then
+      Printf.sprintf "<img src=\"%s\" width=\"1\" height=\"1\">"
+        (spam_url config rng)
+    else ""
+  in
+  Printf.sprintf "<html><body><font size=\"%d\">%s%s%s</font></body></html>"
+    (Rng.int_in rng 1 5)
+    (String.concat "\n" paragraphs)
+    link pixel
+
+let spam config rng =
+  let sender = Rng.choose rng config.spam_people in
+  let subject_words =
+    Language_model.sample_words config.spam_model rng (Rng.int_in rng 3 8)
+  in
+  let subject =
+    let s = String.concat " " subject_words in
+    if Rng.bernoulli rng 0.3 then String.uppercase_ascii s
+    else if Rng.bernoulli rng 0.3 then s ^ "!!!"
+    else s
+  in
+  let length = body_length rng ~mean:config.spam_body_mean in
+  let words = Language_model.sample_words config.spam_model rng length in
+  let prose = body_of_words rng words in
+  let url =
+    if Rng.bernoulli rng 0.8 then Some (spam_url config rng) else None
+  in
+  let headers =
+    base_headers rng
+      ~received:(spam_received config rng)
+      ~sender ~recipient:config.victim ~subject
+  in
+  let message =
+    if Rng.bernoulli rng 0.35 then
+      Mime.make_html ~headers (htmlify config rng ~prose ~url)
+    else
+      let body =
+        match url with None -> prose | Some u -> prose ^ "\n\n" ^ u ^ "\n"
+      in
+      Message.make ~headers body
+  in
+  (* Classic obfuscation: some campaigns ship base64- or QP-encoded. *)
+  if Rng.bernoulli rng 0.10 then Mime.with_base64_transfer message
+  else if Rng.bernoulli rng 0.05 then
+    Mime.with_quoted_printable_transfer message
+  else message

@@ -1,0 +1,40 @@
+(** Email generators: the TREC-2005 stand-in.
+
+    Ham messages imitate the Enron side of the corpus — business email
+    between a fixed pool of correspondents, drawn from the ham language
+    model.  Spam messages imitate campaign mail: spam-model prose,
+    shouting subjects, and cracked-URL payloads.  Both carry full
+    headers (From/To/Subject/Date/Message-Id) so header tokens behave as
+    in the real filter. *)
+
+type config = {
+  vocabulary : Vocabulary.t;
+  ham_model : Language_model.t;
+  spam_model : Language_model.t;
+  ham_people : Persons.person array;
+  spam_people : Persons.person array;
+  victim : Persons.person;  (** Recipient of everything. *)
+  spam_domains : string array;  (** URL hosts for spam payloads. *)
+  ham_body_mean : float;  (** Mean body length in words (geometric, heavy-tailed). *)
+  spam_body_mean : float;
+}
+
+val default_config :
+  ?sizes:Vocabulary.sizes ->
+  ?ham_body_mean:float ->
+  ?spam_body_mean:float ->
+  seed:int ->
+  unit ->
+  config
+(** Deterministic in [seed]: vocabulary, models, 1200 ham correspondents,
+    900 spam senders, 40 spam domains.  Defaults: ham mean 220 words,
+    spam mean 240. *)
+
+val ham : config -> Spamlab_stats.Rng.t -> Spamlab_email.Message.t
+val spam : config -> Spamlab_stats.Rng.t -> Spamlab_email.Message.t
+
+val body_of_words :
+  Spamlab_stats.Rng.t -> string list -> string
+(** Lay words out as sentences and paragraphs (used by attack-email
+    construction too, so attack bodies are superficially unremarkable
+    prose). *)

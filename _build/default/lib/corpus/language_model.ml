@@ -1,0 +1,132 @@
+open Spamlab_stats
+
+type component = {
+  words : string array;
+  weight : float;
+  zipf_exponent : float;
+}
+
+type t = {
+  components : (string array * Sampler.categorical) array;
+  mixture : Sampler.categorical;
+  weights : float array;
+  mutable prob_index : (string, float) Hashtbl.t option;
+}
+
+let make components =
+  if components = [] then invalid_arg "Language_model.make: no components";
+  List.iter
+    (fun c ->
+      if Array.length c.words = 0 then
+        invalid_arg "Language_model.make: empty component";
+      if c.weight <= 0.0 then
+        invalid_arg "Language_model.make: non-positive weight";
+      if c.zipf_exponent <= 0.0 then
+        invalid_arg "Language_model.make: non-positive exponent")
+    components;
+  let weights = Array.of_list (List.map (fun c -> c.weight) components) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let weights = Array.map (fun w -> w /. total) weights in
+  {
+    components =
+      Array.of_list
+        (List.map
+           (fun c ->
+             ( c.words,
+               Sampler.zipf ~exponent:c.zipf_exponent (Array.length c.words)
+             ))
+           components);
+    mixture = Sampler.categorical weights;
+    weights;
+    prob_index = None;
+  }
+
+let head_exponent = 1.1
+
+(* Class-specific and colloquial vocabularies decay more gently than the
+   shared function-word head: no business or slang word appears in
+   nearly every message the way "the" does.  Without this, the top
+   class words are present in ~99% of their class and single-handedly
+   veto any poisoning flip - unrealistically strong evidence. *)
+let specific_exponent = 0.9
+
+(* The rare pools get a flatter decay still: they model the long tail
+   where occurrence counts are small and roughly uniform. *)
+let rare_exponent = 0.45
+
+let ham (v : Vocabulary.t) =
+  make
+    [
+      { words = v.shared; weight = 0.40; zipf_exponent = head_exponent };
+      { words = v.ham_specific; weight = 0.10; zipf_exponent = specific_exponent };
+      { words = v.colloquial; weight = 0.07; zipf_exponent = specific_exponent };
+      {
+        (* Nonstandard rarities (names, codes, jargon) lead the tail:
+           they recur in email more than dictionary-only rare words. *)
+        words = Array.append v.rare_nonstandard v.rare_standard;
+        weight = 0.43;
+        zipf_exponent = rare_exponent;
+      };
+    ]
+
+let spam (v : Vocabulary.t) =
+  make
+    [
+      { words = v.shared; weight = 0.40; zipf_exponent = head_exponent };
+      { words = v.spam_specific; weight = 0.22; zipf_exponent = specific_exponent };
+      { words = v.colloquial; weight = 0.02; zipf_exponent = specific_exponent };
+      {
+        words = Array.append v.rare_nonstandard v.rare_standard;
+        weight = 0.38;
+        zipf_exponent = rare_exponent;
+      };
+    ]
+
+let sample_word t rng =
+  let c = Sampler.categorical_draw t.mixture rng in
+  let words, zipf = t.components.(c) in
+  words.(Sampler.categorical_draw zipf rng)
+
+let sample_words t rng n = List.init n (fun _ -> sample_word t rng)
+
+let support t =
+  let seen = Hashtbl.create 4096 in
+  Array.iter
+    (fun (words, _) -> Array.iter (fun w -> Hashtbl.replace seen w ()) words)
+    t.components;
+  let out = Array.make (Hashtbl.length seen) "" in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun w () ->
+      out.(!i) <- w;
+      incr i)
+    seen;
+  Array.sort String.compare out;
+  out
+
+let build_prob_index t =
+  let table = Hashtbl.create 16384 in
+  Array.iteri
+    (fun ci (words, zipf) ->
+      let weight = t.weights.(ci) in
+      Array.iteri
+        (fun wi w ->
+          let p = weight *. Sampler.categorical_prob zipf wi in
+          let existing =
+            Option.value ~default:0.0 (Hashtbl.find_opt table w)
+          in
+          Hashtbl.replace table w (existing +. p))
+        words)
+    t.components;
+  table
+
+let word_prob t w =
+  let table =
+    match t.prob_index with
+    | Some table -> table
+    | None ->
+        let table = build_prob_index t in
+        t.prob_index <- Some table;
+        table
+  in
+  Option.value ~default:0.0 (Hashtbl.find_opt table w)

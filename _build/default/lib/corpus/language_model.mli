@@ -1,0 +1,45 @@
+(** Per-class unigram language models: a mixture of Zipf-distributed
+    draws over vocabulary categories.
+
+    Natural-language unigram frequencies are approximately Zipfian; what
+    the attacks exploit is the resulting long tail — every real message
+    contains rare tokens, and rare tokens are exactly the strong
+    discriminators a poisoned training set flips.  Head categories
+    (shared, class-specific, colloquial) use a steep exponent (1.1, the
+    classic natural-language fit); the rare tail uses a flat one (0.45)
+    so its mass spreads over many seldom-seen words. *)
+
+type t
+
+type component = {
+  words : string array;  (** Frequency-ranked: index 0 most frequent. *)
+  weight : float;  (** Mixture weight (normalized internally). *)
+  zipf_exponent : float;  (** Within-component rank decay. *)
+}
+
+val make : component list -> t
+(** @raise Invalid_argument on an empty list, an empty component, or a
+    non-positive weight/exponent. *)
+
+val ham : Vocabulary.t -> t
+(** shared 40% + ham-specific 10% + colloquial 7% + rare tail 43%. *)
+
+val spam : Vocabulary.t -> t
+(** shared 40% + spam-specific 22% + colloquial 2% + rare tail 38%.
+    Colloquial is strongly ham-skewed: people type slang and typos,
+    campaign templates mostly don't — the property that lets the Usenet
+    attack beat the dictionary attack (§4.2). *)
+
+val sample_word : t -> Spamlab_stats.Rng.t -> string
+
+val sample_words : t -> Spamlab_stats.Rng.t -> int -> string list
+
+val support : t -> string array
+(** Distinct words the model can emit, deduplicated and sorted.  The
+    support of the ham model is precisely the paper's "optimal attack"
+    word source (§3.4: include every word the victim's future mail may
+    contain). *)
+
+val word_prob : t -> string -> float
+(** Marginal probability of emitting the word on one draw; 0.0 if
+    outside the support.  O(1) after the first call. *)

@@ -1,0 +1,55 @@
+open Spamlab_stats
+
+type person = { display_name : string; address : Spamlab_email.Address.t }
+
+(* Name words come from a dedicated index range far above vocabulary and
+   filler ranges so names never collide with content words. *)
+let name_word rng =
+  String.capitalize_ascii (Wordgen.word (80_000_000 + Rng.int rng 1_000_000))
+
+let domains_for rng ~tld n =
+  Array.init n (fun _ ->
+      Wordgen.word (90_000_000 + Rng.int rng 1_000_000) ^ "." ^ tld)
+
+let pool rng ~domains n =
+  if n < 0 then invalid_arg "Persons.pool: negative size";
+  if Array.length domains = 0 then invalid_arg "Persons.pool: no domains";
+  let seen = Hashtbl.create (2 * n) in
+  let fresh_local first last =
+    let base = String.lowercase_ascii first ^ "." ^ String.lowercase_ascii last in
+    if Hashtbl.mem seen base then
+      base ^ string_of_int (Rng.int rng 1000)
+    else base
+  in
+  Array.init n (fun _ ->
+      let first = name_word rng in
+      let last = name_word rng in
+      let local = fresh_local first last in
+      Hashtbl.replace seen local ();
+      let domain = Rng.choose rng domains in
+      {
+        display_name = first ^ " " ^ last;
+        address =
+          Spamlab_email.Address.make
+            ~display_name:(first ^ " " ^ last)
+            ~local ~domain ();
+      })
+
+let months =
+  [| "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun"; "Jul"; "Aug"; "Sep"; "Oct";
+     "Nov"; "Dec" |]
+
+let days = [| "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat"; "Sun" |]
+
+let header_date rng =
+  Printf.sprintf "%s, %d %s 2005 %02d:%02d:%02d -0%d00"
+    (Rng.choose rng days)
+    (Rng.int_in rng 1 28)
+    (Rng.choose rng months)
+    (Rng.int rng 24) (Rng.int rng 60) (Rng.int rng 60)
+    (Rng.int_in rng 4 8)
+
+let message_id rng ~domain =
+  Printf.sprintf "<%d.%s@%s>" (Rng.int rng 1_000_000_000)
+    (Wordgen.word (Rng.int rng 100_000))
+    domain

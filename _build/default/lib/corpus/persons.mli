@@ -1,0 +1,21 @@
+(** Synthetic correspondents: display names and addresses for generated
+    mail.  A fixed pool per corpus means sender tokens recur across
+    messages — exactly like a real inbox, where sender features are
+    informative and survive body-level poisoning. *)
+
+type person = { display_name : string; address : Spamlab_email.Address.t }
+
+val pool :
+  Spamlab_stats.Rng.t -> domains:string array -> int -> person array
+(** [pool rng ~domains n] makes [n] distinct people across the given
+    domains.  @raise Invalid_argument if [n < 0] or [domains] is
+    empty. *)
+
+val domains_for : Spamlab_stats.Rng.t -> tld:string -> int -> string array
+(** [domains_for rng ~tld n] makes [n] synthetic domains like
+    ["kanube.com"]. *)
+
+val header_date : Spamlab_stats.Rng.t -> string
+(** A plausible RFC 2822 date string in 2005 (the TREC vintage). *)
+
+val message_id : Spamlab_stats.Rng.t -> domain:string -> string

@@ -1,0 +1,58 @@
+open Spamlab_stats
+module Label = Spamlab_spambayes.Label
+
+type labeled = Label.gold * Spamlab_email.Message.t
+
+let generate config rng ~size ~spam_fraction =
+  if size < 0 then invalid_arg "Trec.generate: negative size";
+  if spam_fraction < 0.0 || spam_fraction > 1.0 then
+    invalid_arg "Trec.generate: spam_fraction outside [0,1]";
+  let nspam =
+    int_of_float (Float.round (float_of_int size *. spam_fraction))
+  in
+  let messages =
+    Array.init size (fun i ->
+        if i < nspam then (Label.Spam, Generator.spam config rng)
+        else (Label.Ham, Generator.ham config rng))
+  in
+  Rng.shuffle rng messages;
+  messages
+
+let ham_only corpus =
+  Array.of_list
+    (List.filter_map
+       (fun (label, msg) -> if label = Label.Ham then Some msg else None)
+       (Array.to_list corpus))
+
+let spam_only corpus =
+  Array.of_list
+    (List.filter_map
+       (fun (label, msg) -> if label = Label.Spam then Some msg else None)
+       (Array.to_list corpus))
+
+let counts corpus =
+  Array.fold_left
+    (fun (ham, spam) (label, _) ->
+      match label with
+      | Label.Ham -> (ham + 1, spam)
+      | Label.Spam -> (ham, spam + 1))
+    (0, 0) corpus
+
+let to_mbox_files ~ham_path ~spam_path corpus =
+  Spamlab_email.Mbox.write_file ham_path
+    (Array.to_list (ham_only corpus));
+  Spamlab_email.Mbox.write_file spam_path
+    (Array.to_list (spam_only corpus))
+
+let of_mbox_files ~ham_path ~spam_path =
+  match
+    ( Spamlab_email.Mbox.read_file ham_path,
+      Spamlab_email.Mbox.read_file spam_path )
+  with
+  | Ok hams, Ok spams ->
+      Ok
+        (Array.append
+           (Array.of_list (List.map (fun m -> (Label.Ham, m)) hams))
+           (Array.of_list (List.map (fun m -> (Label.Spam, m)) spams)))
+  | Error e, _ -> Error ("ham mbox: " ^ e)
+  | _, Error e -> Error ("spam mbox: " ^ e)

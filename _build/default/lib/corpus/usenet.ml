@@ -1,0 +1,47 @@
+let default_total = 90_000
+let default_dictionary_overlap = 61_000
+
+(* Junk words come from an index range far above any dictionary filler
+   so they are guaranteed absent from the aspell list. *)
+let junk_offset = 2_000_000
+
+let half arr = Array.sub arr 0 (Array.length arr / 2)
+let ninth arr = Array.sub arr 0 (Array.length arr / 9)
+
+let ranked ?(total = default_total)
+    ?(dictionary_overlap = default_dictionary_overlap) (v : Vocabulary.t) =
+  if total <= 0 then invalid_arg "Usenet.ranked: total must be positive";
+  let covered_rare_standard = half v.Vocabulary.rare_standard in
+  let vocab_part =
+    Array.concat
+      [
+        v.Vocabulary.shared;
+        v.Vocabulary.colloquial;
+        v.Vocabulary.ham_specific;
+        v.Vocabulary.spam_specific;
+        covered_rare_standard;
+        ninth v.Vocabulary.rare_nonstandard;
+      ]
+  in
+  if total <= Array.length vocab_part then Array.sub vocab_part 0 total
+  else begin
+    let remaining = total - Array.length vocab_part in
+    (* Words shared with the dictionary beyond the email vocabulary:
+       aspell filler, counted toward the overlap target. *)
+    let in_dictionary_already =
+      Array.length (Vocabulary.standard_words v)
+      + Array.length covered_rare_standard
+    in
+    let dictionary_filler =
+      min remaining (max 0 (dictionary_overlap - in_dictionary_already))
+    in
+    let junk = remaining - dictionary_filler in
+    Array.concat
+      [
+        vocab_part;
+        Wordgen.words v.Vocabulary.filler_start dictionary_filler;
+        Wordgen.words (v.Vocabulary.filler_start + junk_offset) junk;
+      ]
+  end
+
+let top ranked n = Array.sub ranked 0 (min n (Array.length ranked))

@@ -1,0 +1,112 @@
+let consonants = "bcdfghjklmnpqrstvwxyz" (* 21 *)
+let vowels = "aeiou" (* 5 *)
+
+(* Words are alternating consonant-vowel strings starting with a
+   consonant: "bak", "bakelu", ...  Each length class is a positional
+   (mixed-radix) encoding, hence injective; distinct lengths cannot
+   collide.  Length classes from 3 to 8 characters. *)
+
+let class_size length =
+  (* Characters alternate c v c v ...; count combinations. *)
+  let rec go i acc =
+    if i >= length then acc
+    else go (i + 1) (acc * if i mod 2 = 0 then 21 else 5)
+  in
+  go 0 1
+
+let lengths = [ 3; 4; 5; 6; 7; 8 ]
+
+let cumulative =
+  (* (length, first_index, size) for each class. *)
+  let _, table =
+    List.fold_left
+      (fun (start, acc) len ->
+        let size = class_size len in
+        (start + size, (len, start, size) :: acc))
+      (0, []) lengths
+  in
+  List.rev table
+
+let max_injective_index =
+  List.fold_left (fun acc (_, _, size) -> acc + size) 0 cumulative
+
+let word i =
+  if i < 0 then invalid_arg "Wordgen.word: negative index";
+  let i = i mod max_injective_index in
+  let len, offset =
+    let rec find = function
+      | [] -> assert false
+      | (len, start, size) :: rest ->
+          if i < start + size then (len, i - start) else find rest
+    in
+    find cumulative
+  in
+  let bytes = Bytes.create len in
+  (* Fill from the last position backwards, peeling radix digits. *)
+  let rec fill pos remaining =
+    if pos < 0 then ()
+    else
+      let alphabet = if pos mod 2 = 0 then consonants else vowels in
+      let base = String.length alphabet in
+      Bytes.set bytes pos alphabet.[remaining mod base];
+      fill (pos - 1) (remaining / base)
+  in
+  fill (len - 1) offset;
+  Bytes.to_string bytes
+
+let words start count = Array.init count (fun i -> word (start + i))
+
+let misspell rng w =
+  let open Spamlab_stats in
+  let n = String.length w in
+  let double () =
+    if n >= 12 then None
+    else
+      let i = Rng.int rng n in
+      Some (String.sub w 0 (i + 1) ^ String.sub w i (n - i))
+  in
+  let drop () =
+    if n <= 3 then None
+    else
+      let i = Rng.int rng n in
+      Some (String.sub w 0 i ^ String.sub w (i + 1) (n - i - 1))
+  in
+  let transpose () =
+    if n < 4 then None
+    else
+      let i = Rng.int rng (n - 1) in
+      if w.[i] = w.[i + 1] then None
+      else
+        let b = Bytes.of_string w in
+        Bytes.set b i w.[i + 1];
+        Bytes.set b (i + 1) w.[i];
+        Some (Bytes.to_string b)
+  in
+  let vowel_swap () =
+    let positions =
+      List.filter
+        (fun i -> String.contains vowels w.[i])
+        (List.init n (fun i -> i))
+    in
+    match positions with
+    | [] -> None
+    | ps ->
+        let i = List.nth ps (Rng.int rng (List.length ps)) in
+        let replacement =
+          let c = vowels.[Rng.int rng (String.length vowels)] in
+          if c = w.[i] then vowels.[(String.index vowels c + 1) mod 5] else c
+        in
+        let b = Bytes.of_string w in
+        Bytes.set b i replacement;
+        Some (Bytes.to_string b)
+  in
+  let ops = [| double; drop; transpose; vowel_swap |] in
+  Rng.shuffle rng ops;
+  let rec try_ops i =
+    if i >= Array.length ops then w ^ "x" (* all ops degenerate; suffix *)
+    else
+      match ops.(i) () with
+      | Some w' when w' <> w && String.length w' >= 3 -> w'
+      | _ -> try_ops (i + 1)
+  in
+  try_ops 0

@@ -1,0 +1,27 @@
+(** Deterministic synthetic word generator.
+
+    The laboratory cannot ship the aspell dictionary or the Enron
+    vocabulary, so it builds its own: pronounceable English-like words
+    indexed by a single integer.  [word i] is a pure function — word
+    lists (dictionary, Usenet ranking, class vocabularies) are defined as
+    index ranges and never need to be stored or shipped.
+
+    Words are built from onset–vowel–coda syllables in a mixed-radix
+    encoding, 2–3 syllables long, and always land inside the SpamBayes
+    token length band (3–12 characters), so every generated word survives
+    tokenization unchanged. *)
+
+val word : int -> string
+(** [word i] for [i >= 0]; injective over at least [0, 10^8).
+    @raise Invalid_argument on negative input. *)
+
+val words : int -> int -> string array
+(** [words start count] = [| word start; ...; word (start+count-1) |]. *)
+
+val misspell : Spamlab_stats.Rng.t -> string -> string
+(** A plausible corruption — doubled letter, dropped letter, adjacent
+    transposition, or vowel swap — of a word.  Never returns the input
+    itself; always length ≥ 3. *)
+
+val max_injective_index : int
+(** Indices below this are guaranteed distinct. *)

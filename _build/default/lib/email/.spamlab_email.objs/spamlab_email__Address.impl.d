@@ -1,0 +1,1 @@
+lib/email/address.ml: List Printf Result String

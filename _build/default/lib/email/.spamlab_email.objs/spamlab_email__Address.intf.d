@@ -1,0 +1,1 @@
+lib/email/address.mli:

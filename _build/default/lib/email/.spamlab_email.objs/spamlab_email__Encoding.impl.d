@@ -1,0 +1,1 @@
+lib/email/encoding.ml: Buffer Char Printf String

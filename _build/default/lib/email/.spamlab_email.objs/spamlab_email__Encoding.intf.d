@@ -1,0 +1,1 @@
+lib/email/encoding.mli:

@@ -1,0 +1,1 @@
+lib/email/header.ml: List Option String

@@ -1,0 +1,1 @@
+lib/email/mbox.ml: Buffer Fun In_channel List Message Result Rfc2822 String

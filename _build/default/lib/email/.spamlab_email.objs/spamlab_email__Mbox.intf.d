@@ -1,0 +1,1 @@
+lib/email/mbox.mli: Message

@@ -1,0 +1,1 @@
+lib/email/message.ml: Address Header Result String

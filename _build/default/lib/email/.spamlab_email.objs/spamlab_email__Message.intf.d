@@ -1,0 +1,1 @@
+lib/email/message.mli: Address Header

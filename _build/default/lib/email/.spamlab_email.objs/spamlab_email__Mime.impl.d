@@ -1,0 +1,1 @@
+lib/email/mime.ml: Encoding Header List Message Option Printf Rfc2822 String

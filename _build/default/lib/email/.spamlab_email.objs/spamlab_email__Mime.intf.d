@@ -1,0 +1,1 @@
+lib/email/mime.mli: Header Message

@@ -1,0 +1,1 @@
+lib/email/rfc2822.ml: Buffer Header List Message Printf Result String

@@ -1,0 +1,1 @@
+lib/email/rfc2822.mli: Message

@@ -1,0 +1,52 @@
+type t = (string * string) list
+(* Stored in field order; names keep their original spelling, lookups
+   normalize. *)
+
+let normalize = String.lowercase_ascii
+
+let empty = []
+
+let of_list fields = fields
+
+let to_list t = t
+
+let add t name value = t @ [ (name, value) ]
+
+let find t name =
+  let key = normalize name in
+  List.find_map
+    (fun (n, v) -> if normalize n = key then Some v else None)
+    t
+
+let find_all t name =
+  let key = normalize name in
+  List.filter_map
+    (fun (n, v) -> if normalize n = key then Some v else None)
+    t
+
+let mem t name = Option.is_some (find t name)
+
+let remove t name =
+  let key = normalize name in
+  List.filter (fun (n, _) -> normalize n <> key) t
+
+let replace t name value = add (remove t name) name value
+
+let length = List.length
+
+let is_empty t = t = []
+
+let iter f t = List.iter (fun (n, v) -> f n v) t
+
+let fold f init t = List.fold_left (fun acc (n, v) -> f acc n v) init t
+
+let canonical_name name =
+  String.concat "-"
+    (List.map String.capitalize_ascii
+       (String.split_on_char '-' (normalize name)))
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> normalize n1 = normalize n2 && v1 = v2)
+       a b

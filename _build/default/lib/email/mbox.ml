@@ -1,0 +1,91 @@
+let separator = "From spamlab@localhost Thu Jan  1 00:00:00 1970"
+
+let is_separator line =
+  String.length line >= 5 && String.sub line 0 5 = "From "
+
+(* A line needing quoting is any number of '>' followed by "From ". *)
+let needs_quoting line =
+  let n = String.length line in
+  let rec skip i = if i < n && line.[i] = '>' then skip (i + 1) else i in
+  let i = skip 0 in
+  n - i >= 5 && String.sub line i 5 = "From "
+
+let quote_body body =
+  String.split_on_char '\n' body
+  |> List.map (fun line -> if needs_quoting line then ">" ^ line else line)
+  |> String.concat "\n"
+
+let unquote_body body =
+  String.split_on_char '\n' body
+  |> List.map (fun line ->
+         if String.length line > 0 && line.[0] = '>' && needs_quoting line
+         then String.sub line 1 (String.length line - 1)
+         else line)
+  |> String.concat "\n"
+
+let print messages =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun msg ->
+      Buffer.add_string buffer separator;
+      Buffer.add_char buffer '\n';
+      let quoted = Message.with_body msg (quote_body (Message.body msg)) in
+      Buffer.add_string buffer (Rfc2822.print quoted);
+      Buffer.add_char buffer '\n')
+    messages;
+  Buffer.contents buffer
+
+let parse text =
+  if String.trim text = "" then Ok []
+  else
+    let lines = String.split_on_char '\n' text in
+    (* Group lines into chunks delimited by separator lines. *)
+    let rec group current chunks = function
+      | [] ->
+          let chunks =
+            if current = [] then chunks else List.rev current :: chunks
+          in
+          List.rev chunks
+      | line :: rest ->
+          if is_separator line then
+            let chunks =
+              if current = [] then chunks else List.rev current :: chunks
+            in
+            group [] chunks rest
+          else group (line :: current) chunks rest
+    in
+    match group [] [] lines with
+    | [] -> Error "mbox: no message separator found"
+    | chunks ->
+        let parse_chunk chunk =
+          (* Drop the trailing blank line print added after each body. *)
+          let chunk =
+            match List.rev chunk with
+            | "" :: rest -> List.rev rest
+            | _ -> chunk
+          in
+          Result.map
+            (fun msg ->
+              Message.with_body msg (unquote_body (Message.body msg)))
+            (Rfc2822.parse (String.concat "\n" chunk))
+        in
+        let rec all acc = function
+          | [] -> Ok (List.rev acc)
+          | chunk :: rest -> (
+              match parse_chunk chunk with
+              | Ok m -> all (m :: acc) rest
+              | Error e -> Error e)
+        in
+        all [] chunks
+
+let write_file path messages =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print messages))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))

@@ -1,0 +1,27 @@
+type t = { headers : Header.t; body : string }
+
+let make ?(headers = Header.empty) body = { headers; body }
+
+let headers t = t.headers
+let body t = t.body
+
+let subject t = Header.find t.headers "subject"
+
+let address_of_field t name =
+  match Header.find t.headers name with
+  | None -> None
+  | Some v -> Result.to_option (Address.of_string v)
+
+let from_address t = address_of_field t "from"
+let to_address t = address_of_field t "to"
+
+let with_headers t headers = { t with headers }
+let with_body t body = { t with body }
+
+let size_bytes t =
+  Header.fold
+    (fun acc n v -> acc + String.length n + 2 + String.length v + 2)
+    (2 + String.length t.body)
+    t.headers
+
+let equal a b = Header.equal a.headers b.headers && a.body = b.body

@@ -1,0 +1,27 @@
+(** An email message: headers plus a plain-text body.
+
+    This is the unit the corpus generator produces, the tokenizer
+    consumes, and the attacks construct.  The model is single-part
+    plain text — the TREC-style evaluation and every attack in the paper
+    operate on token streams, so MIME multipart adds nothing here. *)
+
+type t = { headers : Header.t; body : string }
+
+val make : ?headers:Header.t -> string -> t
+(** [make body] with optionally supplied headers (default none — the
+    paper's non-focused attack emails carry an empty header). *)
+
+val headers : t -> Header.t
+val body : t -> string
+
+val subject : t -> string option
+val from_address : t -> Address.t option
+val to_address : t -> Address.t option
+
+val with_headers : t -> Header.t -> t
+val with_body : t -> string -> t
+
+val size_bytes : t -> int
+(** Serialized size (headers + separator + body). *)
+
+val equal : t -> t -> bool

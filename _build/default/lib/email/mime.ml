@@ -1,0 +1,196 @@
+type content_type = {
+  media_type : string;
+  subtype : string;
+  parameters : (string * string) list;
+}
+
+let text_plain = { media_type = "text"; subtype = "plain"; parameters = [] }
+
+let unquote v =
+  let n = String.length v in
+  if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then String.sub v 1 (n - 2)
+  else v
+
+let content_type_of_string s =
+  match String.split_on_char ';' s with
+  | [] -> Error "empty content type"
+  | main :: params -> (
+      match String.split_on_char '/' (String.trim main) with
+      | [ media_type; subtype ] when media_type <> "" && subtype <> "" ->
+          let parameters =
+            List.filter_map
+              (fun p ->
+                match String.index_opt p '=' with
+                | None -> None
+                | Some i ->
+                    let name =
+                      String.lowercase_ascii (String.trim (String.sub p 0 i))
+                    in
+                    let value =
+                      unquote
+                        (String.trim
+                           (String.sub p (i + 1) (String.length p - i - 1)))
+                    in
+                    if name = "" then None else Some (name, value))
+              params
+          in
+          Ok
+            {
+              media_type = String.lowercase_ascii media_type;
+              subtype = String.lowercase_ascii subtype;
+              parameters;
+            }
+      | _ -> Error (Printf.sprintf "malformed content type %S" s))
+
+let content_type_to_string t =
+  let params =
+    String.concat ""
+      (List.map (fun (n, v) -> Printf.sprintf "; %s=%s" n v) t.parameters)
+  in
+  Printf.sprintf "%s/%s%s" t.media_type t.subtype params
+
+let content_type msg =
+  match Header.find (Message.headers msg) "content-type" with
+  | None -> text_plain
+  | Some v -> (
+      match content_type_of_string v with
+      | Ok t -> t
+      | Error _ -> text_plain)
+
+let parameter t name =
+  List.assoc_opt (String.lowercase_ascii name) t.parameters
+
+let decoded_body msg =
+  let body = Message.body msg in
+  match Header.find (Message.headers msg) "content-transfer-encoding" with
+  | None -> body
+  | Some encoding -> (
+      match String.lowercase_ascii (String.trim encoding) with
+      | "base64" -> (
+          match Encoding.base64_decode body with
+          | Ok decoded -> decoded
+          | Error _ -> body)
+      | "quoted-printable" -> (
+          match Encoding.quoted_printable_decode body with
+          | Ok decoded -> decoded
+          | Error _ -> body)
+      | _ -> body)
+
+(* Multipart splitting: parts are delimited by lines "--boundary", the
+   whole thing terminated by "--boundary--".  The preamble (before the
+   first delimiter) and epilogue are discarded per RFC 2046. *)
+let parts msg =
+  let ct = content_type msg in
+  if ct.media_type <> "multipart" then None
+  else
+    match parameter ct "boundary" with
+    | None | Some "" -> None
+    | Some boundary ->
+        let delimiter = "--" ^ boundary in
+        let terminator = delimiter ^ "--" in
+        let lines = String.split_on_char '\n' (Message.body msg) in
+        let flush chunks current =
+          match current with
+          | None -> chunks
+          | Some lines -> List.rev lines :: chunks
+        in
+        let rec scan chunks current = function
+          | [] -> List.rev (flush chunks current)
+          | line :: rest ->
+              let trimmed = String.trim line in
+              if trimmed = terminator then List.rev (flush chunks current)
+              else if trimmed = delimiter then
+                scan (flush chunks current) (Some []) rest
+              else
+                let current =
+                  Option.map (fun ls -> line :: ls) current
+                in
+                scan chunks current rest
+        in
+        let chunks = scan [] None lines in
+        let parse_part chunk =
+          match Rfc2822.parse (String.concat "\n" chunk) with
+          | Ok part -> Some part
+          | Error _ -> None
+        in
+        let parsed = List.filter_map parse_part chunks in
+        if parsed = [] then None else Some parsed
+
+type text_kind = Plain | Html
+
+let max_depth = 4
+
+let rec collect_text depth msg =
+  if depth > max_depth then []
+  else
+    let ct = content_type msg in
+    match (ct.media_type, parts msg) with
+    | "multipart", Some subparts ->
+        List.concat_map (collect_text (depth + 1)) subparts
+    | "text", _ -> (
+        let body = decoded_body msg in
+        match ct.subtype with
+        | "html" -> [ (Html, body) ]
+        | _ -> [ (Plain, body) ])
+    | "multipart", None ->
+        (* Claimed multipart but unsplittable: degrade to plain text. *)
+        [ (Plain, Message.body msg) ]
+    | _ -> []
+
+let text_content msg =
+  match collect_text 0 msg with
+  | [] ->
+      (* Non-text leaf at the top level (or empty multipart): the filter
+         still tokenizes whatever bytes are there. *)
+      [ (Plain, decoded_body msg) ]
+  | chunks -> chunks
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+
+let make_html ?(headers = Header.empty) body =
+  Message.make
+    ~headers:(Header.replace headers "Content-Type" "text/html; charset=us-ascii")
+    body
+
+let with_base64_transfer msg =
+  let headers =
+    Header.replace (Message.headers msg) "Content-Transfer-Encoding" "base64"
+  in
+  Message.make ~headers (Encoding.base64_encode (Message.body msg))
+
+let with_quoted_printable_transfer msg =
+  let headers =
+    Header.replace (Message.headers msg) "Content-Transfer-Encoding"
+      "quoted-printable"
+  in
+  Message.make ~headers (Encoding.quoted_printable_encode (Message.body msg))
+
+let contains_substring haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec scan i =
+    if i + m > n then false
+    else if String.sub haystack i m = needle then true
+    else scan (i + 1)
+  in
+  m = 0 || scan 0
+
+let make_multipart ?(headers = Header.empty) ~boundary parts_list =
+  if boundary = "" then invalid_arg "Mime.make_multipart: empty boundary";
+  let rendered = List.map Rfc2822.print parts_list in
+  List.iter
+    (fun body ->
+      if contains_substring body ("--" ^ boundary) then
+        invalid_arg "Mime.make_multipart: boundary occurs in a part")
+    rendered;
+  let delimiter = "--" ^ boundary in
+  let body =
+    String.concat "\n"
+      (List.concat_map (fun part -> [ delimiter; part ]) rendered
+      @ [ delimiter ^ "--"; "" ])
+  in
+  Message.make
+    ~headers:
+      (Header.replace headers "Content-Type"
+         (Printf.sprintf "multipart/mixed; boundary=\"%s\"" boundary))
+    body

@@ -1,0 +1,65 @@
+(** A small MIME layer: content types, transfer-encoding decoding, and
+    multipart traversal — enough to extract the textual content a spam
+    filter must tokenize from the mail people actually receive (HTML
+    bodies, base64-obfuscated payloads, multipart/alternative).
+
+    The model stays deliberately shallow: no nested message/rfc822
+    recursion beyond a fixed depth, no charset conversion (the
+    tokenizer is byte-oriented, as SpamBayes' effectively was). *)
+
+type content_type = {
+  media_type : string;  (** Lowercased, e.g. ["text"]. *)
+  subtype : string;  (** Lowercased, e.g. ["html"]. *)
+  parameters : (string * string) list;
+      (** Lowercased names; values unquoted. *)
+}
+
+val content_type_of_string : string -> (content_type, string) result
+(** Parses ["text/html; charset=utf-8; boundary=\"b\""]. *)
+
+val content_type_to_string : content_type -> string
+
+val content_type : Message.t -> content_type
+(** The message's Content-Type header, defaulting to text/plain when
+    absent or malformed (RFC 2045 §5.2). *)
+
+val parameter : content_type -> string -> string option
+
+val decoded_body : Message.t -> string
+(** The body after reversing the Content-Transfer-Encoding (base64 and
+    quoted-printable; anything else passes through, as do decode
+    errors — garbage in, garbage tokens out, never an exception). *)
+
+val parts : Message.t -> Message.t list option
+(** For multipart/* messages with a boundary parameter: the parts, each
+    parsed as a message (headers + body).  [None] when the message is
+    not multipart or the boundary is missing/unfindable. *)
+
+type text_kind = Plain | Html
+
+val text_content : Message.t -> (text_kind * string) list
+(** Every textual leaf of the message, transfer-decoded, in document
+    order, recursing through nested multiparts (depth ≤ 4):
+    - a non-MIME or text/plain message yields its (decoded) body;
+    - text/html yields [Html] chunks (tokenizers strip the tags);
+    - non-text leaves are skipped.
+
+    Never empty for a message with a non-empty body: unparseable
+    structure degrades to treating the raw body as plain text. *)
+
+(* Builders, used by the corpus generator. *)
+
+val make_html :
+  ?headers:Header.t -> string -> Message.t
+(** Wrap an HTML body with the proper Content-Type. *)
+
+val with_base64_transfer : Message.t -> Message.t
+(** Re-encode the body as base64 and set Content-Transfer-Encoding. *)
+
+val with_quoted_printable_transfer : Message.t -> Message.t
+
+val make_multipart :
+  ?headers:Header.t -> boundary:string -> Message.t list -> Message.t
+(** Assemble multipart/mixed from parts.  @raise Invalid_argument on an
+    empty boundary or a boundary occurring in a part's serialized
+    form. *)

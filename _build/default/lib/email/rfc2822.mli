@@ -1,0 +1,15 @@
+(** Serialization of {!Message.t} to and from RFC 2822-style wire text:
+    header fields, a blank line, then the body.  Handles folded
+    (continuation) header lines and both LF and CRLF input. *)
+
+val print : Message.t -> string
+(** Wire form with LF line endings.  Header values containing newlines
+    are folded with a leading tab. *)
+
+val parse : string -> (Message.t, string) result
+(** Inverse of {!print} up to folding: folded header lines are unfolded
+    with a single space.  A message with no blank line is all headers if
+    every line looks like a field, otherwise an error. *)
+
+val parse_exn : string -> Message.t
+(** @raise Failure on malformed input. *)

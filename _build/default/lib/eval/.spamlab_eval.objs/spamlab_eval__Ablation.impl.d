@@ -1,0 +1,1 @@
+lib/eval/ablation.ml: Array Confusion Lab List Plot Poison Printf Rng Spamlab_core Spamlab_corpus Spamlab_spambayes Spamlab_stats Table

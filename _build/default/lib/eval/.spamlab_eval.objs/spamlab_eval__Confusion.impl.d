@@ -1,0 +1,1 @@
+lib/eval/confusion.ml: Array Format Spamlab_spambayes

@@ -1,0 +1,1 @@
+lib/eval/confusion.mli: Format Spamlab_spambayes

@@ -1,0 +1,1 @@
+lib/eval/dictionary_exp.ml: Array Confusion Hashtbl Lab List Params Plot Poison Printf Spamlab_core Spamlab_corpus Spamlab_spambayes Spamlab_stats Table

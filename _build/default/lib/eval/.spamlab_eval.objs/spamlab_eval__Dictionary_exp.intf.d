@@ -1,0 +1,1 @@
+lib/eval/dictionary_exp.mli: Lab Params

@@ -1,0 +1,1 @@
+lib/eval/extension_exp.ml: Array Confusion Lab List Poison Printf Rng Spamlab_core Spamlab_corpus Spamlab_email Spamlab_spambayes Spamlab_stats Spamlab_tokenizer Summary Table

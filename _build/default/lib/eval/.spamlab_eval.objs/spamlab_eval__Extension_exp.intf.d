@@ -1,0 +1,1 @@
+lib/eval/extension_exp.mli: Lab

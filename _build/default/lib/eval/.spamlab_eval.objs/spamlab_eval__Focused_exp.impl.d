@@ -1,0 +1,1 @@
+lib/eval/focused_exp.ml: Array Hashtbl Histogram Lab List Params Plot Poison Printf Spamlab_core Spamlab_corpus Spamlab_email Spamlab_spambayes Spamlab_stats String Summary Table

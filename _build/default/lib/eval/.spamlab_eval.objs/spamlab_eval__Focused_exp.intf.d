@@ -1,0 +1,1 @@
+lib/eval/focused_exp.mli: Lab Params Spamlab_spambayes

@@ -1,0 +1,1 @@
+lib/eval/lab.ml: Rng Spamlab_corpus Spamlab_stats Spamlab_tokenizer

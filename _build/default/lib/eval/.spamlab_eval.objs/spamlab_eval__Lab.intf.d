@@ -1,0 +1,1 @@
+lib/eval/lab.mli: Spamlab_corpus Spamlab_stats Spamlab_tokenizer

@@ -1,0 +1,1 @@
+lib/eval/params.ml: Float List Printf Spamlab_corpus String Table

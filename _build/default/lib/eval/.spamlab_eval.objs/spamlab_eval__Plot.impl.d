@@ -1,0 +1,1 @@
+lib/eval/plot.ml: Array Buffer Bytes Float List Printf String

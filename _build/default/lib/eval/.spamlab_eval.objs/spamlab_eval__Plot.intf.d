@@ -1,0 +1,1 @@
+lib/eval/plot.mli:

@@ -1,0 +1,1 @@
+lib/eval/poison.ml: Array Confusion Float Spamlab_corpus Spamlab_spambayes

@@ -1,0 +1,1 @@
+lib/eval/poison.mli: Confusion Spamlab_corpus Spamlab_spambayes Spamlab_tokenizer

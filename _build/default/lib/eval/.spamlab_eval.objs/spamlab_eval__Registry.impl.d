@@ -1,0 +1,1 @@
+lib/eval/registry.ml: Ablation Dictionary_exp Extension_exp Focused_exp Lab List Params Roni_exp Spamlab_corpus Threshold_exp Timeline_exp

@@ -1,0 +1,1 @@
+lib/eval/roni_exp.ml: Array Float Lab List Params Printf Spamlab_core Spamlab_corpus Spamlab_stats Spamlab_tokenizer Summary Table

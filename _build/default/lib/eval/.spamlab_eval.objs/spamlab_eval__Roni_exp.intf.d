@@ -1,0 +1,1 @@
+lib/eval/roni_exp.mli: Lab Params

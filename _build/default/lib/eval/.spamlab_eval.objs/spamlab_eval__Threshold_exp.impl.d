@@ -1,0 +1,1 @@
+lib/eval/threshold_exp.ml: Array Confusion Hashtbl Lab List Params Plot Poison Printf Spamlab_core Spamlab_corpus Spamlab_spambayes Table

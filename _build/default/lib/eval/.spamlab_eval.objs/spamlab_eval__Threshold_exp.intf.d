@@ -1,0 +1,1 @@
+lib/eval/threshold_exp.mli: Lab Params

@@ -1,0 +1,1 @@
+lib/eval/timeline_exp.ml: Array Lab List Plot Spamlab_core Spamlab_corpus Spamlab_spambayes Spamlab_stats Table

@@ -1,0 +1,1 @@
+lib/eval/timeline_exp.mli: Lab

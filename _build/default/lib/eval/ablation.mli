@@ -1,0 +1,32 @@
+(** Ablations of the design choices DESIGN.md calls out: how the
+    learner's own knobs change its vulnerability.
+
+    Each sweep trains on one corpus, injects the Usenet dictionary
+    attack at 1% control, and reports clean accuracy next to
+    under-attack ham damage for each setting. *)
+
+type row = {
+  setting : string;
+  clean_ham_misclassified : float;  (** Percent, no attack. *)
+  clean_spam_misclassified : float;
+  attacked_ham_as_spam : float;  (** Percent, 1% Usenet attack. *)
+  attacked_ham_misclassified : float;
+}
+
+val discriminator_sweep : Lab.t -> row list
+(** |δ(E)| cap ∈ {10, 50, 150, 300}. *)
+
+val band_sweep : Lab.t -> row list
+(** Minimum |f−0.5| strength ∈ {0, 0.05, 0.1, 0.2}. *)
+
+val smoothing_sweep : Lab.t -> row list
+(** Robinson prior strength s ∈ {0.045, 0.45, 4.5, 45}. *)
+
+val coverage_sweep : Lab.t -> (float * float * float) list
+(** The §3.4 constrained-attacker interpolation: the attacker knows a
+    random fraction c of the victim's ham vocabulary (filler pads the
+    word list to constant size).  Returns (c, ham→spam %, ham
+    misclassified %) at 1% control — dictionary → optimal as c → 1. *)
+
+val render_rows : title:string -> row list -> string
+val render_coverage : (float * float * float) list -> string

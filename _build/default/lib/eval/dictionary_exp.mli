@@ -1,0 +1,39 @@
+(** Figure 1 — dictionary attacks as a function of training-set control
+    (§4.2) — plus the §4.2 token-volume statistic.
+
+    Three variants (optimal, Usenet top-N, aspell) are injected at each
+    attack fraction into every cross-validation fold; the output series
+    report the percentage of test ham classified as spam, and as spam or
+    unsure, averaged over folds. *)
+
+type point = {
+  fraction : float;
+  attack_emails : int;  (** Count injected per fold. *)
+  ham_as_spam : float;  (** Percent. *)
+  ham_misclassified : float;  (** Ham as spam or unsure, percent. *)
+  ham_misclassified_sd : float;
+      (** Per-fold standard deviation of that rate — the error bars the
+          paper omits "since variation was small" (§4.1). *)
+  spam_as_ham : float;
+  spam_as_unsure : float;
+}
+
+type series = { variant : string; points : point list }
+
+type result = {
+  series : series list;
+  aspell_usenet_overlap : int;
+  aspell_words : int;
+  usenet_words : int;
+}
+
+val run : Lab.t -> Params.dictionary -> result
+(** Deterministic given the lab's seed. *)
+
+val token_volume : Lab.t -> Params.dictionary -> fraction:float -> string
+(** The §4.2 accounting: attack-token mass relative to the clean
+    corpus at the given attack fraction (the paper quotes ≈6.4× for
+    Usenet and ≈7× for aspell at 2%). *)
+
+val render : result -> string
+(** Table plus ASCII chart in the shape of Figure 1. *)

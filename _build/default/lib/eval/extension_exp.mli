@@ -1,0 +1,98 @@
+(** Extensions beyond the paper's evaluation: the attack variants its
+    discussion sections raise but do not measure.
+
+    - {!pseudospam}: the ham-labeled Causative Integrity attack of §2.2
+      ("using ham-labeled attack emails could enable more powerful
+      attacks that place spam in a user's inbox");
+    - {!good_word}: the Exploratory Integrity baseline of the related
+      work (§6, Lowd–Meek / Wittel–Wu) for contrast with the Causative
+      attacks;
+    - {!roni_sweep}: the larger RONI parameter study §5.1 announces as
+      future work. *)
+
+type pseudospam_point = {
+  attack_fraction : float;
+  campaign_spam_as_ham : float;  (** Percent of the future campaign
+                                     delivered to the inbox. *)
+  campaign_spam_missed : float;  (** Ham or unsure, percent. *)
+  other_spam_missed : float;  (** Collateral on unrelated spam. *)
+  ham_damage : float;  (** Ham misclassified, percent (should stay 0). *)
+}
+
+val pseudospam : Lab.t -> pseudospam_point list
+val render_pseudospam : pseudospam_point list -> string
+
+type good_word_point = {
+  words_budget : int;
+  evasion_rate : float;  (** Percent of test spam reaching ham or unsure. *)
+  as_ham_rate : float;  (** Percent reaching ham proper. *)
+  mean_words_used : float;
+}
+
+val good_word : Lab.t -> good_word_point list
+val render_good_word : good_word_point list -> string
+
+type tokenizer_point = {
+  tokenizer_name : string;
+  clean_ham_misclassified : float;  (** Percent. *)
+  clean_spam_misclassified : float;
+  attacked_ham_as_spam : float;  (** 1% Usenet attack. *)
+  attacked_ham_misclassified : float;
+}
+
+val tokenizer_comparison : Lab.t -> tokenizer_point list
+(** The paper's conclusion (§7) predicts the attacks transfer to
+    BogoFilter and SpamAssassin's Bayes component, whose learners match
+    SpamBayes and differ only in tokenization (§1 fn. 1).  Same corpus,
+    same attack, three tokenizers. *)
+
+val render_tokenizer_comparison : tokenizer_point list -> string
+
+type stealth_point = {
+  chunk_size : int;  (** Words per attack email; the full list when equal
+                         to the list size. *)
+  attack_emails : int;  (** Messages sent (token budget held constant). *)
+  email_size_percentile : float;
+      (** Where one attack email's token count sits among corpus message
+          sizes (100 = bigger than everything). *)
+  flagged_by_size_filter : float;
+      (** Percent of attack emails a p99-size screen would catch. *)
+  roni_detection : float;
+      (** Percent of sampled attack emails RONI still rejects. *)
+  ham_misclassified : float;  (** Damage at the fixed token budget. *)
+}
+
+val stealth : Lab.t -> stealth_point list
+(** The §2.2/§4.2 arms race: split the Usenet dictionary attack into
+    ever smaller emails at a constant total token budget.  Splitting
+    defeats naive size screening; the question is what it does to damage
+    and to RONI. *)
+
+val render_stealth : stealth_point list -> string
+
+type budget_point = {
+  budget : int;  (** Words per attack email. *)
+  source : string;  (** Where the attacker's word list came from. *)
+  ham_as_spam : float;  (** Percent, at 1% training-set control. *)
+  ham_misclassified : float;
+}
+
+val information_value : Lab.t -> budget_point list
+(** The §3.4 constrained-attack study: at equal word budgets, compare
+    attacks built from perfect distributional knowledge
+    ({!Spamlab_core.Informed_attack.of_language_model}), from
+    frequencies estimated off 200 observed victim messages, from the
+    Usenet ranking, and from the dictionary.  More accurate knowledge
+    of p should dominate at every budget. *)
+
+val render_information_value : budget_point list -> string
+
+type roni_cell = {
+  validation_size : int;
+  threshold : float;
+  detection_rate : float;  (** Percent of attack emails rejected. *)
+  false_positive_rate : float;  (** Percent of benign spam rejected. *)
+}
+
+val roni_sweep : Lab.t -> roni_cell list
+val render_roni_sweep : roni_cell list -> string

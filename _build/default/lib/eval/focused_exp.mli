@@ -1,0 +1,40 @@
+(** Figures 2–4 — the focused attack (§4.3).
+
+    Each repetition samples a fresh clean inbox and a set of target ham
+    emails.  For every target, a focused attack is crafted (guessing
+    each target word with probability p), trained into a copy of the
+    inbox-trained filter, and the target is then classified. *)
+
+type outcome = { ham_pct : float; unsure_pct : float; spam_pct : float }
+
+val probability_sweep : Lab.t -> Params.focused -> (float * outcome) list
+(** Figure 2: attack effectiveness vs. guess probability, at the fixed
+    attack size [params.attack_count]. *)
+
+val volume_sweep : Lab.t -> Params.focused -> (float * outcome) list
+(** Figure 3: effectiveness vs. attack volume (fraction of the training
+    set), at fixed p = [params.fixed_probability]. *)
+
+type token_shift = {
+  token : string;
+  before : float;  (** f(w) prior to the attack. *)
+  after : float;
+  included : bool;  (** Whether the attacker guessed this token. *)
+}
+
+type shift_report = {
+  target_verdict_before : Spamlab_spambayes.Label.verdict;
+  target_verdict_after : Spamlab_spambayes.Label.verdict;
+  indicator_before : float;
+  indicator_after : float;
+  shifts : token_shift list;
+}
+
+val token_shifts : Lab.t -> Params.focused -> shift_report list
+(** Figure 4: per-token before/after scores for three representative
+    targets — ideally one ending spam, one unsure, one ham (fewer if a
+    class never occurs). *)
+
+val render_probability_sweep : (float * outcome) list -> string
+val render_volume_sweep : (float * outcome) list -> string
+val render_token_shifts : shift_report list -> string

@@ -1,0 +1,52 @@
+open Spamlab_stats
+module Corpus = Spamlab_corpus
+
+type t = {
+  seed : int;
+  scale : float;
+  config : Corpus.Generator.config;
+  tokenizer : Spamlab_tokenizer.Tokenizer.t;
+  root : Rng.t;
+  mutable usenet_full : string array option;
+}
+
+let create ?(seed = 42) ?(scale = 1.0) () =
+  {
+    seed;
+    scale;
+    config = Corpus.Generator.default_config ~seed ();
+    tokenizer = Spamlab_tokenizer.Tokenizer.spambayes;
+    root = Rng.create seed;
+    usenet_full = None;
+  }
+
+let seed t = t.seed
+let scale t = t.scale
+let config t = t.config
+let tokenizer t = t.tokenizer
+
+let rng t name = Rng.split_named t.root name
+
+let vocabulary t = t.config.Corpus.Generator.vocabulary
+
+let aspell t ~size = Corpus.Dictionary.aspell ~size (vocabulary t)
+
+let usenet_full t =
+  match t.usenet_full with
+  | Some words -> words
+  | None ->
+      let words = Corpus.Usenet.ranked (vocabulary t) in
+      t.usenet_full <- Some words;
+      words
+
+let usenet_top t ~size = Corpus.Usenet.top (usenet_full t) size
+
+let optimal_words t =
+  Corpus.Language_model.support t.config.Corpus.Generator.ham_model
+
+let corpus_messages t rng ~size ~spam_fraction =
+  Corpus.Trec.generate t.config rng ~size ~spam_fraction
+
+let corpus t rng ~size ~spam_fraction =
+  Corpus.Dataset.of_labeled t.tokenizer
+    (corpus_messages t rng ~size ~spam_fraction)

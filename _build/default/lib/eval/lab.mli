@@ -1,0 +1,32 @@
+(** Shared experimental setup: one laboratory instance fixes the seed,
+    the generative corpus (vocabulary, language models, correspondent
+    pools) and the tokenizer, and lazily derives the attacker word
+    sources from the same vocabulary — so every experiment in a run
+    attacks the same simulated world. *)
+
+type t
+
+val create : ?seed:int -> ?scale:float -> unit -> t
+(** Default seed 42, scale 1.0 (paper sizes — see {!Params}). *)
+
+val seed : t -> int
+val scale : t -> float
+val config : t -> Spamlab_corpus.Generator.config
+val tokenizer : t -> Spamlab_tokenizer.Tokenizer.t
+
+val rng : t -> string -> Spamlab_stats.Rng.t
+(** Named independent stream (see {!Spamlab_stats.Rng.split_named}). *)
+
+val aspell : t -> size:int -> string array
+val usenet_top : t -> size:int -> string array
+val optimal_words : t -> string array
+(** Support of the ham language model — the §3.4 optimal word source. *)
+
+val corpus :
+  t -> Spamlab_stats.Rng.t -> size:int -> spam_fraction:float ->
+  Spamlab_corpus.Dataset.example array
+(** Generate and tokenize a fresh labeled inbox. *)
+
+val corpus_messages :
+  t -> Spamlab_stats.Rng.t -> size:int -> spam_fraction:float ->
+  Spamlab_corpus.Trec.labeled array

@@ -1,0 +1,112 @@
+type dictionary = {
+  train_size : int;
+  spam_prevalence : float;
+  attack_fractions : float list;
+  folds : int;
+  dictionary_size : int;
+  usenet_size : int;
+}
+
+type focused = {
+  inbox_size : int;
+  spam_prevalence : float;
+  attack_count : int;
+  guess_probabilities : float list;
+  fractions : float list;
+  fixed_probability : float;
+  targets : int;
+  repetitions : int;
+}
+
+type roni = {
+  pool_size : int;
+  train_size : int;
+  validation_size : int;
+  trials : int;
+  non_attack_queries : int;
+  attack_repetitions : int;
+}
+
+type threshold = {
+  train_size : int;
+  spam_prevalence : float;
+  attack_fractions : float list;
+  folds : int;
+  quantiles : float list;
+}
+
+let scaled scale minimum value =
+  max minimum (int_of_float (Float.round (scale *. float_of_int value)))
+
+let dictionary ?(scale = 1.0) () =
+  {
+    train_size = scaled scale 200 10_000;
+    spam_prevalence = 0.50;
+    attack_fractions = [ 0.0; 0.001; 0.005; 0.01; 0.02; 0.05; 0.10 ];
+    folds = scaled (Float.min 1.0 scale) 3 10;
+    dictionary_size = scaled scale 20_000 Spamlab_corpus.Dictionary.aspell_size;
+    usenet_size = scaled scale 19_000 Spamlab_corpus.Usenet.default_total;
+  }
+
+let focused ?(scale = 1.0) () =
+  {
+    inbox_size = scaled scale 200 5_000;
+    spam_prevalence = 0.50;
+    attack_count = scaled scale 20 300;
+    guess_probabilities = [ 0.1; 0.3; 0.5; 0.9 ];
+    fractions = [ 0.0; 0.01; 0.02; 0.03; 0.04; 0.05; 0.06; 0.08; 0.10 ];
+    fixed_probability = 0.5;
+    targets = scaled (Float.min 1.0 scale) 5 20;
+    repetitions = scaled (Float.min 1.0 scale) 2 5;
+  }
+
+let roni ?(scale = 1.0) () =
+  {
+    pool_size = scaled scale 200 1_000;
+    train_size = 20;
+    validation_size = 50;
+    trials = 5;
+    non_attack_queries = scaled (Float.min 1.0 scale) 20 120;
+    attack_repetitions = scaled (Float.min 1.0 scale) 3 15;
+  }
+
+let threshold ?(scale = 1.0) () =
+  {
+    train_size = scaled scale 200 10_000;
+    spam_prevalence = 0.50;
+    attack_fractions = [ 0.0; 0.001; 0.01; 0.05; 0.10 ];
+    folds = scaled (Float.min 1.0 scale) 2 5;
+    quantiles = [ 0.05; 0.10 ];
+  }
+
+let table1 ?(scale = 1.0) () =
+  let d = dictionary ~scale () in
+  let f = focused ~scale () in
+  let r = roni ~scale () in
+  let t = threshold ~scale () in
+  let fractions fs = String.concat ", " (List.map string_of_float fs) in
+  let header =
+    [ "Parameter"; "Dictionary"; "Focused"; "RONI"; "Threshold" ]
+  in
+  let rows =
+    [
+      [ "Training set size"; string_of_int d.train_size;
+        string_of_int f.inbox_size; string_of_int r.train_size;
+        string_of_int t.train_size ];
+      [ "Validation/test size"; "per fold"; "target email";
+        string_of_int r.validation_size; "per fold" ];
+      [ "Spam prevalence"; Table.f2 d.spam_prevalence;
+        Table.f2 f.spam_prevalence; "0.50"; Table.f2 t.spam_prevalence ];
+      [ "Attack fraction"; fractions d.attack_fractions;
+        fractions f.fractions; "per-email"; fractions t.attack_fractions ];
+      [ "Folds / repetitions"; string_of_int d.folds;
+        Printf.sprintf "%d reps x %d targets" f.repetitions f.targets;
+        Printf.sprintf "%d trials" r.trials; string_of_int t.folds ];
+      [ "Target emails"; "n/a"; string_of_int f.targets; "n/a"; "n/a" ];
+    ]
+  in
+  let note =
+    if scale = 1.0 then "(paper scale)\n"
+    else Printf.sprintf "(scale %.2f of the paper's Table 1)\n" scale
+  in
+  note ^ Table.render ~header ~rows

@@ -1,0 +1,54 @@
+(** Experimental parameters — the contents of the paper's Table 1, as
+    code, with a uniform [scale] knob.
+
+    [scale = 1.0] reproduces the paper's sizes exactly (10,000-message
+    inboxes, 10-fold cross-validation, ...).  Smaller scales shrink
+    dataset sizes and repetition counts proportionally (never below
+    sensible minima) so the full suite can run quickly in CI; the shape
+    of every result is preserved. *)
+
+type dictionary = {
+  train_size : int;
+  spam_prevalence : float;
+  attack_fractions : float list;
+  folds : int;
+  dictionary_size : int;  (** aspell list size. *)
+  usenet_size : int;  (** top-N Usenet words. *)
+}
+
+type focused = {
+  inbox_size : int;
+  spam_prevalence : float;
+  attack_count : int;  (** Fixed count for the p-sweep (Fig. 2). *)
+  guess_probabilities : float list;
+  fractions : float list;  (** Attack-volume sweep (Fig. 3). *)
+  fixed_probability : float;  (** p for Fig. 3 and 4. *)
+  targets : int;
+  repetitions : int;
+}
+
+type roni = {
+  pool_size : int;
+  train_size : int;
+  validation_size : int;
+  trials : int;
+  non_attack_queries : int;
+  attack_repetitions : int;  (** Per attack variant. *)
+}
+
+type threshold = {
+  train_size : int;
+  spam_prevalence : float;
+  attack_fractions : float list;
+  folds : int;
+  quantiles : float list;  (** 0.05 and 0.10. *)
+}
+
+val dictionary : ?scale:float -> unit -> dictionary
+val focused : ?scale:float -> unit -> focused
+val roni : ?scale:float -> unit -> roni
+val threshold : ?scale:float -> unit -> threshold
+
+val table1 : ?scale:float -> unit -> string
+(** Rendering of Table 1 at the given scale, with the paper's values in
+    a companion column when the scale is not 1. *)

@@ -1,0 +1,35 @@
+module Dataset = Spamlab_corpus.Dataset
+module Filter = Spamlab_spambayes.Filter
+module Label = Spamlab_spambayes.Label
+module Classify = Spamlab_spambayes.Classify
+
+let attack_count ~train_size ~fraction =
+  if fraction < 0.0 || fraction >= 1.0 then
+    invalid_arg "Poison.attack_count: fraction must lie in [0,1)";
+  int_of_float
+    (Float.round (float_of_int train_size *. fraction /. (1.0 -. fraction)))
+
+let base_filter tokenizer examples =
+  let filter = Filter.create ~tokenizer () in
+  Dataset.train_filter filter examples;
+  filter
+
+let poisoned filter ~payload ~count =
+  let copy = Filter.copy filter in
+  Filter.train_tokens_many copy Label.Spam payload count;
+  copy
+
+let score_examples filter examples =
+  Array.map
+    (fun (e : Dataset.example) ->
+      ((Dataset.classify filter e).Classify.indicator, e.label))
+    examples
+
+let confusion_of_scores options scores =
+  let confusion = Confusion.create () in
+  Array.iter
+    (fun (score, gold) ->
+      Confusion.add confusion gold
+        (Classify.verdict_of_indicator options score))
+    scores;
+  confusion

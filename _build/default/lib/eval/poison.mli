@@ -1,0 +1,31 @@
+(** Shared plumbing for poisoning experiments. *)
+
+val attack_count : train_size:int -> fraction:float -> int
+(** Number of attack emails that makes up [fraction] of the {e final}
+    training set: ⌈n·f/(1−f)⌋.  At f = 0.01 and n = 10,000 this is 101,
+    matching the paper's "101 attack emails (1% of 10,000)".
+    @raise Invalid_argument unless 0 ≤ f < 1. *)
+
+val base_filter :
+  Spamlab_tokenizer.Tokenizer.t ->
+  Spamlab_corpus.Dataset.example array ->
+  Spamlab_spambayes.Filter.t
+(** A fresh default-options filter trained on the examples. *)
+
+val poisoned :
+  Spamlab_spambayes.Filter.t -> payload:string array -> count:int ->
+  Spamlab_spambayes.Filter.t
+(** Copy the filter and train [count] identical spam messages with the
+    given distinct-token payload. *)
+
+val score_examples :
+  Spamlab_spambayes.Filter.t ->
+  Spamlab_corpus.Dataset.example array ->
+  (float * Spamlab_spambayes.Label.gold) array
+(** Indicator scores with gold labels — verdicts can then be derived
+    under any thresholds without rescoring. *)
+
+val confusion_of_scores :
+  Spamlab_spambayes.Options.t ->
+  (float * Spamlab_spambayes.Label.gold) array ->
+  Confusion.t

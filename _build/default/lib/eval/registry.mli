@@ -1,0 +1,24 @@
+(** Experiment registry: every table and figure of the paper, addressable
+    by id, runnable at any scale.  The bench harness and the CLI both
+    dispatch through this. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  paper_claim : string;
+      (** The headline number or shape the paper reports for this
+          artifact. *)
+  run : Lab.t -> string;
+      (** Produces the full printed report. *)
+}
+
+val all : experiment list
+(** In presentation order: table1, fig1, tokens, fig2, fig3, fig4,
+    roni, fig5. *)
+
+val find : string -> experiment option
+
+val ids : string list
+
+val run_all : Lab.t -> (string * string) list
+(** [(id, report)] for every experiment. *)

@@ -1,0 +1,28 @@
+(** §5.1 — the RONI defense experiment.
+
+    Measures the per-email training impact statistic for a population of
+    ordinary (non-attack) spam messages and for several dictionary-attack
+    variants, then reports the separation between the two populations
+    and the detection/false-positive rates of the threshold rule. *)
+
+type group = {
+  name : string;
+  queries : int;
+  min_impact : float;
+  mean_impact : float;
+  max_impact : float;
+  rejected : int;  (** Queries the defense would exclude. *)
+}
+
+type result = {
+  threshold : float;
+  non_attack : group;
+  attacks : group list;
+  separated : bool;
+      (** True when every attack impact exceeds every non-attack
+          impact — the paper's "clear region of separability". *)
+}
+
+val run : Lab.t -> Params.roni -> result
+
+val render : result -> string

@@ -1,0 +1,28 @@
+(** Figure 5 — the dynamic threshold defense under dictionary attack
+    (§5.2).
+
+    For each attack fraction, the (poisoned) training set of every fold
+    is split in half; a filter trained on one half scores the other, and
+    thresholds are placed at the g-utility quantiles.  The final filter
+    is trained on the whole poisoned set and evaluated on held-out test
+    mail under (a) the default static thresholds and (b) each dynamic
+    threshold variant. *)
+
+type point = {
+  fraction : float;
+  ham_as_spam : float;  (** Percent. *)
+  ham_misclassified : float;
+  spam_as_unsure : float;  (** The defense's cost (paper: almost all
+                               spam turns unsure). *)
+  theta0 : float;  (** Mean derived θ0 over folds. *)
+  theta1 : float;
+}
+
+type series = { defense : string; points : point list }
+
+val run : Lab.t -> Params.threshold -> series list
+(** First series is "no defense", then one per quantile (e.g.
+    "threshold-.05", "threshold-.10").  The attack is the Usenet
+    dictionary attack, as in the figure. *)
+
+val render : series list -> string

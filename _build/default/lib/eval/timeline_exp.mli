@@ -1,0 +1,19 @@
+(** Extension: the attack as a timeline.  The paper's setting retrains
+    weekly (§2.1); this experiment simulates eight rounds of incoming
+    mail with a dictionary-attack burst in rounds 3–4 and compares an
+    undefended train-everything pipeline, a train-on-error pipeline
+    (§2.2's mistake-driven retraining - the paper predicts it does not
+    help), and a pipeline that RONI-screens everything it trains on. *)
+
+type round_row = {
+  round_index : int;
+  attack_emails : int;  (** Injected this round. *)
+  undefended_delivery : float;  (** Ham delivered as ham, percent. *)
+  toe_delivery : float;  (** Under the train-on-error policy (§2.2). *)
+  defended_delivery : float;  (** Under inline RONI screening. *)
+  rejected : int;  (** Messages RONI kept out of training. *)
+}
+
+val run : Lab.t -> round_row list
+
+val render : round_row list -> string

@@ -1,0 +1,1 @@
+lib/spambayes/classify.ml: Array Fisher Float Label List Options Score Spamlab_stats String

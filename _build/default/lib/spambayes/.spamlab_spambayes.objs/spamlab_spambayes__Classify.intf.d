@@ -1,0 +1,1 @@
+lib/spambayes/classify.mli: Label Options Token_db

@@ -1,0 +1,1 @@
+lib/spambayes/filter.ml: Classify Fun List Options Result Score Spamlab_tokenizer Token_db

@@ -1,0 +1,1 @@
+lib/spambayes/filter.mli: Classify Label Options Spamlab_email Spamlab_tokenizer Token_db

@@ -1,0 +1,1 @@
+lib/spambayes/label.ml: Format Printf

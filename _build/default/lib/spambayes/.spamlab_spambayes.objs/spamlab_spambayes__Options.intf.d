@@ -1,0 +1,1 @@
+lib/spambayes/options.mli: Format

@@ -1,0 +1,1 @@
+lib/spambayes/score.ml: Float Options Token_db

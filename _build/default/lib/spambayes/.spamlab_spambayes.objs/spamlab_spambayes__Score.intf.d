@@ -1,0 +1,1 @@
+lib/spambayes/score.mli: Options Token_db

@@ -1,0 +1,1 @@
+lib/spambayes/token_db.ml: Array Hashtbl In_channel Label List Printf String

@@ -1,0 +1,1 @@
+lib/spambayes/token_db.mli: Label

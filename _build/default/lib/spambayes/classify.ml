@@ -1,0 +1,47 @@
+open Spamlab_stats
+
+type clue = { token : string; score : float }
+
+type result = {
+  indicator : float;
+  verdict : Label.verdict;
+  clues : clue list;
+}
+
+let select_discriminators (options : Options.t) db tokens =
+  let scored =
+    Array.to_list tokens
+    |> List.filter_map (fun token ->
+           let score = Score.smoothed options db token in
+           if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
+             Some { token; score }
+           else None)
+  in
+  let by_strength_desc a b =
+    let sa = Float.abs (a.score -. 0.5) in
+    let sb = Float.abs (b.score -. 0.5) in
+    match Float.compare sb sa with
+    | 0 -> String.compare a.token b.token
+    | c -> c
+  in
+  let sorted = List.sort by_strength_desc scored in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take options.max_discriminators sorted
+
+let indicator_of_clues = function
+  | [] -> 0.5
+  | clues -> Fisher.indicator (List.map (fun c -> c.score) clues)
+
+let verdict_of_indicator (options : Options.t) indicator =
+  if indicator <= options.ham_cutoff then Label.Ham_v
+  else if indicator <= options.spam_cutoff then Label.Unsure_v
+  else Label.Spam_v
+
+let score_tokens options db tokens =
+  let clues = select_discriminators options db tokens in
+  let indicator = indicator_of_clues clues in
+  { indicator; verdict = verdict_of_indicator options indicator; clues }

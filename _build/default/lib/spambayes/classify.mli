@@ -1,0 +1,32 @@
+(** Message scoring: discriminator selection δ(E) and the Fisher-combined
+    indicator I(E) (paper Eq. 3–4, §2.3 fn. 3).
+
+    From a message's distinct tokens, the at-most-150 tokens with scores
+    furthest from 0.5 and outside the (0.4, 0.6) band are selected; their
+    scores are combined through two chi-square tails into
+    I(E) = (1 + H − S)/2 ∈ [0,1], then thresholded into a three-way
+    verdict. *)
+
+type clue = { token : string; score : float }
+(** One selected discriminator and its f(w). *)
+
+type result = {
+  indicator : float;  (** I(E) ∈ [0,1]; 1 is maximally spammy. *)
+  verdict : Label.verdict;
+  clues : clue list;  (** δ(E) sorted by descending |f − 0.5|. *)
+}
+
+val select_discriminators :
+  Options.t -> Token_db.t -> string array -> clue list
+(** δ(E) for a distinct-token array: filters by minimum strength, sorts
+    by descending strength (ties broken by token name for
+    reproducibility), truncates to [max_discriminators]. *)
+
+val indicator_of_clues : clue list -> float
+(** I(E) from selected clues; 0.5 for an empty δ(E) (no evidence). *)
+
+val verdict_of_indicator : Options.t -> float -> Label.verdict
+(** Thresholding: I ≤ θ0 ham, θ0 < I ≤ θ1 unsure, I > θ1 spam. *)
+
+val score_tokens : Options.t -> Token_db.t -> string array -> result
+(** Full pipeline on a distinct-token array. *)

@@ -1,0 +1,48 @@
+type t = {
+  options : Options.t;
+  tokenizer : Spamlab_tokenizer.Tokenizer.t;
+  db : Token_db.t;
+}
+
+let create ?(options = Options.default)
+    ?(tokenizer = Spamlab_tokenizer.Tokenizer.spambayes) () =
+  { options; tokenizer; db = Token_db.create () }
+
+let options t = t.options
+let set_options t options = { t with options }
+let tokenizer t = t.tokenizer
+let db t = t.db
+let copy t = { t with db = Token_db.copy t.db }
+
+let features t msg = Spamlab_tokenizer.Tokenizer.unique_tokens t.tokenizer msg
+
+let train_tokens t label tokens = Token_db.train t.db label tokens
+let train_tokens_many t label tokens k = Token_db.train_many t.db label tokens k
+let untrain_tokens t label tokens = Token_db.untrain t.db label tokens
+
+let train t label msg = train_tokens t label (features t msg)
+let untrain t label msg = untrain_tokens t label (features t msg)
+
+let train_corpus t examples =
+  List.iter (fun (label, msg) -> train t label msg) examples
+
+let classify_tokens t tokens = Classify.score_tokens t.options t.db tokens
+let classify t msg = classify_tokens t (features t msg)
+
+let score t msg = (classify t msg).Classify.indicator
+
+let token_score t token = Score.smoothed t.options t.db token
+
+let save_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Token_db.save oc t.db)
+
+let load_file ?(options = Options.default)
+    ?(tokenizer = Spamlab_tokenizer.Tokenizer.spambayes) path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      Result.map (fun db -> { options; tokenizer; db }) (Token_db.load ic))

@@ -1,0 +1,57 @@
+(** The assembled spam filter: tokenizer + token database + scoring,
+    with incremental train/untrain.  This is the system under attack. *)
+
+type t
+
+val create :
+  ?options:Options.t -> ?tokenizer:Spamlab_tokenizer.Tokenizer.t -> unit -> t
+(** Defaults: {!Options.default} and the SpamBayes tokenizer. *)
+
+val options : t -> Options.t
+val set_options : t -> Options.t -> t
+(** Functional update (shares the token database) — used by the
+    dynamic-threshold defense to retarget cutoffs without retraining. *)
+
+val tokenizer : t -> Spamlab_tokenizer.Tokenizer.t
+val db : t -> Token_db.t
+(** The live database; mutating it mutates the filter. *)
+
+val copy : t -> t
+(** Deep copy (independent database). *)
+
+val features : t -> Spamlab_email.Message.t -> string array
+(** Distinct tokens of a message under this filter's tokenizer. *)
+
+val train : t -> Label.gold -> Spamlab_email.Message.t -> unit
+val train_tokens : t -> Label.gold -> string array -> unit
+(** Train on pre-extracted distinct tokens (the fast path for large
+    experiments where messages are tokenized once and reused). *)
+
+val train_tokens_many : t -> Label.gold -> string array -> int -> unit
+(** [train_tokens_many t label tokens k]: train [k] identical messages in
+    one O(|tokens|) pass (see {!Token_db.train_many}). *)
+
+val untrain : t -> Label.gold -> Spamlab_email.Message.t -> unit
+val untrain_tokens : t -> Label.gold -> string array -> unit
+
+val train_corpus :
+  t -> (Label.gold * Spamlab_email.Message.t) list -> unit
+
+val classify : t -> Spamlab_email.Message.t -> Classify.result
+val classify_tokens : t -> string array -> Classify.result
+
+val score : t -> Spamlab_email.Message.t -> float
+(** Just I(E). *)
+
+val token_score : t -> string -> float
+(** f(w) under this filter's current state. *)
+
+val save_file : t -> string -> unit
+(** Persist the token database (options and tokenizer choice are code,
+    not data). *)
+
+val load_file :
+  ?options:Options.t ->
+  ?tokenizer:Spamlab_tokenizer.Tokenizer.t ->
+  string ->
+  (t, string) result

@@ -1,0 +1,31 @@
+type gold = Ham | Spam
+type verdict = Ham_v | Unsure_v | Spam_v
+
+let gold_to_string = function Ham -> "ham" | Spam -> "spam"
+
+let verdict_to_string = function
+  | Ham_v -> "ham"
+  | Unsure_v -> "unsure"
+  | Spam_v -> "spam"
+
+let gold_of_string = function
+  | "ham" -> Ok Ham
+  | "spam" -> Ok Spam
+  | s -> Error (Printf.sprintf "unknown gold label %S" s)
+
+let verdict_of_verdict_string = function
+  | "ham" -> Ok Ham_v
+  | "unsure" -> Ok Unsure_v
+  | "spam" -> Ok Spam_v
+  | s -> Error (Printf.sprintf "unknown verdict %S" s)
+
+let equal_gold (a : gold) b = a = b
+let equal_verdict (a : verdict) b = a = b
+
+let verdict_agrees gold verdict =
+  match (gold, verdict) with
+  | Ham, Ham_v | Spam, Spam_v -> true
+  | Ham, (Unsure_v | Spam_v) | Spam, (Ham_v | Unsure_v) -> false
+
+let pp_gold fmt g = Format.pp_print_string fmt (gold_to_string g)
+let pp_verdict fmt v = Format.pp_print_string fmt (verdict_to_string v)

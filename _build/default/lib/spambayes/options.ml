@@ -1,0 +1,43 @@
+type t = {
+  unknown_word_prob : float;
+  unknown_word_strength : float;
+  ham_cutoff : float;
+  spam_cutoff : float;
+  max_discriminators : int;
+  minimum_prob_strength : float;
+}
+
+let default =
+  {
+    unknown_word_prob = 0.5;
+    unknown_word_strength = 0.45;
+    ham_cutoff = 0.15;
+    spam_cutoff = 0.9;
+    max_discriminators = 150;
+    minimum_prob_strength = 0.1;
+  }
+
+let validate t =
+  if t.unknown_word_prob < 0.0 || t.unknown_word_prob > 1.0 then
+    Error "unknown_word_prob must lie in [0,1]"
+  else if t.unknown_word_strength <= 0.0 then
+    Error "unknown_word_strength must be positive"
+  else if not (0.0 <= t.ham_cutoff && t.ham_cutoff < t.spam_cutoff
+               && t.spam_cutoff <= 1.0) then
+    Error "cutoffs must satisfy 0 <= ham < spam <= 1"
+  else if t.max_discriminators <= 0 then
+    Error "max_discriminators must be positive"
+  else if t.minimum_prob_strength < 0.0 || t.minimum_prob_strength > 0.5 then
+    Error "minimum_prob_strength must lie in [0, 0.5]"
+  else Ok t
+
+let with_cutoffs t ~ham ~spam =
+  match validate { t with ham_cutoff = ham; spam_cutoff = spam } with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Options.with_cutoffs: " ^ e)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>x=%.3f s=%.3f theta0=%.3f theta1=%.3f max_disc=%d min_strength=%.3f@]"
+    t.unknown_word_prob t.unknown_word_strength t.ham_cutoff t.spam_cutoff
+    t.max_discriminators t.minimum_prob_strength

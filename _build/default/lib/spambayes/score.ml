@@ -1,0 +1,31 @@
+let raw db token =
+  let nspam = Token_db.nspam db in
+  let nham = Token_db.nham db in
+  let spam_ratio =
+    if nspam = 0 then 0.0
+    else float_of_int (Token_db.spam_count db token) /. float_of_int nspam
+  in
+  let ham_ratio =
+    if nham = 0 then 0.0
+    else float_of_int (Token_db.ham_count db token) /. float_of_int nham
+  in
+  let denominator = spam_ratio +. ham_ratio in
+  if denominator = 0.0 then None else Some (spam_ratio /. denominator)
+
+let smoothed (options : Options.t) db token =
+  let x = options.unknown_word_prob in
+  let s = options.unknown_word_strength in
+  match raw db token with
+  | None -> x
+  | Some ps ->
+      let n =
+        float_of_int
+          (Token_db.spam_count db token + Token_db.ham_count db token)
+      in
+      ((s *. x) +. (n *. ps)) /. (s +. n)
+
+let strength options db token =
+  Float.abs (smoothed options db token -. 0.5)
+
+let is_significant options db token =
+  strength options db token >= options.minimum_prob_strength

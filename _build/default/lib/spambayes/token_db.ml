@@ -1,0 +1,144 @@
+type counts = { mutable spam : int; mutable ham : int }
+
+type t = {
+  table : (string, counts) Hashtbl.t;
+  mutable nspam : int;
+  mutable nham : int;
+}
+
+let create () = { table = Hashtbl.create 4096; nspam = 0; nham = 0 }
+
+let copy t =
+  let table = Hashtbl.create (Hashtbl.length t.table) in
+  Hashtbl.iter
+    (fun token c -> Hashtbl.replace table token { spam = c.spam; ham = c.ham })
+    t.table;
+  { table; nspam = t.nspam; nham = t.nham }
+
+let nspam t = t.nspam
+let nham t = t.nham
+
+let counts_of t token =
+  match Hashtbl.find_opt t.table token with
+  | Some c -> c
+  | None ->
+      let c = { spam = 0; ham = 0 } in
+      Hashtbl.replace t.table token c;
+      c
+
+let spam_count t token =
+  match Hashtbl.find_opt t.table token with Some c -> c.spam | None -> 0
+
+let ham_count t token =
+  match Hashtbl.find_opt t.table token with Some c -> c.ham | None -> 0
+
+let distinct_tokens t = Hashtbl.length t.table
+
+let train t label tokens =
+  (match label with
+  | Label.Spam -> t.nspam <- t.nspam + 1
+  | Label.Ham -> t.nham <- t.nham + 1);
+  Array.iter
+    (fun token ->
+      let c = counts_of t token in
+      match label with
+      | Label.Spam -> c.spam <- c.spam + 1
+      | Label.Ham -> c.ham <- c.ham + 1)
+    tokens
+
+let train_many t label tokens k =
+  if k < 0 then invalid_arg "Token_db.train_many: negative count";
+  if k > 0 then begin
+    (match label with
+    | Label.Spam -> t.nspam <- t.nspam + k
+    | Label.Ham -> t.nham <- t.nham + k);
+    Array.iter
+      (fun token ->
+        let c = counts_of t token in
+        match label with
+        | Label.Spam -> c.spam <- c.spam + k
+        | Label.Ham -> c.ham <- c.ham + k)
+      tokens
+  end
+
+let untrain t label tokens =
+  (* Validate before mutating so a failed untrain leaves the DB intact. *)
+  let global_ok =
+    match label with Label.Spam -> t.nspam > 0 | Label.Ham -> t.nham > 0
+  in
+  if not global_ok then
+    invalid_arg "Token_db.untrain: no trained message of that class";
+  Array.iter
+    (fun token ->
+      let present =
+        match (Hashtbl.find_opt t.table token, label) with
+        | Some c, Label.Spam -> c.spam > 0
+        | Some c, Label.Ham -> c.ham > 0
+        | None, _ -> false
+      in
+      if not present then
+        invalid_arg
+          (Printf.sprintf "Token_db.untrain: token %S was never trained" token))
+    tokens;
+  (match label with
+  | Label.Spam -> t.nspam <- t.nspam - 1
+  | Label.Ham -> t.nham <- t.nham - 1);
+  Array.iter
+    (fun token ->
+      let c = Hashtbl.find t.table token in
+      (match label with
+      | Label.Spam -> c.spam <- c.spam - 1
+      | Label.Ham -> c.ham <- c.ham - 1);
+      if c.spam = 0 && c.ham = 0 then Hashtbl.remove t.table token)
+    tokens
+
+let iter f t = Hashtbl.iter (fun token c -> f token ~spam:c.spam ~ham:c.ham) t.table
+
+let fold f init t =
+  Hashtbl.fold (fun token c acc -> f acc token ~spam:c.spam ~ham:c.ham) t.table init
+
+let save oc t =
+  Printf.fprintf oc "spamlab-token-db 1 %d %d\n" t.nspam t.nham;
+  (* Sorted output makes the format canonical and diffable. *)
+  let entries =
+    fold (fun acc token ~spam ~ham -> (token, spam, ham) :: acc) [] t
+  in
+  let entries =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) entries
+  in
+  List.iter
+    (fun (token, spam, ham) -> Printf.fprintf oc "%s\t%d\t%d\n" token spam ham)
+    entries
+
+let load ic =
+  match In_channel.input_line ic with
+  | None -> Error "empty token-db file"
+  | Some header -> (
+      match String.split_on_char ' ' header with
+      | [ "spamlab-token-db"; "1"; nspam; nham ] -> (
+          match (int_of_string_opt nspam, int_of_string_opt nham) with
+          | Some nspam, Some nham ->
+              let t = create () in
+              t.nspam <- nspam;
+              t.nham <- nham;
+              let rec loop () =
+                match In_channel.input_line ic with
+                | None -> Ok t
+                | Some "" -> loop ()
+                | Some line -> (
+                    match String.split_on_char '\t' line with
+                    | [ token; spam; ham ] -> (
+                        match
+                          (int_of_string_opt spam, int_of_string_opt ham)
+                        with
+                        | Some spam, Some ham ->
+                            Hashtbl.replace t.table token { spam; ham };
+                            loop ()
+                        | _ ->
+                            Error
+                              (Printf.sprintf "bad counts on line %S" line))
+                    | _ -> Error (Printf.sprintf "bad line %S" line))
+              in
+              loop ()
+          | _ -> Error "bad message counts in header")
+      | _ -> Error "not a spamlab token-db file")

@@ -1,0 +1,55 @@
+(** The token count database behind Eq. (1): per-token spam/ham message
+    presence counts N_S(w), N_H(w) and the global message counts N_S,
+    N_H.
+
+    Counts are {e message presence} counts — a token appearing five
+    times in one message contributes 1 — matching SpamBayes' set
+    semantics.  Callers pass deduplicated token arrays (see
+    {!Spamlab_tokenizer.Tokenizer.unique_tokens}); this module trusts
+    them. *)
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+(** Deep copy: mutations of the copy never affect the original.  Used by
+    the RONI defense, which repeatedly trains tentative candidates. *)
+
+val nspam : t -> int
+(** Number of spam messages trained. *)
+
+val nham : t -> int
+
+val spam_count : t -> string -> int
+(** N_S(w); 0 for unknown tokens. *)
+
+val ham_count : t -> string -> int
+
+val distinct_tokens : t -> int
+
+val train : t -> Label.gold -> string array -> unit
+(** [train t label tokens] records one message of class [label] whose
+    distinct tokens are [tokens]. *)
+
+val train_many : t -> Label.gold -> string array -> int -> unit
+(** [train_many t label tokens k] records [k] identical messages in one
+    pass — equivalent to calling {!train} [k] times but O(|tokens|).
+    Poisoning experiments train hundreds of identical dictionary-attack
+    emails; this keeps them tractable at paper scale.
+    @raise Invalid_argument if [k < 0]. *)
+
+val untrain : t -> Label.gold -> string array -> unit
+(** Exact inverse of {!train} for the same arguments.  @raise
+    Invalid_argument if it would drive any count negative (indicates the
+    message was never trained). *)
+
+val iter : (string -> spam:int -> ham:int -> unit) -> t -> unit
+
+val fold : ('a -> string -> spam:int -> ham:int -> 'a) -> 'a -> t -> 'a
+
+val save : out_channel -> t -> unit
+(** Line-oriented text format: a header line with the message counts,
+    then one [token<TAB>spam<TAB>ham] line per token. *)
+
+val load : in_channel -> (t, string) result

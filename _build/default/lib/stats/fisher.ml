@@ -1,0 +1,29 @@
+(* Token scores are clamped into [epsilon, 1 - epsilon] before taking
+   logarithms: a probability of exactly 0 would make the statistic
+   infinite and the chi-square tail meaningless. *)
+let epsilon = 1e-12
+
+let clamp p = Float.max epsilon (Float.min (1.0 -. epsilon) p)
+
+let statistic ps =
+  if ps = [] then invalid_arg "Fisher.statistic: empty p-value list";
+  List.fold_left
+    (fun acc p ->
+      if p < 0.0 || p > 1.0 then
+        invalid_arg "Fisher.statistic: p-value outside [0,1]";
+      acc -. (2.0 *. log (clamp p)))
+    0.0 ps
+
+let combine ps =
+  let n = List.length ps in
+  Special.chi2_sf ~df:(2 * n) (statistic ps)
+
+let spambayes_h fs = if fs = [] then 1.0 else combine fs
+
+let spambayes_s fs =
+  if fs = [] then 1.0 else combine (List.map (fun f -> 1.0 -. f) fs)
+
+let indicator fs =
+  let h = spambayes_h fs in
+  let s = spambayes_s fs in
+  (1.0 +. h -. s) /. 2.0

@@ -1,0 +1,33 @@
+(** Fisher's method for combining independent significance tests
+    (Fisher 1948), the statistical core of SpamBayes' message score.
+
+    Given n p-values p_i from independent tests of the same null
+    hypothesis, the statistic −2 Σ ln p_i is chi-square distributed with
+    2n degrees of freedom under the null.  SpamBayes applies it twice per
+    message — once to the token scores f(w) and once to their complements
+    1 − f(w) — and combines the two tails (paper Eq. 3–4). *)
+
+val statistic : float list -> float
+(** [statistic ps] = −2 Σ ln p_i.  Probabilities are clamped away from 0
+    to keep the statistic finite (a token score of exactly 0 or 1 carries
+    unbounded evidence; SpamBayes never produces one, but attack code
+    paths may).  @raise Invalid_argument on an empty list or a value
+    outside [0,1]. *)
+
+val combine : float list -> float
+(** [combine ps] is the combined p-value: the chi-square survival
+    function of {!statistic} at 2n degrees of freedom.  Small values
+    reject the null. *)
+
+val spambayes_h : float list -> float
+(** [spambayes_h fs] is the paper's H(E) (Eq. 4) applied to token scores
+    [fs]: 1 − χ²_{2n}(−2 Σ ln f(w)) — i.e. the survival function of the
+    statistic.  Returns 1.0 on an empty list (no evidence). *)
+
+val spambayes_s : float list -> float
+(** The paper's S(E): {!spambayes_h} with every f(w) replaced by
+    1 − f(w). *)
+
+val indicator : float list -> float
+(** [indicator fs] is the message score I(E) = (1 + H − S)/2 ∈ [0,1]
+    (Eq. 3).  0 is maximally hammy, 1 maximally spammy, 0.5 neutral. *)

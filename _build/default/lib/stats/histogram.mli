@@ -1,0 +1,28 @@
+(** Fixed-bin histograms over a closed interval, used for the Figure 4
+    before/after token-score distributions and for defense diagnostics. *)
+
+type t
+
+val create : ?bins:int -> lo:float -> hi:float -> unit -> t
+(** [create ~lo ~hi ()] makes an empty histogram of [bins] (default 20)
+    equal-width bins spanning [lo, hi].  Values outside the range clamp
+    into the edge bins.  @raise Invalid_argument if [bins <= 0] or
+    [hi <= lo]. *)
+
+val add : t -> float -> unit
+val add_all : t -> float array -> unit
+val count : t -> int
+(** Total number of values added. *)
+
+val bin_count : t -> int -> int
+(** Count in bin [i].  @raise Invalid_argument if out of range. *)
+
+val bins : t -> int
+val bin_edges : t -> int -> float * float
+(** Inclusive-exclusive edges of bin [i] (last bin is inclusive). *)
+
+val counts : t -> int array
+(** Copy of the per-bin counts. *)
+
+val render : ?width:int -> t -> string
+(** ASCII rendering, one line per bin: [lo..hi | ####### n]. *)

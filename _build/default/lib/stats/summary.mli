@@ -1,0 +1,38 @@
+(** Descriptive statistics for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n−1 denominator); 0 for arrays of length
+    1.  @raise Invalid_argument on an empty array. *)
+
+val std_dev : float array -> float
+
+val median : float array -> float
+(** Median (average of middle two for even lengths).  Does not modify the
+    input.  @raise Invalid_argument on an empty array. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for q in [0,1], linear interpolation between order
+    statistics (type-7, the R default). *)
+
+val min_max : float array -> float * float
+
+val mean_ci95 : float array -> float * float
+(** [mean_ci95 xs] is (mean, half-width of a normal-approximation 95%
+    confidence interval).  Half-width is 0 for fewer than 2 samples. *)
+
+type online
+(** Welford online accumulator: numerically stable single-pass mean and
+    variance. *)
+
+val online_create : unit -> online
+val online_add : online -> float -> unit
+val online_count : online -> int
+val online_mean : online -> float
+(** @raise Invalid_argument if no values were added. *)
+
+val online_variance : online -> float
+(** Unbiased; 0 with fewer than two values.
+    @raise Invalid_argument if no values were added. *)

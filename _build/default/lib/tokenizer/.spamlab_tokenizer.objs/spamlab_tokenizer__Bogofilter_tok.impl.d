@@ -1,0 +1,1 @@
+lib/tokenizer/bogofilter_tok.ml: Header List Message Spamlab_email String Text

@@ -1,0 +1,1 @@
+lib/tokenizer/bogofilter_tok.mli: Spamlab_email

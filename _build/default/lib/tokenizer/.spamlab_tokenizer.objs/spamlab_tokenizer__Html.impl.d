@@ -1,0 +1,1 @@
+lib/tokenizer/html.ml: Buffer Char List String Text

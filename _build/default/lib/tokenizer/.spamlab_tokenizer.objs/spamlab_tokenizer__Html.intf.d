@@ -1,0 +1,1 @@
+lib/tokenizer/html.mli:

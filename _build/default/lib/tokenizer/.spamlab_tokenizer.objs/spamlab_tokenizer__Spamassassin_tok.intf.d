@@ -1,0 +1,1 @@
+lib/tokenizer/spamassassin_tok.mli: Spamlab_email

@@ -1,0 +1,1 @@
+lib/tokenizer/spambayes_tok.ml: Char Header Html List Message Mime Printf Spamlab_email String Text Url

@@ -1,0 +1,1 @@
+lib/tokenizer/spambayes_tok.mli: Spamlab_email

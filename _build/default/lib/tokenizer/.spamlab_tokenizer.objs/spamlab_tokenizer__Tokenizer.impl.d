@@ -1,0 +1,1 @@
+lib/tokenizer/tokenizer.ml: Array Bogofilter_tok List Spamassassin_tok Spambayes_tok Spamlab_email String

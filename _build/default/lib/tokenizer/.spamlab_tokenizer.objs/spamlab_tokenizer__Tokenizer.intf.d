@@ -1,0 +1,1 @@
+lib/tokenizer/tokenizer.mli: Spamlab_email

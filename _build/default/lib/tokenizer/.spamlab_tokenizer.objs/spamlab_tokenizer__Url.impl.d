@@ -1,0 +1,1 @@
+lib/tokenizer/url.ml: List Option String

@@ -1,0 +1,24 @@
+let name = "bogofilter"
+
+let min_word_length = 3
+let max_word_length = 30
+
+let keep w =
+  let n = String.length w in
+  n >= min_word_length && n <= max_word_length
+
+let tokenize msg =
+  let open Spamlab_email in
+  let header_tokens =
+    Header.fold
+      (fun acc name value ->
+        let prefix = String.lowercase_ascii name ^ ":" in
+        let toks =
+          Text.words value |> List.filter keep
+          |> List.map (fun w -> prefix ^ w)
+        in
+        acc @ toks)
+      []
+      (Message.headers msg)
+  in
+  header_tokens @ (Text.words (Message.body msg) |> List.filter keep)

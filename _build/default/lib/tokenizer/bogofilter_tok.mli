@@ -1,0 +1,8 @@
+(** BogoFilter-style tokenization: longer tokens admitted (up to 30
+    characters, no skip placeholders), header tokens carry a
+    ["head:"]-style field prefix for {e every} header, and URLs are kept
+    as opaque tokens rather than cracked.  The learner on top is
+    identical — the paper's footnote 1 scenario. *)
+
+val name : string
+val tokenize : Spamlab_email.Message.t -> string list

@@ -1,0 +1,170 @@
+type t = {
+  visible_text : string;
+  meta_tokens : string list;
+  urls : string list;
+}
+
+let tracked_tags =
+  [ "a"; "img"; "font"; "table"; "iframe"; "script"; "style"; "form";
+    "input" ]
+
+let decode_entities s =
+  let out = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents out
+    else if s.[i] = '&' then (
+      match String.index_from_opt s i ';' with
+      | Some semi when semi - i <= 8 -> (
+          let entity = String.sub s (i + 1) (semi - i - 1) in
+          let replacement =
+            match String.lowercase_ascii entity with
+            | "amp" -> Some "&"
+            | "lt" -> Some "<"
+            | "gt" -> Some ">"
+            | "quot" -> Some "\""
+            | "apos" -> Some "'"
+            | "nbsp" -> Some " "
+            | e
+              when String.length e > 1
+                   && e.[0] = '#'
+                   && String.for_all
+                        (fun c -> c >= '0' && c <= '9')
+                        (String.sub e 1 (String.length e - 1)) -> (
+                match int_of_string_opt (String.sub e 1 (String.length e - 1)) with
+                | Some code when code > 0 && code < 256 ->
+                    Some (String.make 1 (Char.chr code))
+                | _ -> None)
+            | _ -> None
+          in
+          match replacement with
+          | Some r ->
+              Buffer.add_string out r;
+              go (semi + 1)
+          | None ->
+              Buffer.add_char out '&';
+              go (i + 1))
+      | _ ->
+          Buffer.add_char out '&';
+          go (i + 1))
+    else begin
+      Buffer.add_char out s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+(* A one-pass scanner: outside tags, bytes accumulate as visible text;
+   inside a tag, the name and href/src attributes are captured; script
+   and style element *contents* are skipped entirely. *)
+let deconstruct input =
+  let input = decode_entities input in
+  let n = String.length input in
+  let text = Buffer.create n in
+  let meta = ref [] in
+  let urls = ref [] in
+  let lowercase_at i len = String.lowercase_ascii (String.sub input i len) in
+  let tag_name i =
+    (* i points after '<' (and after an optional '/'). *)
+    let closing = i < n && input.[i] = '/' in
+    let start = if closing then i + 1 else i in
+    let rec stop j =
+      if
+        j < n
+        && (Text.is_ascii_alpha input.[j] || Text.is_digit input.[j])
+      then stop (j + 1)
+      else j
+    in
+    let j = stop start in
+    (lowercase_at start (j - start), closing)
+  in
+  let find_attr_urls tag_start tag_stop =
+    (* Scan href= / src= inside the tag text. *)
+    let tag_text = lowercase_at tag_start (tag_stop - tag_start) in
+    List.iter
+      (fun attr ->
+        let alen = String.length attr in
+        let rec search from =
+          if from + alen >= String.length tag_text then ()
+          else if String.sub tag_text from alen = attr then begin
+            (* Value starts after optional quote. *)
+            let vstart = from + alen in
+            let vstart, quote =
+              if
+                vstart < String.length tag_text
+                && (tag_text.[vstart] = '"' || tag_text.[vstart] = '\'')
+              then (vstart + 1, Some tag_text.[vstart])
+              else (vstart, None)
+            in
+            let rec vstop j =
+              if j >= String.length tag_text then j
+              else
+                match quote with
+                | Some q -> if tag_text.[j] = q then j else vstop (j + 1)
+                | None ->
+                    if tag_text.[j] = ' ' || tag_text.[j] = '>' then j
+                    else vstop (j + 1)
+            in
+            let j = vstop vstart in
+            if j > vstart then
+              urls := String.sub tag_text vstart (j - vstart) :: !urls;
+            search j
+          end
+          else search (from + 1)
+        in
+        search 0)
+      [ "href="; "src=" ]
+  in
+  let rec skip_element_content close i =
+    (* Skip until </close>. *)
+    match String.index_from_opt input i '<' with
+    | None -> n
+    | Some lt ->
+        let name, closing = tag_name (lt + 1) in
+        if closing && name = close then
+          match String.index_from_opt input lt '>' with
+          | Some gt -> gt + 1
+          | None -> n
+        else skip_element_content close (lt + 1)
+  in
+  let rec go i =
+    if i >= n then ()
+    else if input.[i] = '<' then
+      if i + 3 < n && String.sub input i 4 = "<!--" then (
+        (* Comment: skip to -->. *)
+        let rec find_end j =
+          if j + 2 >= n then n
+          else if String.sub input j 3 = "-->" then j + 3
+          else find_end (j + 1)
+        in
+        go (find_end (i + 4)))
+      else begin
+        let name, closing = tag_name (i + 1) in
+        let tag_end =
+          match String.index_from_opt input i '>' with
+          | Some gt -> gt
+          | None -> n
+        in
+        if name <> "" && not closing && List.mem name tracked_tags then
+          meta := ("html:" ^ name) :: !meta;
+        find_attr_urls i (min n tag_end);
+        (* Tags act as word separators. *)
+        Buffer.add_char text ' ';
+        let next = min n (tag_end + 1) in
+        if (not closing) && (name = "script" || name = "style") then
+          go (skip_element_content name next)
+        else go next
+      end
+    else begin
+      Buffer.add_char text input.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  {
+    visible_text = Buffer.contents text;
+    meta_tokens = List.rev !meta;
+    urls = List.rev !urls;
+  }
+
+let strip_tags input = (deconstruct input).visible_text

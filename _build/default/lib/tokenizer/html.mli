@@ -1,0 +1,26 @@
+(** HTML handling for tokenization, after SpamBayes' approach: strip
+    markup so prose words tokenize normally, but keep the markup's
+    {e signal} — spam HTML is full of tells (tiny fonts, tracking
+    images, links whose text hides their target).
+
+    [deconstruct] returns the visible text plus meta tokens:
+    - ["html:<tag>"] for each element of a small suspicious-tag set
+      (a, img, font, table, iframe, script, style, form, input);
+    - the [href]/[src] URL values, for the URL cracker;
+    - comments, scripts and style blocks contribute no text. *)
+
+type t = {
+  visible_text : string;
+  meta_tokens : string list;
+  urls : string list;
+}
+
+val deconstruct : string -> t
+
+val strip_tags : string -> string
+(** Just the visible text ([deconstruct]'s first component). *)
+
+val decode_entities : string -> string
+(** The named entities that matter for tokenization ([&amp;] [&lt;]
+    [&gt;] [&quot;] [&apos;] [&nbsp;]) plus decimal [&#NN;] escapes;
+    unknown entities pass through verbatim. *)

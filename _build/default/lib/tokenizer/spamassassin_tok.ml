@@ -1,0 +1,35 @@
+let name = "spamassassin"
+
+let max_word_length = 15
+
+let scanned_headers = [ "subject"; "from"; "to"; "reply-to" ]
+
+let stem w =
+  if String.length w <= max_word_length then w
+  else "sk:" ^ String.sub w 0 5
+
+let body_word w =
+  if Url.looks_like_url w then
+    (* Keep only the hostname as a single token. *)
+    match Url.crack w with
+    | _proto :: host :: _ -> [ host ]
+    | tokens -> tokens
+  else if String.length w < 3 then []
+  else [ stem w ]
+
+let tokenize msg =
+  let open Spamlab_email in
+  let header_tokens =
+    List.concat_map
+      (fun field ->
+        match Header.find (Message.headers msg) field with
+        | None -> []
+        | Some value ->
+            let prefix = "h" ^ field ^ ":" in
+            Text.words value
+            |> List.filter (fun w -> String.length w >= 3)
+            |> List.map (fun w -> prefix ^ stem w))
+      scanned_headers
+  in
+  header_tokens
+  @ List.concat_map body_word (Text.words (Message.body msg))

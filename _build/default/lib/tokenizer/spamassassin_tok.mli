@@ -1,0 +1,8 @@
+(** SpamAssassin-Bayes-style tokenization: tokens up to 15 characters,
+    longer words truncated to a ["sk:"]-prefixed 5-character stem
+    (SpamAssassin's behaviour), Subject prefixed with ["HSubject:"]
+    and other scanned headers with ["H<name>:"], URLs reduced to their
+    hostname token. *)
+
+val name : string
+val tokenize : Spamlab_email.Message.t -> string list

@@ -1,0 +1,160 @@
+let name = "spambayes"
+
+let min_word_length = 3
+let max_word_length = 12
+
+let skip_token w =
+  let n = String.length w / 10 * 10 in
+  Printf.sprintf "skip:%c %d" w.[0] n
+
+let email_tokens w =
+  match String.index_opt w '@' with
+  | Some i when i > 0 && i < String.length w - 1 ->
+      let local = String.sub w 0 i in
+      let domain = String.sub w (i + 1) (String.length w - i - 1) in
+      Some
+        (("email name:" ^ local)
+         :: List.map
+              (fun part -> "email addr:" ^ part)
+              (String.split_on_char '.' domain))
+  | _ -> None
+
+let word_tokens w =
+  if Url.looks_like_url w then Url.crack w
+  else
+    match email_tokens w with
+    | Some tokens -> tokens
+    | None ->
+        let len = String.length w in
+        if len < min_word_length then []
+        else if len > max_word_length then [ skip_token w ]
+        else [ w ]
+
+let tokenize_body_text text =
+  List.concat_map word_tokens (Text.words text)
+
+let tokenize_text_with_prefix prefix text =
+  List.concat_map
+    (fun w ->
+      let len = String.length w in
+      if len < min_word_length || len > max_word_length then []
+      else [ prefix ^ w ])
+    (Text.words text)
+
+let address_tokens prefix value =
+  match Spamlab_email.Address.of_string value with
+  | Error _ -> tokenize_text_with_prefix (prefix ^ ":") value
+  | Ok addr ->
+      let open Spamlab_email.Address in
+      let name_tokens =
+        match addr.display_name with
+        | None -> []
+        | Some n -> tokenize_text_with_prefix (prefix ^ ":name:") n
+      in
+      (prefix ^ ":addr:" ^ String.lowercase_ascii addr.domain)
+      :: (prefix ^ ":name:" ^ String.lowercase_ascii addr.local)
+      :: name_tokens
+
+let eight_bit_token body =
+  if body = "" then []
+  else
+    let bytes = String.length body in
+    let high =
+      String.fold_left
+        (fun acc c -> if Char.code c >= 0x80 then acc + 1 else acc)
+        0 body
+    in
+    if high = 0 then []
+    else
+      (* Percentage bucketed to multiples of 5, as SpamBayes does. *)
+      let pct = 100 * high / bytes / 5 * 5 in
+      [ Printf.sprintf "8bit%%:%d" pct ]
+
+(* Textual chunks arrive transfer-decoded from the MIME layer.  HTML
+   chunks are deconstructed: their prose tokenizes normally, markup
+   yields html: meta tokens, and link targets go through the URL
+   cracker (spam hides its infrastructure in href attributes). *)
+let tokenize_chunk (kind, text) =
+  match kind with
+  | Spamlab_email.Mime.Plain -> tokenize_body_text text
+  | Spamlab_email.Mime.Html ->
+      let html = Html.deconstruct text in
+      html.Html.meta_tokens
+      @ List.concat_map Url.crack html.Html.urls
+      @ tokenize_body_text html.Html.visible_text
+
+let structure_tokens headers =
+  let open Spamlab_email in
+  let of_field field =
+    match Header.find headers field with
+    | None -> []
+    | Some v -> (
+        [ field ^ ":" ^ String.lowercase_ascii (String.trim v) ]
+        |> List.filter (fun t -> String.length t <= 60))
+  in
+  of_field "content-transfer-encoding"
+  @
+  match Header.find headers "content-type" with
+  | None -> []
+  | Some v -> (
+      match Mime.content_type_of_string v with
+      | Error _ -> []
+      | Ok ct ->
+          [ Printf.sprintf "content-type:%s/%s" ct.Mime.media_type
+              ct.Mime.subtype ])
+
+(* Received lines carry the relay story: hostnames and IPs.  Hostname
+   components become received: tokens; IPs contribute their /16 prefix
+   (spam sources cluster in address space, exact hosts churn). *)
+let received_tokens headers =
+  let all_digits s = s <> "" && String.for_all Text.is_digit s in
+  let line_tokens value =
+    List.concat_map
+      (fun word ->
+        if not (String.contains word '.') then []
+        else
+          let parts = String.split_on_char '.' word in
+          if List.for_all all_digits parts then
+            match parts with
+            | a :: b :: _ -> [ Printf.sprintf "received:ip:%s.%s" a b ]
+            | _ -> []
+          else
+            List.filter_map
+              (fun part ->
+                if
+                  String.length part >= min_word_length
+                  && String.length part <= max_word_length
+                  && not (all_digits part)
+                then Some ("received:" ^ part)
+                else None)
+              parts)
+      (Text.words value)
+  in
+  List.concat_map line_tokens
+    (Spamlab_email.Header.find_all headers "received")
+
+let tokenize msg =
+  let open Spamlab_email in
+  let headers = Message.headers msg in
+  let subject_tokens =
+    match Header.find headers "subject" with
+    | None -> []
+    | Some s ->
+        (* SpamBayes emits subject words both prefixed and bare. *)
+        tokenize_text_with_prefix "subject:" s @ tokenize_body_text s
+  in
+  let addr_field prefix field =
+    match Header.find headers field with
+    | None -> []
+    | Some v -> address_tokens prefix v
+  in
+  let chunks = Mime.text_content msg in
+  let decoded_text = String.concat "\n" (List.map snd chunks) in
+  subject_tokens
+  @ addr_field "from" "from"
+  @ addr_field "to" "to"
+  @ addr_field "reply-to" "reply-to"
+  @ received_tokens headers
+  @ structure_tokens headers
+  @ eight_bit_token decoded_text
+  @ List.concat_map tokenize_chunk chunks

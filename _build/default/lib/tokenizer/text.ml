@@ -1,0 +1,40 @@
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let split_whitespace s =
+  let n = String.length s in
+  let rec scan i start acc =
+    if i >= n then
+      if i > start then String.sub s start (i - start) :: acc else acc
+    else if is_space s.[i] then
+      let acc =
+        if i > start then String.sub s start (i - start) :: acc else acc
+      in
+      scan (i + 1) (i + 1) acc
+    else scan (i + 1) start acc
+  in
+  List.rev (scan 0 0 [])
+
+let is_ascii_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+
+let is_word_char c =
+  is_ascii_alpha c || is_digit c || c = '\'' || c = '$' || c = '-'
+
+let strip_punctuation s =
+  let n = String.length s in
+  let rec first i = if i < n && not (is_word_char s.[i]) then first (i + 1) else i in
+  let rec last i = if i >= 0 && not (is_word_char s.[i]) then last (i - 1) else i in
+  let lo = first 0 in
+  let hi = last (n - 1) in
+  if hi < lo then "" else String.sub s lo (hi - lo + 1)
+
+let words s =
+  split_whitespace s
+  |> List.filter_map (fun w ->
+         let w = strip_punctuation (String.lowercase_ascii w) in
+         if w = "" then None else Some w)
+
+let has_high_bit s = String.exists (fun c -> Char.code c >= 0x80) s
+
+let count_occurrences c s =
+  String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 s

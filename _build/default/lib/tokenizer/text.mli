@@ -1,0 +1,23 @@
+(** Low-level text splitting shared by every tokenizer variant. *)
+
+val split_whitespace : string -> string list
+(** Split on runs of spaces, tabs, newlines and carriage returns;
+    never returns empty strings. *)
+
+val strip_punctuation : string -> string
+(** Remove leading and trailing characters outside [A-Za-z0-9'$-]
+    (apostrophes, dollar signs and hyphens are meaningful inside spam
+    tokens: ["don't"], ["$99"], ["v-i-a-g-r-a"]). *)
+
+val words : string -> string list
+(** [split_whitespace] then [strip_punctuation] then drop empties;
+    lowercases everything. *)
+
+val is_ascii_alpha : char -> bool
+val is_digit : char -> bool
+
+val has_high_bit : string -> bool
+(** True if any byte is >= 0x80 (8-bit character heuristic used by
+    SpamBayes to flag likely non-English/binary content). *)
+
+val count_occurrences : char -> string -> int

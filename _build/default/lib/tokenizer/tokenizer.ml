@@ -1,0 +1,25 @@
+module type S = sig
+  val name : string
+  val tokenize : Spamlab_email.Message.t -> string list
+end
+
+type t = (module S)
+
+let tokenize (module T : S) msg = T.tokenize msg
+
+let unique_of_list tokens =
+  let sorted = List.sort_uniq String.compare tokens in
+  Array.of_list sorted
+
+let unique_tokens t msg = unique_of_list (tokenize t msg)
+
+let spambayes : t = (module Spambayes_tok)
+let bogofilter : t = (module Bogofilter_tok)
+let spamassassin : t = (module Spamassassin_tok)
+
+let all =
+  [ (Spambayes_tok.name, spambayes);
+    (Bogofilter_tok.name, bogofilter);
+    (Spamassassin_tok.name, spamassassin) ]
+
+let find name = List.assoc_opt name all

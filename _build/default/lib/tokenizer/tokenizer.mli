@@ -1,0 +1,35 @@
+(** Tokenizer interface and registry.
+
+    The paper notes (§1 fn. 1) that SpamBayes, BogoFilter and
+    SpamAssassin's Bayes component share the learning algorithm and
+    differ primarily in tokenization; the laboratory therefore treats the
+    tokenizer as a pluggable component so attacks can be evaluated across
+    filter styles. *)
+
+module type S = sig
+  val name : string
+
+  val tokenize : Spamlab_email.Message.t -> string list
+  (** Token stream in document order, possibly with repeats. *)
+end
+
+type t = (module S)
+
+val tokenize : t -> Spamlab_email.Message.t -> string list
+
+val unique_tokens : t -> Spamlab_email.Message.t -> string array
+(** Distinct tokens of a message, sorted.  SpamBayes both trains and
+    classifies on the {e set} of tokens in a message, so this is the
+    canonical feature extraction. *)
+
+val unique_of_list : string list -> string array
+(** Sort-and-dedup helper shared by attack construction. *)
+
+val spambayes : t
+val bogofilter : t
+val spamassassin : t
+
+val all : (string * t) list
+(** Registered tokenizers by name. *)
+
+val find : string -> t option

@@ -1,0 +1,11 @@
+(** URL cracking, after SpamBayes' [crack_urls]: a URL in a message body
+    is replaced by structured tokens ([proto:http], [url:host-component],
+    [url:path-word]) so that campaign infrastructure shows up as
+    high-signal features regardless of the surrounding prose. *)
+
+val looks_like_url : string -> bool
+(** True for [scheme://...] and for bare [www.]-prefixed hosts. *)
+
+val crack : string -> string list
+(** [crack w] is the token list for a URL-like word; [w] itself
+    (lowercased) is not included.  Returns [[]] if [w] is not URL-like. *)

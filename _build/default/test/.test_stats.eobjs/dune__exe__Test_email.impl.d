@@ -1,0 +1,1 @@
+test/test_email.ml: Address Alcotest Filename Fun Header List Mbox Message Option QCheck2 QCheck_alcotest Result Rfc2822 Spamlab_email String Sys

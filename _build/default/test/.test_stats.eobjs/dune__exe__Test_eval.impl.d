@@ -1,0 +1,1 @@
+test/test_eval.ml: Ablation Alcotest Array Confusion Extension_exp Format Lab List Option Params Plot Poison Registry Spamlab_corpus Spamlab_eval Spamlab_spambayes Spamlab_tokenizer String Table

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Confusion Filename Fun Lab List Poison Spamlab_core Spamlab_corpus Spamlab_email Spamlab_eval Spamlab_spambayes Spamlab_stats Spamlab_tokenizer Summary Sys

@@ -1,0 +1,1 @@
+test/test_mime.ml: Alcotest Encoding Header List Mbox Message Mime QCheck2 QCheck_alcotest Result Rfc2822 Spamlab_email Spamlab_tokenizer String

@@ -1,0 +1,1 @@
+test/test_spambayes.ml: Alcotest Array Classify Filename Filter Float Fun Label List Options QCheck2 QCheck_alcotest Result Score Spamlab_email Spamlab_spambayes Spamlab_tokenizer Sys Token_db

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fisher Float Histogram List QCheck2 QCheck_alcotest Rng Sampler Spamlab_stats Special String Summary

@@ -1,0 +1,1 @@
+test/test_tokenizer.ml: Alcotest Array List QCheck2 QCheck_alcotest Spambayes_tok Spamlab_email Spamlab_tokenizer String Text Tokenizer Url

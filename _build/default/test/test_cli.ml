@@ -1,0 +1,172 @@
+(* End-to-end tests of the spamlab command-line tool: each test drives
+   the real binary through a temp directory, the way a user would. *)
+
+(* The binary sits next to this test in the build tree; resolving it
+   from the executable's own path keeps the tests independent of the
+   working directory dune runs them from. *)
+let binary =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "spamlab.exe"))
+
+let tmp_dir =
+  let dir = Filename.temp_file "spamlab-cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let in_tmp name = Filename.concat tmp_dir name
+
+let run_command args =
+  let command =
+    Filename.quote_command binary args
+    ^ " > " ^ Filename.quote (in_tmp "stdout")
+    ^ " 2> " ^ Filename.quote (in_tmp "stderr")
+  in
+  Sys.command command
+
+let read_output () = In_channel.with_open_text (in_tmp "stdout") In_channel.input_all
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let test_case name f = Alcotest.test_case name `Quick f
+
+let ham_mbox = in_tmp "ham.mbox"
+let spam_mbox = in_tmp "spam.mbox"
+let db_file = in_tmp "filter.db"
+
+(* Extract the first message of an mbox into a standalone .eml file. *)
+let extract_first mbox target =
+  match Spamlab_email.Mbox.read_file mbox with
+  | Ok (msg :: _) ->
+      Out_channel.with_open_text target (fun oc ->
+          Out_channel.output_string oc (Spamlab_email.Rfc2822.print msg))
+  | Ok [] -> Alcotest.fail "empty mbox"
+  | Error e -> Alcotest.fail e
+
+let cli_tests =
+  [
+    test_case "corpus generates both mboxes" (fun () ->
+        check_int "exit" 0
+          (run_command
+             [ "corpus"; "--size"; "400"; "--seed"; "11"; "--ham"; ham_mbox;
+               "--spam"; spam_mbox ]);
+        check_bool "ham exists" true (Sys.file_exists ham_mbox);
+        check_bool "spam exists" true (Sys.file_exists spam_mbox);
+        match Spamlab_email.Mbox.read_file ham_mbox with
+        | Ok msgs -> check_int "ham count" 200 (List.length msgs)
+        | Error e -> Alcotest.fail e);
+    test_case "corpus rejects a bad spam fraction" (fun () ->
+        check_bool "nonzero exit" true
+          (run_command
+             [ "corpus"; "--spam-fraction"; "1.5"; "--ham"; ham_mbox;
+               "--spam"; spam_mbox ]
+          <> 0));
+    test_case "train produces a loadable database" (fun () ->
+        check_int "exit" 0
+          (run_command
+             [ "train"; "--ham"; ham_mbox; "--spam"; spam_mbox; "--db"; db_file ]);
+        check_bool "db exists" true (Sys.file_exists db_file);
+        match Spamlab_spambayes.Filter.load_file db_file with
+        | Ok filter ->
+            check_int "trained messages" 400
+              (Spamlab_spambayes.Token_db.nham
+                 (Spamlab_spambayes.Filter.db filter)
+              + Spamlab_spambayes.Token_db.nspam
+                  (Spamlab_spambayes.Filter.db filter))
+        | Error e -> Alcotest.fail e);
+    test_case "classify labels ham and spam correctly" (fun () ->
+        extract_first ham_mbox (in_tmp "one_ham.eml");
+        extract_first spam_mbox (in_tmp "one_spam.eml");
+        check_int "exit" 0
+          (run_command [ "classify"; "--db"; db_file; in_tmp "one_ham.eml" ]);
+        check_bool "ham verdict" true
+          (String.length (read_output ()) >= 3
+          && String.sub (read_output ()) 0 3 = "ham");
+        check_int "exit" 0
+          (run_command [ "classify"; "--db"; db_file; in_tmp "one_spam.eml" ]);
+        check_bool "spam verdict" true
+          (String.length (read_output ()) >= 4
+          && String.sub (read_output ()) 0 4 = "spam"));
+    test_case "tokenize prints distinct tokens" (fun () ->
+        check_int "exit" 0
+          (run_command [ "tokenize"; in_tmp "one_spam.eml" ]);
+        let lines =
+          String.split_on_char '\n' (read_output ())
+          |> List.filter (fun l -> l <> "")
+        in
+        check_bool "many tokens" true (List.length lines > 10);
+        check_bool "sorted" true
+          (List.sort compare lines = lines));
+    test_case "attack dictionary emits the requested emails" (fun () ->
+        check_int "exit" 0
+          (run_command
+             [ "attack"; "dictionary"; "--variant"; "usenet"; "--words";
+               "5000"; "--count"; "3"; "--out"; in_tmp "attack.mbox" ]);
+        match Spamlab_email.Mbox.read_file (in_tmp "attack.mbox") with
+        | Ok msgs -> check_int "count" 3 (List.length msgs)
+        | Error e -> Alcotest.fail e);
+    test_case "roni rejects the attack email but not ordinary spam" (fun () ->
+        extract_first (in_tmp "attack.mbox") (in_tmp "one_attack.eml");
+        check_int "exit" 0
+          (run_command
+             [ "roni"; "--ham"; ham_mbox; "--spam"; spam_mbox;
+               in_tmp "one_attack.eml" ]);
+        check_bool "rejected" true
+          (String.length (read_output ()) > 0
+          &&
+          let out = read_output () in
+          let contains needle =
+            let n = String.length out and m = String.length needle in
+            let rec scan i =
+              i + m <= n
+              && (String.sub out i m = needle || scan (i + 1))
+            in
+            scan 0
+          in
+          contains "REJECT");
+    );
+    test_case "thresholds prints an ordered pair" (fun () ->
+        check_int "exit" 0
+          (run_command [ "thresholds"; "--ham"; ham_mbox; "--spam"; spam_mbox ]);
+        match
+          String.split_on_char '\n' (read_output ())
+          |> List.filter (fun l -> l <> "")
+        with
+        | [ line0; line1 ] ->
+            let value line =
+              match String.split_on_char ' ' line with
+              | [ _; v ] -> float_of_string v
+              | _ -> Alcotest.fail ("bad line " ^ line)
+            in
+            check_bool "ordered" true (value line0 < value line1)
+        | _ -> Alcotest.fail "expected two lines");
+    test_case "evade pads a spam message toward ham" (fun () ->
+        check_int "exit" 0
+          (run_command
+             [ "evade"; "--db"; db_file; in_tmp "one_spam.eml"; "--max-words";
+               "120"; "--out"; in_tmp "padded.eml" ]);
+        check_bool "padded written" true (Sys.file_exists (in_tmp "padded.eml")));
+    test_case "stats characterizes a corpus" (fun () ->
+        check_int "exit" 0
+          (run_command [ "stats"; "--ham"; ham_mbox; "--spam"; spam_mbox ]);
+        check_bool "mentions vocabulary" true
+          (String.length (read_output ()) > 200));
+    test_case "attack pseudospam emits ham-labeled attack emails" (fun () ->
+        check_int "exit" 0
+          (run_command
+             [ "attack"; "pseudospam"; "--campaign"; in_tmp "one_spam.eml";
+               "--count"; "2"; "--out"; in_tmp "pseudo.mbox" ]);
+        match Spamlab_email.Mbox.read_file (in_tmp "pseudo.mbox") with
+        | Ok msgs -> check_int "count" 2 (List.length msgs)
+        | Error e -> Alcotest.fail e);
+    test_case "experiment table1 runs" (fun () ->
+        check_int "exit" 0
+          (run_command [ "experiment"; "table1"; "--scale"; "0.05" ]);
+        check_bool "output" true (String.length (read_output ()) > 100));
+    test_case "unknown experiment fails cleanly" (fun () ->
+        check_bool "nonzero" true
+          (run_command [ "experiment"; "fig99" ] <> 0));
+  ]
+
+let () = Alcotest.run "cli" [ ("cli", cli_tests) ]

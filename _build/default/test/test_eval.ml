@@ -1,0 +1,402 @@
+(* Tests for the evaluation library: confusion accounting, rendering,
+   parameters, poisoning plumbing, the lab and the registry. *)
+
+open Spamlab_eval
+module Label = Spamlab_spambayes.Label
+module Options = Spamlab_spambayes.Options
+module Filter = Spamlab_spambayes.Filter
+module Token_db = Spamlab_spambayes.Token_db
+module Dataset = Spamlab_corpus.Dataset
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let test_case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Confusion                                                           *)
+
+let confusion_tests =
+  [
+    test_case "counts and rates" (fun () ->
+        let c = Confusion.create () in
+        Confusion.add c Label.Ham Label.Ham_v;
+        Confusion.add c Label.Ham Label.Unsure_v;
+        Confusion.add c Label.Ham Label.Spam_v;
+        Confusion.add c Label.Ham Label.Spam_v;
+        Confusion.add c Label.Spam Label.Spam_v;
+        Confusion.add c Label.Spam Label.Ham_v;
+        check_int "total" 6 (Confusion.total c);
+        check_int "ham row" 4 (Confusion.total_ham c);
+        check_int "spam row" 2 (Confusion.total_spam c);
+        check_int "ham as spam" 2 (Confusion.count c Label.Ham Label.Spam_v);
+        check_float "ham->spam rate" 0.5 (Confusion.ham_as_spam_rate c);
+        check_float "ham->unsure rate" 0.25 (Confusion.ham_as_unsure_rate c);
+        check_float "ham misclassified" 0.75 (Confusion.ham_misclassified_rate c);
+        check_float "spam->ham rate" 0.5 (Confusion.spam_as_ham_rate c);
+        check_float "spam->unsure" 0.0 (Confusion.spam_as_unsure_rate c);
+        check_float "accuracy" (2.0 /. 6.0) (Confusion.accuracy c));
+    test_case "empty matrix rates are 0" (fun () ->
+        let c = Confusion.create () in
+        check_float "ham rate" 0.0 (Confusion.ham_as_spam_rate c);
+        check_float "accuracy" 0.0 (Confusion.accuracy c));
+    test_case "merge sums cell-wise" (fun () ->
+        let a = Confusion.create () in
+        let b = Confusion.create () in
+        Confusion.add a Label.Ham Label.Ham_v;
+        Confusion.add b Label.Ham Label.Ham_v;
+        Confusion.add b Label.Spam Label.Unsure_v;
+        let m = Confusion.merge a b in
+        check_int "ham-ham" 2 (Confusion.count m Label.Ham Label.Ham_v);
+        check_int "spam-unsure" 1 (Confusion.count m Label.Spam Label.Unsure_v);
+        (* Inputs are untouched. *)
+        check_int "a intact" 1 (Confusion.count a Label.Ham Label.Ham_v));
+    test_case "pp renders" (fun () ->
+        let c = Confusion.create () in
+        Confusion.add c Label.Ham Label.Ham_v;
+        let s = Format.asprintf "%a" Confusion.pp c in
+        check_bool "mentions gold" true (String.length s > 10));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table and Plot                                                      *)
+
+let table_tests =
+  [
+    test_case "render aligns columns" (fun () ->
+        let s =
+          Table.render ~header:[ "aa"; "b" ]
+            ~rows:[ [ "1"; "22" ]; [ "333"; "4" ] ]
+        in
+        let lines = String.split_on_char '\n' s in
+        (match lines with
+        | header :: rule :: _ ->
+            check_bool "rule dashes" true (String.for_all (( = ) '-') rule);
+            check_bool "rule covers header" true
+              (String.length rule >= String.length (String.trim header))
+        | _ -> Alcotest.fail "too short");
+        check_int "line count" 5 (List.length lines));
+    test_case "render pads short rows" (fun () ->
+        let s = Table.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "x" ] ] in
+        check_bool "no exception, has x" true (String.contains s 'x'));
+    test_case "render rejects empty header" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Table.render: empty header") (fun () ->
+            ignore (Table.render ~header:[] ~rows:[])));
+    test_case "render_kv aligns keys" (fun () ->
+        let s = Table.render_kv [ ("k", "v"); ("longer", "w") ] in
+        check_bool "has both" true
+          (String.length s > 10 && String.contains s 'w'));
+    test_case "pct and f2" (fun () ->
+        check_str "pct" "36.3" (Table.pct 0.363);
+        check_str "f2" "1.50" (Table.f2 1.5));
+  ]
+
+let plot_tests =
+  [
+    test_case "line_chart shows series glyphs and legend" (fun () ->
+        let s =
+          Plot.line_chart ~x_label:"x" ~y_label:"y"
+            [ ("first", [ (0.0, 0.0); (1.0, 1.0) ]);
+              ("second", [ (0.0, 1.0); (1.0, 0.0) ]) ]
+        in
+        check_bool "glyph *" true (String.contains s '*');
+        check_bool "glyph o" true (String.contains s 'o');
+        check_bool "legend" true
+          (String.length s > 0
+          && Option.is_some
+               (String.index_opt s '='));
+    );
+    test_case "line_chart with no data" (fun () ->
+        check_str "empty" "(no data)\n"
+          (Plot.line_chart ~x_label:"x" ~y_label:"y" [ ("e", []) ]));
+    test_case "bar_chart lengths scale with values" (fun () ->
+        let s = Plot.bar_chart ~title:"t" [ ("a", 10.0); ("b", 5.0) ] in
+        let count line =
+          String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 line
+        in
+        match String.split_on_char '\n' s with
+        | _title :: a :: b :: _ ->
+            check_bool "a longer" true (count a > count b)
+        | _ -> Alcotest.fail "unexpected shape");
+    test_case "stacked_bars emits one row per entry" (fun () ->
+        let s =
+          Plot.stacked_bars ~title:"t" ~segments:[ "spam"; "unsure"; "ham" ]
+            [ ("row1", [ 50.0; 25.0; 25.0 ]); ("row2", [ 0.0; 0.0; 100.0 ]) ]
+        in
+        let lines =
+          List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+        in
+        check_int "rows + title" 3 (List.length lines));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Params                                                              *)
+
+let params_tests =
+  [
+    test_case "paper scale matches Table 1" (fun () ->
+        let d = Params.dictionary () in
+        check_int "train" 10_000 d.Params.train_size;
+        check_int "folds" 10 d.Params.folds;
+        check_bool "fractions include 1%" true
+          (List.mem 0.01 d.Params.attack_fractions);
+        check_bool "fractions include baseline" true
+          (List.mem 0.0 d.Params.attack_fractions);
+        let f = Params.focused () in
+        check_int "inbox" 5_000 f.Params.inbox_size;
+        check_int "attack emails" 300 f.Params.attack_count;
+        check_int "targets" 20 f.Params.targets;
+        check_bool "probabilities" true
+          (f.Params.guess_probabilities = [ 0.1; 0.3; 0.5; 0.9 ]);
+        let r = Params.roni () in
+        check_int "train 20" 20 r.Params.train_size;
+        check_int "validation 50" 50 r.Params.validation_size;
+        check_int "non-attack queries" 120 r.Params.non_attack_queries;
+        let t = Params.threshold () in
+        check_bool "quantiles" true (t.Params.quantiles = [ 0.05; 0.10 ]));
+    test_case "scaling shrinks but respects minima" (fun () ->
+        let d = Params.dictionary ~scale:0.01 () in
+        check_bool "min train" true (d.Params.train_size >= 200);
+        check_bool "min folds" true (d.Params.folds >= 3);
+        let f = Params.focused ~scale:0.01 () in
+        check_bool "min targets" true (f.Params.targets >= 5));
+    test_case "scale above 1 does not shrink repetitions" (fun () ->
+        let d = Params.dictionary ~scale:2.0 () in
+        check_int "folds capped" 10 d.Params.folds;
+        check_int "train doubled" 20_000 d.Params.train_size);
+    test_case "table1 renders both scales" (fun () ->
+        let s1 = Params.table1 () in
+        check_bool "paper" true (String.length s1 > 100);
+        let s2 = Params.table1 ~scale:0.5 () in
+        check_bool "scaled note" true (String.length s2 > 100));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Poison                                                              *)
+
+let tiny_examples =
+  Array.init 40 (fun i ->
+      let label = if i mod 2 = 0 then Label.Ham else Label.Spam in
+      let tokens =
+        match label with
+        | Label.Ham -> [| "meeting"; "budget"; "uniq" ^ string_of_int i |]
+        | Label.Spam -> [| "cheap"; "pills"; "uniq" ^ string_of_int i |]
+      in
+      { Dataset.label; tokens; raw_token_count = 3 })
+
+let poison_tests =
+  [
+    test_case "attack_count reproduces the paper's 101" (fun () ->
+        check_int "1% of 10000" 101
+          (Poison.attack_count ~train_size:10_000 ~fraction:0.01);
+        check_int "zero" 0 (Poison.attack_count ~train_size:10_000 ~fraction:0.0);
+        check_int "10%" 1111
+          (Poison.attack_count ~train_size:10_000 ~fraction:0.10));
+    test_case "attack_count validates the fraction" (fun () ->
+        Alcotest.check_raises "1.0"
+          (Invalid_argument "Poison.attack_count: fraction must lie in [0,1)")
+          (fun () -> ignore (Poison.attack_count ~train_size:10 ~fraction:1.0)));
+    test_case "base_filter trains everything" (fun () ->
+        let f =
+          Poison.base_filter Spamlab_tokenizer.Tokenizer.spambayes tiny_examples
+        in
+        check_int "nham" 20 (Token_db.nham (Filter.db f));
+        check_int "nspam" 20 (Token_db.nspam (Filter.db f)));
+    test_case "poisoned copies, never mutates the base" (fun () ->
+        let base =
+          Poison.base_filter Spamlab_tokenizer.Tokenizer.spambayes tiny_examples
+        in
+        let poisoned =
+          Poison.poisoned base ~payload:[| "meeting"; "budget" |] ~count:50
+        in
+        check_int "base nspam" 20 (Token_db.nspam (Filter.db base));
+        check_int "poisoned nspam" 70 (Token_db.nspam (Filter.db poisoned)));
+    test_case "score_examples + confusion_of_scores coherent" (fun () ->
+        let base =
+          Poison.base_filter Spamlab_tokenizer.Tokenizer.spambayes tiny_examples
+        in
+        let scores = Poison.score_examples base tiny_examples in
+        check_int "one score per example" 40 (Array.length scores);
+        let c = Poison.confusion_of_scores Options.default scores in
+        check_int "total" 40 (Confusion.total c);
+        (* On its own training data the filter separates the classes. *)
+        check_bool "accuracy high" true (Confusion.accuracy c > 0.9));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lab and Registry                                                    *)
+
+let lab_tests =
+  [
+    test_case "lab is deterministic in its seed" (fun () ->
+        let a = Lab.create ~seed:5 ~scale:0.05 () in
+        let b = Lab.create ~seed:5 ~scale:0.05 () in
+        let ca = Lab.corpus a (Lab.rng a "x") ~size:20 ~spam_fraction:0.5 in
+        let cb = Lab.corpus b (Lab.rng b "x") ~size:20 ~spam_fraction:0.5 in
+        check_bool "same tokens" true
+          (Array.for_all2
+             (fun (e1 : Dataset.example) (e2 : Dataset.example) ->
+               e1.Dataset.tokens = e2.Dataset.tokens)
+             ca cb));
+    test_case "word sources have requested sizes" (fun () ->
+        let lab = Lab.create ~seed:1 ~scale:0.05 () in
+        check_int "aspell" 5_000 (Array.length (Lab.aspell lab ~size:5_000));
+        check_int "usenet" 4_000 (Array.length (Lab.usenet_top lab ~size:4_000));
+        check_bool "optimal nonempty" true
+          (Array.length (Lab.optimal_words lab) > 10_000));
+    test_case "accessors" (fun () ->
+        let lab = Lab.create ~seed:9 ~scale:0.3 () in
+        check_int "seed" 9 (Lab.seed lab);
+        Alcotest.(check (float 1e-12)) "scale" 0.3 (Lab.scale lab));
+  ]
+
+let registry_tests =
+  [
+    test_case "all experiments present with unique ids" (fun () ->
+        check_int "count" 20 (List.length Registry.all);
+        let ids = Registry.ids in
+        check_int "unique" (List.length ids)
+          (List.length (List.sort_uniq compare ids));
+        List.iter
+          (fun id -> check_bool id true (Registry.find id <> None))
+          [
+            "table1"; "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "roni"; "tokens";
+            "ablate-disc"; "ablate-band"; "ablate-smooth"; "ablate-coverage";
+            "pseudospam"; "goodword"; "roni-sweep"; "timeline"; "tokenizers"; "budget"; "corpus"; "stealth";
+          ]);
+    test_case "find of unknown id is None" (fun () ->
+        check_bool "none" true (Registry.find "fig99" = None));
+    test_case "table1 experiment runs" (fun () ->
+        match Registry.find "table1" with
+        | None -> Alcotest.fail "missing"
+        | Some e ->
+            let lab = Lab.create ~seed:1 ~scale:0.05 () in
+            check_bool "output" true
+              (String.length (e.Registry.run lab) > 100));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations and extensions                                            *)
+
+let extension_tests =
+  let lab = Lab.create ~seed:21 ~scale:0.05 () in
+  [
+    test_case "discriminator sweep produces a row per setting" (fun () ->
+        let rows = Ablation.discriminator_sweep lab in
+        check_int "rows" 4 (List.length rows);
+        (* Tiny caps lose clean accuracy relative to the default. *)
+        let by_setting s =
+          List.find (fun (r : Ablation.row) -> r.Ablation.setting = s) rows
+        in
+        let tiny = by_setting "max_discriminators=10" in
+        let default = by_setting "max_discriminators=150" in
+        check_bool "tiny cap no better clean" true
+          (tiny.Ablation.clean_ham_misclassified
+           >= default.Ablation.clean_ham_misclassified));
+    test_case "coverage sweep is monotone in attacker knowledge" (fun () ->
+        let rows = Ablation.coverage_sweep lab in
+        check_int "points" 5 (List.length rows);
+        let misclassified = List.map (fun (_, _, m) -> m) rows in
+        let rec non_decreasing = function
+          | a :: (b :: _ as rest) -> a <= b +. 15.0 && non_decreasing rest
+          | _ -> true
+        in
+        (* Allow sampling noise but demand the overall trend. *)
+        check_bool "trend" true (non_decreasing misclassified);
+        let last = List.nth misclassified 4 in
+        let first = List.hd misclassified in
+        check_bool "full knowledge worst" true (last > first));
+    test_case "pseudospam delivers the campaign without ham damage" (fun () ->
+        let points = Extension_exp.pseudospam lab in
+        let baseline = List.hd points in
+        let strongest = List.nth points (List.length points - 1) in
+        check_bool "baseline blocked" true
+          (baseline.Extension_exp.campaign_spam_as_ham < 10.0);
+        check_bool "attack delivers" true
+          (strongest.Extension_exp.campaign_spam_missed
+           > baseline.Extension_exp.campaign_spam_missed);
+        (* Relative check: whitewashing spam as ham must not hurt ham
+           delivery (small-scale baselines carry some clean unsure). *)
+        check_bool "ham unharmed" true
+          (strongest.Extension_exp.ham_damage
+          <= baseline.Extension_exp.ham_damage +. 3.0));
+    test_case "good-word evasion grows with the budget" (fun () ->
+        let points = Extension_exp.good_word lab in
+        let rate b =
+          (List.find
+             (fun (p : Extension_exp.good_word_point) ->
+               p.Extension_exp.words_budget = b)
+             points)
+            .Extension_exp.evasion_rate
+        in
+        check_bool "zero budget, no evasion" true (rate 0 = 0.0);
+        check_bool "big budget evades more" true (rate 200 >= rate 10);
+        check_bool "big budget evades a lot" true (rate 200 > 50.0));
+    test_case "attack transfers across tokenizers" (fun () ->
+        let points = Extension_exp.tokenizer_comparison lab in
+        check_int "three filters" 3 (List.length points);
+        List.iter
+          (fun (p : Extension_exp.tokenizer_point) ->
+            (* Tiny-scale corpora carry noticeable clean unsure mass;
+               the property under test is the attack delta, below. *)
+            check_bool
+              (p.Extension_exp.tokenizer_name ^ " clean ok") true
+              (p.Extension_exp.clean_ham_misclassified < 30.0);
+            check_bool
+              (p.Extension_exp.tokenizer_name ^ " attacked") true
+              (p.Extension_exp.attacked_ham_misclassified
+              > p.Extension_exp.clean_ham_misclassified +. 30.0))
+          points);
+    test_case "stealth splitting preserves coverage at lower visibility"
+      (fun () ->
+        let points = Extension_exp.stealth lab in
+        check_int "points" 4 (List.length points);
+        let first = List.hd points in
+        let last = List.nth points (List.length points - 1) in
+        (* The unsplit email is maximally visible; the smallest chunks
+           blend in. *)
+        check_bool "full email flagged" true
+          (first.Extension_exp.flagged_by_size_filter = 100.0);
+        check_bool "small chunks blend" true
+          (last.Extension_exp.email_size_percentile
+          < first.Extension_exp.email_size_percentile);
+        check_bool "more emails when split" true
+          (last.Extension_exp.attack_emails
+          > first.Extension_exp.attack_emails);
+        check_bool "damage still present" true
+          (last.Extension_exp.ham_misclassified > 10.0));
+    test_case "roni sweep covers the grid" (fun () ->
+        let cells = Extension_exp.roni_sweep lab in
+        check_int "grid" 9 (List.length cells);
+        List.iter
+          (fun (c : Extension_exp.roni_cell) ->
+            check_bool "rates bounded" true
+              (c.Extension_exp.detection_rate >= 0.0
+              && c.Extension_exp.detection_rate <= 100.0
+              && c.Extension_exp.false_positive_rate >= 0.0
+              && c.Extension_exp.false_positive_rate <= 100.0))
+          cells);
+    test_case "render functions produce tables" (fun () ->
+        check_bool "rows" true
+          (String.length
+             (Ablation.render_rows ~title:"t" (Ablation.band_sweep lab))
+          > 50);
+        check_bool "coverage" true
+          (String.length (Ablation.render_coverage (Ablation.coverage_sweep lab))
+          > 50));
+  ]
+
+let () =
+  Alcotest.run "eval"
+    [
+      ("confusion", confusion_tests);
+      ("table", table_tests);
+      ("plot", plot_tests);
+      ("params", params_tests);
+      ("poison", poison_tests);
+      ("lab", lab_tests);
+      ("registry", registry_tests);
+      ("extensions", extension_tests);
+    ]

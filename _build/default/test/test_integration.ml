@@ -1,0 +1,276 @@
+(* End-to-end integration tests: the whole pipeline from corpus
+   generation through attacks and defenses, at a reduced but faithful
+   scale.  These pin the qualitative results of the paper:
+
+   - a clean filter separates ham from spam,
+   - dictionary attacks degrade ham classification sharply,
+   - better-informed word sources hurt more (optimal >= usenet, and
+     usenet covers what aspell misses),
+   - the focused attack flips its target and strengthens with p,
+   - RONI separates attack emails from ordinary spam,
+   - dynamic thresholds keep poisoned ham out of the spam folder. *)
+
+open Spamlab_eval
+open Spamlab_stats
+module Label = Spamlab_spambayes.Label
+module Options = Spamlab_spambayes.Options
+module Filter = Spamlab_spambayes.Filter
+module Classify = Spamlab_spambayes.Classify
+module Dataset = Spamlab_corpus.Dataset
+module Generator = Spamlab_corpus.Generator
+module Trec = Spamlab_corpus.Trec
+module Attack = Spamlab_core.Dictionary_attack
+module Focused = Spamlab_core.Focused_attack
+module Roni = Spamlab_core.Roni
+module Dynamic_threshold = Spamlab_core.Dynamic_threshold
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let test_case name f = Alcotest.test_case name `Quick f
+
+let lab = Lab.create ~seed:42 ~scale:0.05 ()
+let tokenizer = Lab.tokenizer lab
+
+(* One shared train/test split for the attack tests. *)
+let train_examples, test_examples =
+  let examples =
+    Lab.corpus lab (Lab.rng lab "integration-corpus") ~size:600
+      ~spam_fraction:0.5
+  in
+  (Array.sub examples 0 500, Array.sub examples 500 100)
+
+let base_filter = Poison.base_filter tokenizer train_examples
+
+let confusion_of filter examples =
+  Poison.confusion_of_scores Options.default
+    (Poison.score_examples filter examples)
+
+let ham_damage filter =
+  Confusion.ham_misclassified_rate (confusion_of filter test_examples)
+
+let clean_tests =
+  [
+    test_case "clean filter separates the classes" (fun () ->
+        let c = confusion_of base_filter test_examples in
+        check_bool "ham ok" true (Confusion.ham_misclassified_rate c < 0.10);
+        check_bool "spam ok" true (Confusion.spam_misclassified_rate c < 0.10);
+        check_bool "no false positives" true
+          (Confusion.ham_as_spam_rate c < 0.02));
+    test_case "held-out scores order by class" (fun () ->
+        let scores = Poison.score_examples base_filter test_examples in
+        let mean label =
+          let xs =
+            Array.of_list
+              (List.filter_map
+                 (fun (s, g) -> if g = label then Some s else None)
+                 (Array.to_list scores))
+          in
+          Summary.mean xs
+        in
+        check_bool "spam scores higher" true
+          (mean Label.Spam > mean Label.Ham +. 0.5));
+  ]
+
+let dictionary_attack_tests =
+  [
+    test_case "a 5% dictionary attack cripples ham delivery" (fun () ->
+        let payload =
+          Attack.payload tokenizer
+            (Attack.make ~name:"aspell" ~words:(Lab.aspell lab ~size:20_000))
+        in
+        let count = Poison.attack_count ~train_size:500 ~fraction:0.05 in
+        let poisoned = Poison.poisoned base_filter ~payload ~count in
+        let before = ham_damage base_filter in
+        let after = ham_damage poisoned in
+        check_bool "clean is fine" true (before < 0.10);
+        check_bool "poisoned is crippled" true (after > 0.5));
+    test_case "optimal attack dominates aspell at equal size" (fun () ->
+        let optimal_payload =
+          Attack.payload tokenizer
+            (Attack.make ~name:"optimal" ~words:(Lab.optimal_words lab))
+        in
+        let aspell_payload =
+          Attack.payload tokenizer
+            (Attack.make ~name:"aspell" ~words:(Lab.aspell lab ~size:20_000))
+        in
+        let count = Poison.attack_count ~train_size:500 ~fraction:0.02 in
+        let optimal_damage =
+          ham_damage (Poison.poisoned base_filter ~payload:optimal_payload ~count)
+        in
+        let aspell_damage =
+          ham_damage (Poison.poisoned base_filter ~payload:aspell_payload ~count)
+        in
+        check_bool "ordering" true (optimal_damage >= aspell_damage));
+    test_case "attack barely touches spam classification" (fun () ->
+        let payload =
+          Attack.payload tokenizer
+            (Attack.make ~name:"usenet" ~words:(Lab.usenet_top lab ~size:19_000))
+        in
+        let count = Poison.attack_count ~train_size:500 ~fraction:0.05 in
+        let poisoned = Poison.poisoned base_filter ~payload ~count in
+        let c = confusion_of poisoned test_examples in
+        check_bool "spam still caught" true
+          (Confusion.spam_as_ham_rate c < 0.05));
+  ]
+
+let focused_attack_tests =
+  [
+    test_case "focused attack flips a known target" (fun () ->
+        let rng = Lab.rng lab "integration-focused" in
+        let messages =
+          Lab.corpus_messages lab rng ~size:400 ~spam_fraction:0.5
+        in
+        let examples = Dataset.of_labeled tokenizer messages in
+        let filter = Poison.base_filter tokenizer examples in
+        let header_pool =
+          Array.map Spamlab_email.Message.headers (Trec.spam_only messages)
+        in
+        let target = Generator.ham (Lab.config lab) rng in
+        let before = (Filter.classify filter target).Classify.verdict in
+        check_bool "target delivered before" true (before = Label.Ham_v);
+        let plan = Focused.craft rng ~target ~p:0.9 ~count:60 ~header_pool in
+        Focused.train filter plan;
+        let after = (Filter.classify filter target).Classify.verdict in
+        check_bool "target blocked after" true (after <> Label.Ham_v));
+    test_case "attack strength grows with guess probability" (fun () ->
+        let rng = Lab.rng lab "integration-focused-p" in
+        let messages =
+          Lab.corpus_messages lab rng ~size:400 ~spam_fraction:0.5
+        in
+        let examples = Dataset.of_labeled tokenizer messages in
+        let base = Poison.base_filter tokenizer examples in
+        let header_pool =
+          Array.map Spamlab_email.Message.headers (Trec.spam_only messages)
+        in
+        let mean_indicator p =
+          let acc = ref 0.0 in
+          let n = 10 in
+          for _ = 1 to n do
+            let target = Generator.ham (Lab.config lab) rng in
+            let filter = Filter.copy base in
+            let plan = Focused.craft rng ~target ~p ~count:60 ~header_pool in
+            Focused.train filter plan;
+            acc := !acc +. (Filter.classify filter target).Classify.indicator
+          done;
+          !acc /. float_of_int n
+        in
+        let weak = mean_indicator 0.1 in
+        let strong = mean_indicator 0.9 in
+        check_bool "monotone in p" true (strong > weak));
+  ]
+
+let defense_tests =
+  [
+    test_case "RONI separates attack emails from ordinary spam" (fun () ->
+        let rng = Lab.rng lab "integration-roni" in
+        let pool =
+          Lab.corpus lab rng ~size:200 ~spam_fraction:0.5
+        in
+        let attack_payload =
+          Attack.payload tokenizer
+            (Attack.make ~name:"usenet" ~words:(Lab.usenet_top lab ~size:19_000))
+        in
+        let attack = Roni.assess rng ~pool ~candidate:attack_payload in
+        let benign_spam =
+          Dataset.of_message tokenizer Label.Spam
+            (Generator.spam (Lab.config lab) rng)
+        in
+        let benign = Roni.assess rng ~pool ~candidate:benign_spam.Dataset.tokens in
+        check_bool "attack rejected" true attack.Roni.rejected;
+        check_bool "benign accepted" false benign.Roni.rejected;
+        check_bool "margin" true
+          (attack.Roni.mean_ham_impact > benign.Roni.mean_ham_impact +. 2.0));
+    test_case "dynamic thresholds keep poisoned ham out of the spam folder"
+      (fun () ->
+        let payload =
+          Attack.payload tokenizer
+            (Attack.make ~name:"usenet" ~words:(Lab.usenet_top lab ~size:19_000))
+        in
+        let count = Poison.attack_count ~train_size:500 ~fraction:0.05 in
+        let poisoned = Poison.poisoned base_filter ~payload ~count in
+        (* Derive thresholds from the poisoned training distribution. *)
+        let rng = Lab.rng lab "integration-threshold" in
+        let half_a, half_b = Dataset.split rng 0.5 train_examples in
+        let derivation = Poison.base_filter tokenizer half_a in
+        let derivation = Poison.poisoned derivation ~payload ~count:(count / 2) in
+        let scores =
+          Array.append
+            (Array.map
+               (fun (e : Dataset.example) ->
+                 ((Dataset.classify derivation e).Classify.indicator,
+                  e.Dataset.label, 1))
+               half_b)
+            [| ((Filter.classify_tokens derivation payload).Classify.indicator,
+                Label.Spam, count - (count / 2)) |]
+        in
+        let theta0, theta1 = Dynamic_threshold.thresholds_of_scores scores in
+        let options = Options.with_cutoffs Options.default ~ham:theta0 ~spam:theta1 in
+        let undefended =
+          Poison.confusion_of_scores Options.default
+            (Poison.score_examples poisoned test_examples)
+        in
+        let defended =
+          Poison.confusion_of_scores options
+            (Poison.score_examples poisoned test_examples)
+        in
+        check_bool "defense reduces ham-as-spam" true
+          (Confusion.ham_as_spam_rate defended
+          <= Confusion.ham_as_spam_rate undefended);
+        check_bool "defended ham-as-spam near zero" true
+          (Confusion.ham_as_spam_rate defended < 0.05));
+  ]
+
+let persistence_tests =
+  [
+    test_case "filter state survives save/load byte-for-byte" (fun () ->
+        let path = Filename.temp_file "spamlab" ".db" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Filter.save_file base_filter path;
+            match Filter.load_file path with
+            | Error e -> Alcotest.fail e
+            | Ok loaded ->
+                Array.iter
+                  (fun (e : Dataset.example) ->
+                    let a = (Dataset.classify base_filter e).Classify.indicator in
+                    let b = (Dataset.classify loaded e).Classify.indicator in
+                    Alcotest.(check (float 1e-12)) "same score" a b)
+                  test_examples));
+    test_case "corpus mbox round-trip preserves classification" (fun () ->
+        let rng = Lab.rng lab "integration-mbox" in
+        let corpus = Lab.corpus_messages lab rng ~size:30 ~spam_fraction:0.5 in
+        let ham_path = Filename.temp_file "spamlab" ".ham" in
+        let spam_path = Filename.temp_file "spamlab" ".spam" in
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.remove ham_path;
+            Sys.remove spam_path)
+          (fun () ->
+            Trec.to_mbox_files ~ham_path ~spam_path corpus;
+            match Trec.of_mbox_files ~ham_path ~spam_path with
+            | Error e -> Alcotest.fail e
+            | Ok loaded ->
+                check_int "size" 30 (Array.length loaded);
+                (* Tokenization must agree after the round-trip. *)
+                let tokens_of c =
+                  List.sort compare
+                    (Array.to_list c
+                    |> List.concat_map (fun (_, m) ->
+                           Array.to_list
+                             (Spamlab_tokenizer.Tokenizer.unique_tokens
+                                tokenizer m)))
+                in
+                check_bool "same token multiset" true
+                  (tokens_of corpus = tokens_of loaded)));
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("clean", clean_tests);
+      ("dictionary_attack", dictionary_attack_tests);
+      ("focused_attack", focused_attack_tests);
+      ("defenses", defense_tests);
+      ("persistence", persistence_tests);
+    ]

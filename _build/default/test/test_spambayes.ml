@@ -1,0 +1,555 @@
+(* Tests for the SpamBayes learner: token database, Robinson scores,
+   Fisher classification, filter assembly. *)
+
+open Spamlab_spambayes
+module Header = Spamlab_email.Header
+module Message = Spamlab_email.Message
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+let test_case name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Label                                                               *)
+
+let label_tests =
+  [
+    test_case "string conversions" (fun () ->
+        check_str "ham" "ham" (Label.gold_to_string Label.Ham);
+        check_str "spam" "spam" (Label.gold_to_string Label.Spam);
+        check_str "unsure" "unsure" (Label.verdict_to_string Label.Unsure_v);
+        check_bool "parse ham" true (Label.gold_of_string "ham" = Ok Label.Ham);
+        check_bool "parse bad" true
+          (Result.is_error (Label.gold_of_string "nope"));
+        check_bool "verdict parse" true
+          (Label.verdict_of_verdict_string "unsure" = Ok Label.Unsure_v));
+    test_case "verdict_agrees" (fun () ->
+        check_bool "ham-ham" true (Label.verdict_agrees Label.Ham Label.Ham_v);
+        check_bool "spam-spam" true
+          (Label.verdict_agrees Label.Spam Label.Spam_v);
+        check_bool "ham-unsure" false
+          (Label.verdict_agrees Label.Ham Label.Unsure_v);
+        check_bool "spam-ham" false
+          (Label.verdict_agrees Label.Spam Label.Ham_v));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+
+let options_tests =
+  [
+    test_case "defaults match the paper" (fun () ->
+        let o = Options.default in
+        check_float "x" 0.5 o.Options.unknown_word_prob;
+        check_float "s" 0.45 o.Options.unknown_word_strength;
+        check_float "theta0" 0.15 o.Options.ham_cutoff;
+        check_float "theta1" 0.9 o.Options.spam_cutoff;
+        check_int "max disc" 150 o.Options.max_discriminators;
+        check_float "band" 0.1 o.Options.minimum_prob_strength);
+    test_case "validate accepts defaults" (fun () ->
+        check_bool "ok" true (Result.is_ok (Options.validate Options.default)));
+    test_case "validate rejects each bad field" (fun () ->
+        let bad f = Result.is_error (Options.validate f) in
+        let d = Options.default in
+        check_bool "x" true (bad { d with Options.unknown_word_prob = 1.5 });
+        check_bool "s" true (bad { d with Options.unknown_word_strength = 0.0 });
+        check_bool "cutoffs" true
+          (bad { d with Options.ham_cutoff = 0.95 });
+        check_bool "disc" true (bad { d with Options.max_discriminators = 0 });
+        check_bool "band" true
+          (bad { d with Options.minimum_prob_strength = 0.6 }));
+    test_case "with_cutoffs" (fun () ->
+        let o = Options.with_cutoffs Options.default ~ham:0.2 ~spam:0.8 in
+        check_float "ham" 0.2 o.Options.ham_cutoff;
+        check_float "spam" 0.8 o.Options.spam_cutoff;
+        Alcotest.check_raises "bad"
+          (Invalid_argument
+             "Options.with_cutoffs: cutoffs must satisfy 0 <= ham < spam <= 1")
+          (fun () -> ignore (Options.with_cutoffs Options.default ~ham:0.9 ~spam:0.1)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Token_db                                                            *)
+
+let db_with training =
+  let db = Token_db.create () in
+  List.iter (fun (label, tokens) -> Token_db.train db label (Array.of_list tokens)) training;
+  db
+
+let token_db_tests =
+  [
+    test_case "train updates counts" (fun () ->
+        let db =
+          db_with
+            [ (Label.Spam, [ "cheap"; "pills" ]); (Label.Ham, [ "meeting"; "pills" ]) ]
+        in
+        check_int "nspam" 1 (Token_db.nspam db);
+        check_int "nham" 1 (Token_db.nham db);
+        check_int "spam(cheap)" 1 (Token_db.spam_count db "cheap");
+        check_int "ham(cheap)" 0 (Token_db.ham_count db "cheap");
+        check_int "spam(pills)" 1 (Token_db.spam_count db "pills");
+        check_int "ham(pills)" 1 (Token_db.ham_count db "pills");
+        check_int "unknown" 0 (Token_db.spam_count db "nothing");
+        check_int "distinct" 3 (Token_db.distinct_tokens db));
+    test_case "train_many equals repeated train" (fun () ->
+        let a = Token_db.create () in
+        let b = Token_db.create () in
+        let tokens = [| "x"; "y" |] in
+        Token_db.train_many a Label.Spam tokens 5;
+        for _ = 1 to 5 do
+          Token_db.train b Label.Spam tokens
+        done;
+        check_int "nspam" (Token_db.nspam b) (Token_db.nspam a);
+        check_int "x" (Token_db.spam_count b "x") (Token_db.spam_count a "x"));
+    test_case "train_many zero is a no-op" (fun () ->
+        let db = Token_db.create () in
+        Token_db.train_many db Label.Ham [| "z" |] 0;
+        check_int "nham" 0 (Token_db.nham db);
+        check_int "z" 0 (Token_db.ham_count db "z"));
+    test_case "train_many rejects negative" (fun () ->
+        let db = Token_db.create () in
+        Alcotest.check_raises "neg"
+          (Invalid_argument "Token_db.train_many: negative count") (fun () ->
+            Token_db.train_many db Label.Ham [| "z" |] (-1)));
+    test_case "untrain inverts train" (fun () ->
+        let db = db_with [ (Label.Ham, [ "a"; "b" ]) ] in
+        Token_db.train db Label.Spam [| "a"; "c" |];
+        Token_db.untrain db Label.Spam [| "a"; "c" |];
+        check_int "nspam" 0 (Token_db.nspam db);
+        check_int "spam a" 0 (Token_db.spam_count db "a");
+        check_int "ham a" 1 (Token_db.ham_count db "a");
+        check_int "c gone" 0 (Token_db.spam_count db "c");
+        check_int "distinct" 2 (Token_db.distinct_tokens db));
+    test_case "untrain of untrained message fails atomically" (fun () ->
+        let db = db_with [ (Label.Spam, [ "a" ]) ] in
+        check_bool "raises" true
+          (try
+             Token_db.untrain db Label.Spam [| "a"; "never-seen" |];
+             false
+           with Invalid_argument _ -> true);
+        (* The failed untrain must not have decremented anything. *)
+        check_int "nspam intact" 1 (Token_db.nspam db);
+        check_int "a intact" 1 (Token_db.spam_count db "a"));
+    test_case "untrain without messages of that class fails" (fun () ->
+        let db = db_with [ (Label.Spam, [ "a" ]) ] in
+        check_bool "raises" true
+          (try
+             Token_db.untrain db Label.Ham [| "a" |];
+             false
+           with Invalid_argument _ -> true));
+    test_case "copy is independent" (fun () ->
+        let db = db_with [ (Label.Ham, [ "x" ]) ] in
+        let copy = Token_db.copy db in
+        Token_db.train copy Label.Spam [| "x" |];
+        check_int "original spam" 0 (Token_db.spam_count db "x");
+        check_int "copy spam" 1 (Token_db.spam_count copy "x"));
+    test_case "save/load round-trip" (fun () ->
+        let db =
+          db_with
+            [ (Label.Spam, [ "alpha"; "beta" ]); (Label.Ham, [ "alpha" ]);
+              (Label.Ham, [ "gamma" ]) ]
+        in
+        let path = Filename.temp_file "spamlab" ".db" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            Token_db.save oc db;
+            close_out oc;
+            let ic = open_in path in
+            let loaded = Token_db.load ic in
+            close_in ic;
+            match loaded with
+            | Error e -> Alcotest.fail e
+            | Ok db' ->
+                check_int "nspam" (Token_db.nspam db) (Token_db.nspam db');
+                check_int "nham" (Token_db.nham db) (Token_db.nham db');
+                check_int "alpha spam" 1 (Token_db.spam_count db' "alpha");
+                check_int "alpha ham" 1 (Token_db.ham_count db' "alpha");
+                check_int "distinct" (Token_db.distinct_tokens db)
+                  (Token_db.distinct_tokens db')));
+    test_case "load rejects garbage" (fun () ->
+        let path = Filename.temp_file "spamlab" ".db" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc "not a db\n";
+            close_out oc;
+            let ic = open_in path in
+            let r = Token_db.load ic in
+            close_in ic;
+            check_bool "error" true (Result.is_error r)));
+    test_case "fold visits every token" (fun () ->
+        let db = db_with [ (Label.Ham, [ "a"; "b"; "c" ]) ] in
+        check_int "count" 3
+          (Token_db.fold (fun acc _ ~spam:_ ~ham:_ -> acc + 1) 0 db));
+    qtest "train/untrain round-trip is identity on counts"
+      QCheck2.Gen.(
+        list_size (int_range 1 10)
+          (string_size ~gen:(char_range 'a' 'f') (int_range 1 4)))
+      (fun words ->
+        let tokens = Array.of_list (List.sort_uniq compare words) in
+        let db = db_with [ (Label.Ham, [ "base" ]) ] in
+        Token_db.train db Label.Spam tokens;
+        Token_db.untrain db Label.Spam tokens;
+        Token_db.nspam db = 0
+        && Array.for_all (fun t -> Token_db.spam_count db t = 0) tokens);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Score                                                               *)
+
+let score_tests =
+  [
+    test_case "raw matches Eq. 1 by hand" (fun () ->
+        (* 2 spam messages (1 with w), 4 ham (1 with w):
+           PS = (NH*NS(w)) / (NH*NS(w) + NS*NH(w)) = 4 / (4 + 2) = 2/3 *)
+        let db =
+          db_with
+            [ (Label.Spam, [ "w"; "s1" ]); (Label.Spam, [ "s2" ]);
+              (Label.Ham, [ "w" ]); (Label.Ham, [ "h1" ]);
+              (Label.Ham, [ "h2" ]); (Label.Ham, [ "h3" ]) ]
+        in
+        match Score.raw db "w" with
+        | Some ps -> check_close 1e-12 "ps" (2.0 /. 3.0) ps
+        | None -> Alcotest.fail "expected a score");
+    test_case "raw is None for unknown tokens" (fun () ->
+        let db = db_with [ (Label.Spam, [ "x" ]) ] in
+        check_bool "none" true (Score.raw db "y" = None));
+    test_case "raw spam-only token is 1, ham-only is 0" (fun () ->
+        let db = db_with [ (Label.Spam, [ "s" ]); (Label.Ham, [ "h" ]) ] in
+        check_bool "spam-only" true (Score.raw db "s" = Some 1.0);
+        check_bool "ham-only" true (Score.raw db "h" = Some 0.0));
+    test_case "smoothed matches Eq. 2 by hand" (fun () ->
+        (* token in 1 spam of 1, 0 ham of 1: PS=1, N=1
+           f = (0.45*0.5 + 1*1)/(0.45+1) = 1.225/1.45 *)
+        let db = db_with [ (Label.Spam, [ "w" ]); (Label.Ham, [ "h" ]) ] in
+        check_close 1e-12 "f" (1.225 /. 1.45)
+          (Score.smoothed Options.default db "w"));
+    test_case "unknown token scores the prior" (fun () ->
+        let db = db_with [ (Label.Spam, [ "x" ]); (Label.Ham, [ "y" ]) ] in
+        check_float "prior" 0.5 (Score.smoothed Options.default db "zzz"));
+    test_case "empty database scores the prior" (fun () ->
+        let db = Token_db.create () in
+        check_float "prior" 0.5 (Score.smoothed Options.default db "any"));
+    test_case "more evidence moves f further from prior" (fun () ->
+        let weak = db_with [ (Label.Spam, [ "w" ]); (Label.Ham, [ "h" ]) ] in
+        let strong =
+          db_with
+            [ (Label.Spam, [ "w" ]); (Label.Spam, [ "w" ]);
+              (Label.Spam, [ "w" ]); (Label.Ham, [ "h" ]);
+              (Label.Ham, [ "h2" ]); (Label.Ham, [ "h3" ]) ]
+        in
+        check_bool "stronger" true
+          (Score.smoothed Options.default strong "w"
+          > Score.smoothed Options.default weak "w"));
+    test_case "strength and significance" (fun () ->
+        let db = db_with [ (Label.Spam, [ "s" ]); (Label.Ham, [ "h" ]) ] in
+        check_bool "significant spam token" true
+          (Score.is_significant Options.default db "s");
+        check_bool "unknown not significant" false
+          (Score.is_significant Options.default db "unseen");
+        check_close 1e-12 "strength of unknown" 0.0
+          (Score.strength Options.default db "unseen"));
+    qtest "smoothed always in (0,1)"
+      QCheck2.Gen.(
+        pair (int_range 0 5) (int_range 0 5))
+      (fun (s, h) ->
+        let db = Token_db.create () in
+        for _ = 1 to s do
+          Token_db.train db Label.Spam [| "w" |]
+        done;
+        for _ = 1 to h do
+          Token_db.train db Label.Ham [| "w" |]
+        done;
+        let f = Score.smoothed Options.default db "w" in
+        f > 0.0 && f < 1.0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Classify                                                            *)
+
+let training_db () =
+  let db = Token_db.create () in
+  (* 10 spam with spammy vocab, 10 ham with hammy vocab, overlap word. *)
+  for i = 1 to 10 do
+    Token_db.train db Label.Spam
+      [| "viagra"; "cheap"; "offer"; "sale" ^ string_of_int i; "common" |];
+    Token_db.train db Label.Ham
+      [| "meeting"; "report"; "budget"; "note" ^ string_of_int i; "common" |]
+  done;
+  db
+
+let classify_tests =
+  [
+    test_case "discriminators exclude the neutral band" (fun () ->
+        let db = training_db () in
+        let clues =
+          Classify.select_discriminators Options.default db
+            [| "viagra"; "common"; "meeting" |]
+        in
+        let tokens = List.map (fun c -> c.Classify.token) clues in
+        check_bool "viagra in" true (List.mem "viagra" tokens);
+        check_bool "meeting in" true (List.mem "meeting" tokens);
+        check_bool "common excluded" false (List.mem "common" tokens));
+    test_case "discriminators sorted by strength" (fun () ->
+        let db = training_db () in
+        Token_db.train db Label.Spam [| "weakish" |];
+        Token_db.train db Label.Ham [| "weakish" |];
+        Token_db.train db Label.Spam [| "weakish" |];
+        let clues =
+          Classify.select_discriminators Options.default db
+            [| "weakish"; "viagra" |]
+        in
+        match clues with
+        | first :: _ -> check_str "strongest first" "viagra" first.Classify.token
+        | [] -> Alcotest.fail "no clues");
+    test_case "max_discriminators caps the clue list" (fun () ->
+        let db = Token_db.create () in
+        let tokens = Array.init 300 (fun i -> "tok" ^ string_of_int i) in
+        Token_db.train db Label.Spam tokens;
+        Token_db.train db Label.Ham [| "other" |];
+        let options = { Options.default with Options.max_discriminators = 7 } in
+        let clues = Classify.select_discriminators options db tokens in
+        check_int "capped" 7 (List.length clues));
+    test_case "no evidence scores 0.5 and lands unsure" (fun () ->
+        let r = Classify.score_tokens Options.default (Token_db.create ()) [| "a"; "b" |] in
+        check_float "indicator" 0.5 r.Classify.indicator;
+        check_bool "unsure" true (r.Classify.verdict = Label.Unsure_v));
+    test_case "verdict thresholds at the boundaries" (fun () ->
+        let v = Classify.verdict_of_indicator Options.default in
+        check_bool "0 ham" true (v 0.0 = Label.Ham_v);
+        check_bool "0.15 ham (inclusive)" true (v 0.15 = Label.Ham_v);
+        check_bool "0.1500001 unsure" true (v 0.1500001 = Label.Unsure_v);
+        check_bool "0.9 unsure (inclusive)" true (v 0.9 = Label.Unsure_v);
+        check_bool "0.9000001 spam" true (v 0.9000001 = Label.Spam_v);
+        check_bool "1 spam" true (v 1.0 = Label.Spam_v));
+    test_case "spammy tokens classify spam, hammy ham" (fun () ->
+        let db = training_db () in
+        let spam_result =
+          Classify.score_tokens Options.default db [| "viagra"; "cheap"; "offer" |]
+        in
+        let ham_result =
+          Classify.score_tokens Options.default db [| "meeting"; "report"; "budget" |]
+        in
+        check_bool "spam" true (spam_result.Classify.verdict = Label.Spam_v);
+        check_bool "ham" true (ham_result.Classify.verdict = Label.Ham_v);
+        check_bool "order" true
+          (spam_result.Classify.indicator > ham_result.Classify.indicator));
+    test_case "indicator_of_clues empty is 0.5" (fun () ->
+        check_float "empty" 0.5 (Classify.indicator_of_clues []));
+    qtest "indicator always in [0,1]"
+      QCheck2.Gen.(
+        list_size (int_range 1 30) (float_range 0.01 0.99))
+      (fun scores ->
+        let clues =
+          List.mapi
+            (fun i score -> { Classify.token = "t" ^ string_of_int i; score })
+            scores
+        in
+        let i = Classify.indicator_of_clues clues in
+        i >= 0.0 && i <= 1.0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Filter                                                              *)
+
+let mk_msg subject body =
+  Message.make ~headers:(Header.of_list [ ("Subject", subject) ]) body
+
+let filter_tests =
+  [
+    test_case "end-to-end train and classify" (fun () ->
+        let filter = Filter.create () in
+        for _ = 1 to 8 do
+          Filter.train filter Label.Spam
+            (mk_msg "cheap pills" "buy cheap pills online today");
+          Filter.train filter Label.Ham
+            (mk_msg "budget meeting" "quarterly budget review meeting notes")
+        done;
+        let spam_score = Filter.score filter (mk_msg "pills" "cheap pills online") in
+        let ham_score = Filter.score filter (mk_msg "meeting" "budget meeting notes") in
+        check_bool "spam high" true (spam_score > 0.9);
+        check_bool "ham low" true (ham_score < 0.15));
+    test_case "filter copy is independent" (fun () ->
+        let filter = Filter.create () in
+        Filter.train filter Label.Ham (mk_msg "a" "alpha beta gamma");
+        let copy = Filter.copy filter in
+        Filter.train copy Label.Spam (mk_msg "b" "delta epsilon zeta");
+        check_int "original nspam" 0 (Token_db.nspam (Filter.db filter));
+        check_int "copy nspam" 1 (Token_db.nspam (Filter.db copy)));
+    test_case "set_options shares the database" (fun () ->
+        let filter = Filter.create () in
+        Filter.train filter Label.Ham (mk_msg "a" "alpha beta gamma");
+        let strict =
+          Filter.set_options filter
+            (Options.with_cutoffs (Filter.options filter) ~ham:0.05 ~spam:0.5)
+        in
+        check_int "same nham" 1 (Token_db.nham (Filter.db strict));
+        check_bool "same db" true (Filter.db strict == Filter.db filter));
+    test_case "train_corpus trains everything" (fun () ->
+        let filter = Filter.create () in
+        Filter.train_corpus filter
+          [ (Label.Ham, mk_msg "a" "one two three");
+            (Label.Spam, mk_msg "b" "four five six") ];
+        check_int "nham" 1 (Token_db.nham (Filter.db filter));
+        check_int "nspam" 1 (Token_db.nspam (Filter.db filter)));
+    test_case "untrain reverses a training mistake" (fun () ->
+        let filter = Filter.create () in
+        let msg = mk_msg "oops" "mistaken words here" in
+        Filter.train filter Label.Spam msg;
+        Filter.untrain filter Label.Spam msg;
+        check_int "nspam" 0 (Token_db.nspam (Filter.db filter));
+        check_int "distinct" 0 (Token_db.distinct_tokens (Filter.db filter)));
+    test_case "save/load file round-trip preserves classification" (fun () ->
+        let filter = Filter.create () in
+        for _ = 1 to 5 do
+          Filter.train filter Label.Spam (mk_msg "win" "win money now fast");
+          Filter.train filter Label.Ham (mk_msg "log" "server log attached here")
+        done;
+        let path = Filename.temp_file "spamlab" ".filter" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Filter.save_file filter path;
+            match Filter.load_file path with
+            | Error e -> Alcotest.fail e
+            | Ok loaded ->
+                let probe = mk_msg "win" "win money fast" in
+                check_close 1e-12 "same score" (Filter.score filter probe)
+                  (Filter.score loaded probe)));
+    test_case "token_score of unknown is the prior" (fun () ->
+        let filter = Filter.create () in
+        check_float "prior" 0.5 (Filter.token_score filter "unseen"));
+    test_case "features uses the filter's tokenizer" (fun () ->
+        let filter =
+          Filter.create ~tokenizer:Spamlab_tokenizer.Tokenizer.bogofilter ()
+        in
+        let feats = Filter.features filter (mk_msg "Topic" "extraordinarily long") in
+        check_bool "bogofilter keeps long words" true
+          (Array.exists (( = ) "extraordinarily") feats));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-cutting properties                                            *)
+
+let property_tests =
+  [
+    qtest "verdict is monotone in the indicator" ~count:200
+      QCheck2.Gen.(pair (float_range 0.0 1.0) (float_range 0.0 1.0))
+      (fun (a, b) ->
+        let lo = Float.min a b and hi = Float.max a b in
+        let rank v =
+          match Classify.verdict_of_indicator Options.default v with
+          | Label.Ham_v -> 0
+          | Label.Unsure_v -> 1
+          | Label.Spam_v -> 2
+        in
+        rank lo <= rank hi);
+    qtest "adding a spammy clue never lowers the indicator" ~count:100
+      QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.05 0.95))
+      (fun scores ->
+        let clues =
+          List.mapi
+            (fun i score -> { Classify.token = "t" ^ string_of_int i; score })
+            scores
+        in
+        let with_spammy =
+          { Classify.token = "spammy"; score = 0.99 } :: clues
+        in
+        Classify.indicator_of_clues with_spammy
+        >= Classify.indicator_of_clues clues -. 1e-9);
+    qtest "train_many k equals k trains for random token sets" ~count:50
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 8)
+             (string_size ~gen:(char_range 'a' 'f') (int_range 1 4)))
+          (int_range 0 7))
+      (fun (words, k) ->
+        let tokens = Array.of_list (List.sort_uniq compare words) in
+        let a = Token_db.create () in
+        let b = Token_db.create () in
+        Token_db.train_many a Label.Spam tokens k;
+        for _ = 1 to k do
+          Token_db.train b Label.Spam tokens
+        done;
+        Token_db.nspam a = Token_db.nspam b
+        && Array.for_all
+             (fun t -> Token_db.spam_count a t = Token_db.spam_count b t)
+             tokens);
+    qtest "save/load round-trips random databases" ~count:50
+      QCheck2.Gen.(
+        list_size (int_range 0 20)
+          (triple
+             (string_size ~gen:(char_range 'a' 'h') (int_range 1 5))
+             bool (int_range 1 3)))
+      (fun entries ->
+        let db = Token_db.create () in
+        List.iter
+          (fun (token, is_spam, times) ->
+            let label = if is_spam then Label.Spam else Label.Ham in
+            Token_db.train_many db label [| token |] times)
+          entries;
+        let path = Filename.temp_file "spamlab-prop" ".db" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            Token_db.save oc db;
+            close_out oc;
+            let ic = open_in path in
+            let result = Token_db.load ic in
+            close_in ic;
+            match result with
+            | Error _ -> false
+            | Ok db' ->
+                Token_db.nspam db = Token_db.nspam db'
+                && Token_db.nham db = Token_db.nham db'
+                && Token_db.distinct_tokens db = Token_db.distinct_tokens db'
+                && Token_db.fold
+                     (fun acc token ~spam ~ham ->
+                       acc
+                       && Token_db.spam_count db' token = spam
+                       && Token_db.ham_count db' token = ham)
+                     true db));
+    qtest "score_tokens indicator bounded for random dbs" ~count:100
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 15)
+             (triple
+                (string_size ~gen:(char_range 'a' 'e') (int_range 1 3))
+                bool (int_range 1 4)))
+          (list_size (int_range 1 10)
+             (string_size ~gen:(char_range 'a' 'e') (int_range 1 3))))
+      (fun (training, message) ->
+        let db = Token_db.create () in
+        List.iter
+          (fun (token, is_spam, times) ->
+            let label = if is_spam then Label.Spam else Label.Ham in
+            Token_db.train_many db label [| token |] times)
+          training;
+        let tokens =
+          Array.of_list (List.sort_uniq compare message)
+        in
+        let r = Classify.score_tokens Options.default db tokens in
+        r.Classify.indicator >= 0.0 && r.Classify.indicator <= 1.0);
+  ]
+
+let () =
+  Alcotest.run "spambayes"
+    [
+      ("label", label_tests);
+      ("options", options_tests);
+      ("token_db", token_db_tests);
+      ("score", score_tests);
+      ("classify", classify_tests);
+      ("filter", filter_tests);
+      ("properties", property_tests);
+    ]

@@ -1,0 +1,472 @@
+(* Unit and property tests for the statistics substrate. *)
+
+open Spamlab_stats
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tolerance = Alcotest.(check (float tolerance))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_case name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let rng_tests =
+  [
+    test_case "same seed, same stream" (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "bits" (Rng.bits64 a) (Rng.bits64 b)
+        done);
+    test_case "different seeds differ" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        check_bool "streams differ" true (Rng.bits64 a <> Rng.bits64 b));
+    test_case "copy replays the stream" (fun () ->
+        let a = Rng.create 99 in
+        ignore (Rng.bits64 a);
+        let b = Rng.copy a in
+        Alcotest.(check int64) "next value equal" (Rng.bits64 a) (Rng.bits64 b));
+    test_case "split diverges from parent" (fun () ->
+        let a = Rng.create 5 in
+        let child = Rng.split a in
+        check_bool "child differs" true (Rng.bits64 child <> Rng.bits64 a));
+    test_case "split_named ignores consumption position" (fun () ->
+        let a = Rng.create 11 in
+        let b = Rng.create 11 in
+        ignore (Rng.bits64 b);
+        ignore (Rng.bits64 b);
+        let from_a = Rng.split_named a "x" in
+        let from_b = Rng.split_named b "x" in
+        Alcotest.(check int64) "same derived stream" (Rng.bits64 from_a)
+          (Rng.bits64 from_b));
+    test_case "split_named distinct names distinct streams" (fun () ->
+        let r = Rng.create 3 in
+        let a = Rng.split_named r "alpha" in
+        let b = Rng.split_named r "beta" in
+        check_bool "streams differ" true (Rng.bits64 a <> Rng.bits64 b));
+    test_case "int rejects non-positive bound" (fun () ->
+        let r = Rng.create 0 in
+        Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Rng.int r 0)));
+    test_case "int_in covers inclusive range" (fun () ->
+        let r = Rng.create 17 in
+        let seen = Array.make 5 false in
+        for _ = 1 to 500 do
+          seen.(Rng.int_in r 0 4) <- true
+        done;
+        Array.iteri (fun i s -> check_bool (string_of_int i) true s) seen);
+    test_case "bernoulli extremes" (fun () ->
+        let r = Rng.create 23 in
+        for _ = 1 to 50 do
+          check_bool "p=0" false (Rng.bernoulli r 0.0);
+          check_bool "p=1" true (Rng.bernoulli r 1.0)
+        done);
+    test_case "sample_without_replacement distinct" (fun () ->
+        let r = Rng.create 31 in
+        let arr = Array.init 20 (fun i -> i) in
+        let s = Rng.sample_without_replacement r 10 arr in
+        check_int "length" 10 (Array.length s);
+        let sorted = Array.copy s in
+        Array.sort compare sorted;
+        for i = 1 to 9 do
+          check_bool "distinct" true (sorted.(i) <> sorted.(i - 1))
+        done);
+    test_case "sample_without_replacement rejects oversize" (fun () ->
+        let r = Rng.create 1 in
+        Alcotest.check_raises "k too big"
+          (Invalid_argument "Rng.sample_without_replacement: k out of range")
+          (fun () -> ignore (Rng.sample_without_replacement r 3 [| 1; 2 |])));
+    test_case "choose rejects empty" (fun () ->
+        let r = Rng.create 1 in
+        Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+          (fun () -> ignore (Rng.choose r ([||] : int array))));
+    test_case "seed_of" (fun () ->
+        check_int "seed" 42 (Rng.seed_of (Rng.create 42)));
+    qtest "float in [0,1)" QCheck2.Gen.int (fun seed ->
+        let r = Rng.create seed in
+        let x = Rng.float r in
+        x >= 0.0 && x < 1.0);
+    qtest "int within bound"
+      QCheck2.Gen.(pair int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let r = Rng.create seed in
+        let x = Rng.int r bound in
+        x >= 0 && x < bound);
+    qtest "shuffle preserves multiset"
+      QCheck2.Gen.(pair int (list_size (int_range 0 50) small_int))
+      (fun (seed, xs) ->
+        let r = Rng.create seed in
+        let arr = Array.of_list xs in
+        Rng.shuffle r arr;
+        List.sort compare (Array.to_list arr) = List.sort compare xs);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Special functions                                                   *)
+
+let special_tests =
+  [
+    test_case "log_gamma at integers" (fun () ->
+        check_close 1e-10 "ln G(1)" 0.0 (Special.log_gamma 1.0);
+        check_close 1e-10 "ln G(2)" 0.0 (Special.log_gamma 2.0);
+        check_close 1e-9 "ln G(5)" (log 24.0) (Special.log_gamma 5.0);
+        check_close 1e-9 "ln G(11)" (log 3628800.0) (Special.log_gamma 11.0));
+    test_case "log_gamma at half-integers" (fun () ->
+        check_close 1e-10 "ln G(0.5)" (0.5 *. log Float.pi)
+          (Special.log_gamma 0.5);
+        check_close 1e-9 "ln G(1.5)" (log (0.5 *. sqrt Float.pi))
+          (Special.log_gamma 1.5));
+    test_case "log_gamma rejects non-positive" (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Special.log_gamma: requires x > 0") (fun () ->
+            ignore (Special.log_gamma 0.0)));
+    test_case "gamma_p + gamma_q = 1" (fun () ->
+        List.iter
+          (fun (a, x) ->
+            check_close 1e-10 "sum" 1.0
+              (Special.gamma_p a x +. Special.gamma_q a x))
+          [ (0.5, 0.3); (1.0, 1.0); (2.5, 4.0); (10.0, 3.0); (75.0, 80.0) ]);
+    test_case "gamma_p boundary values" (fun () ->
+        check_float "P(a,0)=0" 0.0 (Special.gamma_p 2.0 0.0);
+        check_float "Q(a,0)=1" 1.0 (Special.gamma_q 2.0 0.0);
+        check_close 1e-9 "P(1,x)=1-e^-x" (1.0 -. exp (-2.0))
+          (Special.gamma_p 1.0 2.0));
+    test_case "chi2 df=2 matches closed form" (fun () ->
+        List.iter
+          (fun x ->
+            check_close 1e-10 "cdf" (1.0 -. exp (-.x /. 2.0))
+              (Special.chi2_cdf ~df:2 x);
+            check_close 1e-10 "sf" (exp (-.x /. 2.0))
+              (Special.chi2_sf ~df:2 x))
+          [ 0.1; 1.0; 3.0; 10.0; 40.0 ]);
+    test_case "chi2 df=4 closed form" (fun () ->
+        (* CDF_4(x) = 1 - e^{-x/2}(1 + x/2) *)
+        List.iter
+          (fun x ->
+            check_close 1e-10 "cdf"
+              (1.0 -. (exp (-.x /. 2.0) *. (1.0 +. (x /. 2.0))))
+              (Special.chi2_cdf ~df:4 x))
+          [ 0.5; 2.0; 8.0 ]);
+    test_case "chi2 median near df" (fun () ->
+        (* median of chi2_k is about k(1 - 2/(9k))^3 *)
+        let df = 10 in
+        let median =
+          float_of_int df
+          *. ((1.0 -. (2.0 /. (9.0 *. float_of_int df))) ** 3.0)
+        in
+        check_close 1e-3 "cdf at median" 0.5 (Special.chi2_cdf ~df median));
+    test_case "chi2 negative x" (fun () ->
+        check_float "cdf" 0.0 (Special.chi2_cdf ~df:3 (-1.0));
+        check_float "sf" 1.0 (Special.chi2_sf ~df:3 (-1.0)));
+    test_case "chi2 rejects df<=0" (fun () ->
+        Alcotest.check_raises "df 0"
+          (Invalid_argument "Special.chi2_cdf: requires df > 0") (fun () ->
+            ignore (Special.chi2_cdf ~df:0 1.0)));
+    test_case "chi2 monotone in x" (fun () ->
+        let prev = ref (-1.0) in
+        for i = 0 to 50 do
+          let x = float_of_int i *. 0.7 in
+          let c = Special.chi2_cdf ~df:7 x in
+          check_bool "non-decreasing" true (c >= !prev);
+          prev := c
+        done);
+    test_case "erf values" (fun () ->
+        check_float "erf 0" 0.0 (Special.erf 0.0);
+        check_close 1e-9 "erf 1" 0.8427007929497149 (Special.erf 1.0);
+        check_close 1e-9 "erf -1" (-0.8427007929497149) (Special.erf (-1.0));
+        check_close 1e-9 "erfc 1" (1.0 -. 0.8427007929497149)
+          (Special.erfc 1.0);
+        check_close 1e-10 "erf 5 ~ 1" 1.0 (Special.erf 5.0));
+    test_case "ln_beta symmetric and known" (fun () ->
+        check_close 1e-10 "B(1,1)=1" 0.0 (Special.ln_beta 1.0 1.0);
+        check_close 1e-9 "B(2,3)=1/12" (log (1.0 /. 12.0))
+          (Special.ln_beta 2.0 3.0);
+        check_close 1e-10 "symmetry" (Special.ln_beta 2.5 4.5)
+          (Special.ln_beta 4.5 2.5));
+    test_case "mean_log_factorial" (fun () ->
+        check_float "0!" 0.0 (Special.mean_log_factorial 0);
+        check_float "1!" 0.0 (Special.mean_log_factorial 1);
+        check_close 1e-9 "6!" (log 720.0) (Special.mean_log_factorial 6));
+    qtest "gamma_p in [0,1]"
+      QCheck2.Gen.(pair (float_range 0.01 50.0) (float_range 0.0 100.0))
+      (fun (a, x) ->
+        let p = Special.gamma_p a x in
+        p >= 0.0 && p <= 1.0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fisher                                                              *)
+
+let fisher_tests =
+  [
+    test_case "statistic of all-ones is ~0" (fun () ->
+        check_close 1e-6 "stat" 0.0 (Fisher.statistic [ 1.0; 1.0; 1.0 ]));
+    test_case "statistic rejects empty" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Fisher.statistic: empty p-value list") (fun () ->
+            ignore (Fisher.statistic [])));
+    test_case "statistic rejects out-of-range" (fun () ->
+        Alcotest.check_raises "p>1"
+          (Invalid_argument "Fisher.statistic: p-value outside [0,1]")
+          (fun () -> ignore (Fisher.statistic [ 1.5 ])));
+    test_case "statistic finite at p=0 (clamped)" (fun () ->
+        check_bool "finite" true (Float.is_finite (Fisher.statistic [ 0.0 ])));
+    test_case "combine of strong evidence is small" (fun () ->
+        check_bool "small" true (Fisher.combine [ 1e-6; 1e-6; 1e-6 ] < 1e-6));
+    test_case "combine of weak evidence is large" (fun () ->
+        check_bool "large" true (Fisher.combine [ 0.9; 0.8; 0.95 ] > 0.5));
+    test_case "single p-value roundtrips through chi2" (fun () ->
+        (* combine [p] = SF(-2 ln p, 2) = exp(ln p) = p *)
+        List.iter
+          (fun p -> check_close 1e-9 "identity" p (Fisher.combine [ p ]))
+          [ 0.05; 0.2; 0.5; 0.9 ]);
+    test_case "empty H and S are 1" (fun () ->
+        check_float "H" 1.0 (Fisher.spambayes_h []);
+        check_float "S" 1.0 (Fisher.spambayes_s []));
+    test_case "indicator extremes" (fun () ->
+        check_bool "spammy" true
+          (Fisher.indicator [ 0.99; 0.99; 0.99; 0.99 ] > 0.95);
+        check_bool "hammy" true
+          (Fisher.indicator [ 0.01; 0.01; 0.01; 0.01 ] < 0.05));
+    test_case "indicator of neutral scores is 0.5" (fun () ->
+        check_close 1e-9 "neutral" 0.5 (Fisher.indicator [ 0.5; 0.5; 0.5 ]));
+    qtest "indicator in [0,1]"
+      QCheck2.Gen.(list_size (int_range 1 40) (float_range 0.001 0.999))
+      (fun fs ->
+        let i = Fisher.indicator fs in
+        i >= 0.0 && i <= 1.0);
+    qtest "indicator symmetric under complement"
+      QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.01 0.99))
+      (fun fs ->
+        let i = Fisher.indicator fs in
+        let i' = Fisher.indicator (List.map (fun f -> 1.0 -. f) fs) in
+        Float.abs (i +. i' -. 1.0) < 1e-9);
+    qtest "indicator monotone in each score"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 15) (float_range 0.05 0.9))
+          (float_range 0.0 0.09))
+      (fun (fs, bump) ->
+        (* Raising the first token score never lowers I (the Section 3.4
+           monotonicity observation). *)
+        match fs with
+        | [] -> true
+        | f :: rest ->
+            Fisher.indicator ((f +. bump) :: rest)
+            >= Fisher.indicator (f :: rest) -. 1e-12);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sampler                                                             *)
+
+let sampler_tests =
+  [
+    test_case "categorical rejects bad weights" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Sampler.categorical: empty weights") (fun () ->
+            ignore (Sampler.categorical [||]));
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Sampler.categorical: negative or non-finite weight")
+          (fun () -> ignore (Sampler.categorical [| 1.0; -1.0 |]));
+        Alcotest.check_raises "zero sum"
+          (Invalid_argument
+             "Sampler.categorical: weights must sum to a positive finite")
+          (fun () -> ignore (Sampler.categorical [| 0.0; 0.0 |])));
+    test_case "categorical_prob normalizes" (fun () ->
+        let c = Sampler.categorical [| 2.0; 6.0 |] in
+        check_close 1e-12 "p0" 0.25 (Sampler.categorical_prob c 0);
+        check_close 1e-12 "p1" 0.75 (Sampler.categorical_prob c 1);
+        check_int "support" 2 (Sampler.categorical_support c));
+    test_case "categorical draw matches weights" (fun () ->
+        let c = Sampler.categorical [| 1.0; 3.0 |] in
+        let rng = Rng.create 123 in
+        let n = 20_000 in
+        let ones = ref 0 in
+        for _ = 1 to n do
+          if Sampler.categorical_draw c rng = 1 then incr ones
+        done;
+        let freq = float_of_int !ones /. float_of_int n in
+        check_bool "within 2%" true (Float.abs (freq -. 0.75) < 0.02));
+    test_case "categorical draw over degenerate distribution" (fun () ->
+        let c = Sampler.categorical [| 0.0; 1.0; 0.0 |] in
+        let rng = Rng.create 5 in
+        for _ = 1 to 100 do
+          check_int "always 1" 1 (Sampler.categorical_draw c rng)
+        done);
+    test_case "zipf rank 0 is most frequent" (fun () ->
+        let z = Sampler.zipf 100 in
+        check_bool "p0 > p1" true
+          (Sampler.categorical_prob z 0 > Sampler.categorical_prob z 1);
+        check_bool "p1 > p50" true
+          (Sampler.categorical_prob z 1 > Sampler.categorical_prob z 50));
+    test_case "zipf rejects bad arguments" (fun () ->
+        Alcotest.check_raises "n=0"
+          (Invalid_argument "Sampler.zipf: n must be positive") (fun () ->
+            ignore (Sampler.zipf 0)));
+    test_case "binomial bounds and extremes" (fun () ->
+        let rng = Rng.create 9 in
+        check_int "p=0" 0 (Sampler.binomial rng ~n:10 ~p:0.0);
+        check_int "p=1" 10 (Sampler.binomial rng ~n:10 ~p:1.0);
+        for _ = 1 to 200 do
+          let k = Sampler.binomial rng ~n:20 ~p:0.3 in
+          check_bool "in range" true (k >= 0 && k <= 20)
+        done);
+    test_case "binomial mean approximately np" (fun () ->
+        let rng = Rng.create 77 in
+        let total = ref 0 in
+        let reps = 5_000 in
+        for _ = 1 to reps do
+          total := !total + Sampler.binomial rng ~n:40 ~p:0.25
+        done;
+        let mean = float_of_int !total /. float_of_int reps in
+        check_bool "near 10" true (Float.abs (mean -. 10.0) < 0.3));
+    test_case "poisson small and large means" (fun () ->
+        let rng = Rng.create 13 in
+        check_int "lambda 0" 0 (Sampler.poisson rng 0.0);
+        let total = ref 0 in
+        for _ = 1 to 3000 do
+          total := !total + Sampler.poisson rng 4.0
+        done;
+        let mean = float_of_int !total /. 3000.0 in
+        check_bool "near 4" true (Float.abs (mean -. 4.0) < 0.3);
+        let big = Sampler.poisson rng 500.0 in
+        check_bool "large sane" true (big > 300 && big < 700));
+    test_case "geometric p=1 is 0" (fun () ->
+        let rng = Rng.create 2 in
+        for _ = 1 to 20 do
+          check_int "zero" 0 (Sampler.geometric rng 1.0)
+        done);
+    test_case "geometric mean near (1-p)/p" (fun () ->
+        let rng = Rng.create 3 in
+        let total = ref 0 in
+        for _ = 1 to 5000 do
+          total := !total + Sampler.geometric rng 0.25
+        done;
+        let mean = float_of_int !total /. 5000.0 in
+        check_bool "near 3" true (Float.abs (mean -. 3.0) < 0.3));
+    test_case "round_stochastic on integers" (fun () ->
+        let rng = Rng.create 4 in
+        for _ = 1 to 20 do
+          check_int "exact" 7 (Sampler.round_stochastic rng 7.0)
+        done);
+    test_case "round_stochastic unbiased" (fun () ->
+        let rng = Rng.create 6 in
+        let total = ref 0 in
+        for _ = 1 to 10_000 do
+          total := !total + Sampler.round_stochastic rng 2.3
+        done;
+        let mean = float_of_int !total /. 10_000.0 in
+        check_bool "near 2.3" true (Float.abs (mean -. 2.3) < 0.05));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Summary + Histogram                                                 *)
+
+let summary_tests =
+  [
+    test_case "mean and variance" (fun () ->
+        let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+        check_float "mean" 2.5 (Summary.mean xs);
+        check_close 1e-12 "variance" (5.0 /. 3.0) (Summary.variance xs);
+        check_float "single variance" 0.0 (Summary.variance [| 5.0 |]));
+    test_case "empty arrays rejected" (fun () ->
+        Alcotest.check_raises "mean"
+          (Invalid_argument "Summary.mean: empty array") (fun () ->
+            ignore (Summary.mean [||])));
+    test_case "median odd and even" (fun () ->
+        check_float "odd" 3.0 (Summary.median [| 5.0; 1.0; 3.0 |]);
+        check_float "even" 2.5 (Summary.median [| 4.0; 1.0; 2.0; 3.0 |]));
+    test_case "quantile endpoints" (fun () ->
+        let xs = [| 9.0; 1.0; 5.0 |] in
+        check_float "q0" 1.0 (Summary.quantile xs 0.0);
+        check_float "q1" 9.0 (Summary.quantile xs 1.0);
+        check_float "q0.5" 5.0 (Summary.quantile xs 0.5));
+    test_case "quantile interpolates" (fun () ->
+        check_float "q0.25" 1.5 (Summary.quantile [| 1.0; 2.0; 3.0 |] 0.25));
+    test_case "min_max" (fun () ->
+        let lo, hi = Summary.min_max [| 3.0; -1.0; 7.0 |] in
+        check_float "lo" (-1.0) lo;
+        check_float "hi" 7.0 hi);
+    test_case "mean_ci95 of constant data" (fun () ->
+        let m, hw = Summary.mean_ci95 [| 2.0; 2.0; 2.0 |] in
+        check_float "mean" 2.0 m;
+        check_float "halfwidth" 0.0 hw);
+    qtest "online matches batch"
+      QCheck2.Gen.(list_size (int_range 1 60) (float_range (-100.) 100.))
+      (fun xs ->
+        let arr = Array.of_list xs in
+        let o = Summary.online_create () in
+        Array.iter (Summary.online_add o) arr;
+        Float.abs (Summary.online_mean o -. Summary.mean arr) < 1e-9
+        && Float.abs (Summary.online_variance o -. Summary.variance arr)
+           < 1e-7);
+    qtest "quantile between min and max"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 40) (float_range (-50.) 50.))
+          (float_range 0.0 1.0))
+      (fun (xs, q) ->
+        let arr = Array.of_list xs in
+        let lo, hi = Summary.min_max arr in
+        let v = Summary.quantile arr q in
+        v >= lo -. 1e-9 && v <= hi +. 1e-9);
+  ]
+
+let histogram_tests =
+  [
+    test_case "counts land in bins" (fun () ->
+        let h = Histogram.create ~bins:4 ~lo:0.0 ~hi:4.0 () in
+        Histogram.add_all h [| 0.5; 1.5; 1.6; 3.9 |];
+        check_int "total" 4 (Histogram.count h);
+        check_int "bin0" 1 (Histogram.bin_count h 0);
+        check_int "bin1" 2 (Histogram.bin_count h 1);
+        check_int "bin3" 1 (Histogram.bin_count h 3));
+    test_case "out-of-range clamps to edges" (fun () ->
+        let h = Histogram.create ~bins:2 ~lo:0.0 ~hi:1.0 () in
+        Histogram.add h (-5.0);
+        Histogram.add h 5.0;
+        check_int "low edge" 1 (Histogram.bin_count h 0);
+        check_int "high edge" 1 (Histogram.bin_count h 1));
+    test_case "edges" (fun () ->
+        let h = Histogram.create ~bins:2 ~lo:0.0 ~hi:1.0 () in
+        let lo, hi = Histogram.bin_edges h 1 in
+        check_float "lo" 0.5 lo;
+        check_float "hi" 1.0 hi);
+    test_case "invalid construction" (fun () ->
+        Alcotest.check_raises "bins 0"
+          (Invalid_argument "Histogram.create: bins must be positive")
+          (fun () -> ignore (Histogram.create ~bins:0 ~lo:0.0 ~hi:1.0 ()));
+        Alcotest.check_raises "hi<=lo"
+          (Invalid_argument "Histogram.create: hi must exceed lo") (fun () ->
+            ignore (Histogram.create ~lo:1.0 ~hi:1.0 ())));
+    test_case "render has one line per bin" (fun () ->
+        let h = Histogram.create ~bins:5 ~lo:0.0 ~hi:1.0 () in
+        Histogram.add h 0.3;
+        let lines =
+          String.split_on_char '\n' (Histogram.render h)
+          |> List.filter (fun l -> l <> "")
+        in
+        check_int "lines" 5 (List.length lines));
+    test_case "counts returns a copy" (fun () ->
+        let h = Histogram.create ~bins:2 ~lo:0.0 ~hi:1.0 () in
+        Histogram.add h 0.1;
+        let c = Histogram.counts h in
+        c.(0) <- 99;
+        check_int "original intact" 1 (Histogram.bin_count h 0));
+  ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ("rng", rng_tests);
+      ("special", special_tests);
+      ("fisher", fisher_tests);
+      ("sampler", sampler_tests);
+      ("summary", summary_tests);
+      ("histogram", histogram_tests);
+    ]
