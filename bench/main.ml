@@ -8,7 +8,11 @@
      main.exe perf                run the bechamel micro-benchmarks
      main.exe all perf            both
      main.exe --scale 1.0 all     paper-scale run
-     main.exe --seed 7 fig3       change the world seed *)
+     main.exe --seed 7 fig3       change the world seed
+     main.exe --jobs 8 fig1       fan experiment cells over 8 domains
+                                  (default: SPAMLAB_JOBS if set, else the
+                                  recommended domain count; results are
+                                  identical at every jobs value) *)
 
 open Spamlab_eval
 
@@ -16,11 +20,11 @@ let default_scale = 0.2
 
 let usage () =
   prerr_endline
-    ("usage: main.exe [--scale S] [--seed N] [all|perf|"
+    ("usage: main.exe [--scale S] [--seed N] [--jobs N] [all|perf|"
     ^ String.concat "|" Registry.ids ^ "]...");
   exit 2
 
-type cli = { scale : float; seed : int; targets : string list }
+type cli = { scale : float; seed : int; jobs : int; targets : string list }
 
 let parse_args () =
   let rec go acc = function
@@ -33,12 +37,23 @@ let parse_args () =
         match int_of_string_opt v with
         | Some seed -> go { acc with seed } rest
         | None -> usage ())
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some jobs when jobs >= 1 -> go { acc with jobs } rest
+        | _ -> usage ())
     | target :: rest ->
         if target = "all" || target = "perf" || Registry.find target <> None
         then go { acc with targets = acc.targets @ [ target ] } rest
         else usage ()
   in
-  let default = { scale = default_scale; seed = 42; targets = [] } in
+  let default =
+    {
+      scale = default_scale;
+      seed = 42;
+      jobs = Spamlab_parallel.default_jobs ();
+      targets = [];
+    }
+  in
   let cli = go default (List.tl (Array.to_list Sys.argv)) in
   if cli.targets = [] then { cli with targets = [ "all"; "perf" ] } else cli
 
@@ -109,7 +124,61 @@ let perf_tests () =
        Staged.stage (fun () -> Spamlab_stats.Fisher.indicator fs));
   ]
 
-let run_perf () =
+(* The two perf claims of the multicore harness, measured rather than
+   asserted: the domain pool against its own sequential path on a
+   fold-shaped workload, and the incremental poisoning sweep against the
+   naive copy-per-grid-point loop it replaced. *)
+let harness_tests ~jobs () =
+  let open Bechamel in
+  let lab = Lab.create ~seed:42 ~scale:0.05 ~jobs:1 () in
+  let rng = Lab.rng lab "perf-harness" in
+  let tokenizer = Lab.tokenizer lab in
+  let examples = Lab.corpus lab rng ~size:300 ~spam_fraction:0.5 in
+  let folds = Spamlab_corpus.Dataset.kfold ~k:4 examples in
+  let score_fold (train, test) =
+    let base = Poison.base_filter tokenizer train in
+    Array.length (Poison.score_examples base test)
+  in
+  let payload =
+    Spamlab_core.Dictionary_attack.(
+      payload tokenizer
+        (make ~name:"perf" ~words:(Lab.aspell lab ~size:20_000)))
+  in
+  let fractions = [ 0.0; 0.001; 0.005; 0.01; 0.02; 0.05; 0.10 ] in
+  let counts =
+    List.map
+      (fun fraction -> Poison.attack_count ~train_size:300 ~fraction)
+      fractions
+  in
+  let base = Poison.base_filter tokenizer examples in
+  let test = Array.sub examples 0 60 in
+  let pool = Spamlab_parallel.Pool.create ~jobs in
+  [
+    Test.make_grouped ~name:"parallel-map-folds"
+      [
+        Test.make ~name:"sequential"
+          (Staged.stage (fun () -> Array.map score_fold folds));
+        Test.make
+          ~name:(Printf.sprintf "pool-jobs-%d" jobs)
+          (Staged.stage (fun () ->
+               Spamlab_parallel.Pool.map_array pool score_fold folds));
+      ];
+    Test.make_grouped ~name:"poison-sweep-incremental-vs-copy"
+      [
+        Test.make ~name:"copy-per-point"
+          (Staged.stage (fun () ->
+               List.map
+                 (fun count ->
+                   Poison.score_examples
+                     (Poison.poisoned base ~payload ~count)
+                     test)
+                 counts));
+        Test.make ~name:"incremental"
+          (Staged.stage (fun () -> Poison.sweep base ~payload ~counts test));
+      ];
+  ]
+
+let run_perf ~jobs () =
   let open Bechamel in
   let open Bechamel.Toolkit in
   Printf.printf "%s\nbechamel micro-benchmarks\n%s\n" hrule hrule;
@@ -117,7 +186,8 @@ let run_perf () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let raw =
     Benchmark.all cfg instances
-      (Test.make_grouped ~name:"spamlab" (perf_tests ()))
+      (Test.make_grouped ~name:"spamlab"
+         (perf_tests () @ harness_tests ~jobs ()))
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -151,10 +221,12 @@ let run_perf () =
 let () =
   let cli = parse_args () in
   Printf.printf
-    "spamlab bench harness | seed %d | scale %.2f of paper Table 1\n\n"
-    cli.seed cli.scale;
-  let lab = Lab.create ~seed:cli.seed ~scale:cli.scale () in
+    "spamlab bench harness | seed %d | scale %.2f of paper Table 1 | jobs %d\n\n"
+    cli.seed cli.scale cli.jobs;
+  let lab = Lab.create ~seed:cli.seed ~scale:cli.scale ~jobs:cli.jobs () in
   List.iter
     (fun target ->
-      if target = "perf" then run_perf () else run_experiments lab target)
-    cli.targets
+      if target = "perf" then run_perf ~jobs:cli.jobs ()
+      else run_experiments lab target)
+    cli.targets;
+  Lab.shutdown lab

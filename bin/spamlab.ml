@@ -554,24 +554,36 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:("Experiment id: " ^ ids ^ ", or 'all'."))
   in
-  let run seed scale id =
-    setup_logs ();
-    let lab = Eval.Lab.create ~seed ~scale () in
-    match id with
-    | "all" ->
-        List.iter
-          (fun (id, report) ->
-            Printf.printf "==== %s ====\n%s\n" id report)
-          (Eval.Registry.run_all lab);
-        `Ok ()
-    | id -> (
-        match Eval.Registry.find id with
-        | None -> fail "unknown experiment %S" id
-        | Some e ->
-            print_string (e.Eval.Registry.run lab);
-            `Ok ())
+  let jobs_arg =
+    let doc =
+      "Worker domains for the experiment harness (default: SPAMLAB_JOBS if \
+       set, else the recommended domain count). Results are identical at \
+       every jobs value."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let term = Term.(ret (const run $ seed_arg $ scale_arg $ id_arg)) in
+  let run seed scale jobs id =
+    setup_logs ();
+    match jobs with
+    | Some j when j < 1 -> fail "--jobs must be >= 1"
+    | _ ->
+        let lab = Eval.Lab.create ~seed ~scale ?jobs () in
+        let finish result = Eval.Lab.shutdown lab; result in
+        (match id with
+        | "all" ->
+            List.iter
+              (fun (id, report) ->
+                Printf.printf "==== %s ====\n%s\n" id report)
+              (Eval.Registry.run_all lab);
+            finish (`Ok ())
+        | id -> (
+            match Eval.Registry.find id with
+            | None -> finish (fail "unknown experiment %S" id)
+            | Some e ->
+                print_string (e.Eval.Registry.run lab);
+                finish (`Ok ())))
+  in
+  let term = Term.(ret (const run $ seed_arg $ scale_arg $ jobs_arg $ id_arg)) in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Reproduce a table or figure from the paper's evaluation.")

@@ -47,6 +47,29 @@ let run lab (params : Params.dictionary) =
   let payloads =
     List.map (fun attack -> (attack, Attack.payload tokenizer attack)) attacks
   in
+  (* Folds are independent (no randomness is consumed past corpus
+     generation), so they fan across the domain pool; each fold sweeps
+     every (variant, fraction) incrementally and returns its confusion
+     matrices, which are merged in fold order after the join. *)
+  let fold_results =
+    Spamlab_parallel.Pool.map_array (Lab.pool lab)
+      (fun (train, test) ->
+        let base = Poison.base_filter tokenizer train in
+        let counts =
+          List.map
+            (fun fraction ->
+              Poison.attack_count ~train_size:(Array.length train) ~fraction)
+            params.attack_fractions
+        in
+        List.map
+          (fun (_, payload) ->
+            List.map
+              (fun scores ->
+                Poison.confusion_of_scores Options.default scores)
+              (Poison.sweep base ~payload ~counts test))
+          payloads)
+      folds
+  in
   (* Accumulate one confusion matrix per (variant, fraction), plus the
      per-fold ham-misclassification rates for dispersion reporting. *)
   let cells = Hashtbl.create 64 in
@@ -59,27 +82,18 @@ let run lab (params : Params.dictionary) =
         c
   in
   Array.iter
-    (fun (train, test) ->
-      let base = Poison.base_filter tokenizer train in
-      List.iter
-        (fun (attack, payload) ->
-          List.iter
-            (fun fraction ->
-              let count =
-                Poison.attack_count ~train_size:(Array.length train) ~fraction
-              in
-              let filter = Poison.poisoned base ~payload ~count in
-              let scores = Poison.score_examples filter test in
-              let confusion =
-                Poison.confusion_of_scores Options.default scores
-              in
+    (fun per_variant ->
+      List.iter2
+        (fun (attack, _) per_fraction ->
+          List.iter2
+            (fun fraction confusion ->
               let total, per_fold = cell (Attack.name attack) fraction in
               total := Confusion.merge !total confusion;
               per_fold :=
                 Confusion.ham_misclassified_rate confusion :: !per_fold)
-            params.attack_fractions)
-        payloads)
-    folds;
+            params.attack_fractions per_fraction)
+        payloads per_variant)
+    fold_results;
   let series =
     List.map
       (fun (attack, _) ->

@@ -45,31 +45,54 @@ let outcome_of_counts ham unsure spam =
   }
 
 (* Shared driver: for each x in xs, classify every (rep, target) pair
-   under the attack given by [attack_of x] and count verdicts. *)
+   under the attack given by [attack_of x] and count verdicts.
+
+   Two fan-outs over the domain pool: the per-repetition clean inboxes
+   (corpus generation plus training — the expensive part), then the
+   (repetition, target) grid.  Every task derives its own named
+   randomness stream, so the verdicts — and hence the counts, summed
+   after the join — are identical at any jobs setting. *)
 let sweep lab (params : Params.focused) ~stream_name ~xs ~attack_of =
-  let rng = Lab.rng lab stream_name in
-  let counts = Array.map (fun _ -> (ref 0, ref 0, ref 0)) (Array.of_list xs) in
-  for _rep = 1 to params.repetitions do
-    let setup = make_setup lab rng params in
-    for _target = 1 to params.targets do
-      let target = Generator.ham (Lab.config lab) rng in
-      List.iteri
-        (fun i x ->
-          let p, count = attack_of x in
-          let verdict, _, _ =
-            attack_verdict setup rng ~target ~p ~count
-          in
-          let ham, unsure, spam = counts.(i) in
-          match verdict with
+  let pool = Lab.pool lab in
+  let setups =
+    Spamlab_parallel.Pool.map_array pool
+      (fun rep ->
+        let rng = Lab.rng lab (Printf.sprintf "%s/rep-%d" stream_name rep) in
+        make_setup lab rng params)
+      (Array.init params.repetitions (fun rep -> rep))
+  in
+  let pairs =
+    Array.init
+      (params.repetitions * params.targets)
+      (fun i -> (i / params.targets, i mod params.targets))
+  in
+  let verdicts =
+    Spamlab_parallel.Pool.map_array pool
+      (fun (rep, target_index) ->
+        let rng =
+          Lab.rng lab
+            (Printf.sprintf "%s/rep-%d/target-%d" stream_name rep target_index)
+        in
+        let setup = setups.(rep) in
+        let target = Generator.ham (Lab.config lab) rng in
+        List.map
+          (fun x ->
+            let p, count = attack_of x in
+            let verdict, _, _ = attack_verdict setup rng ~target ~p ~count in
+            verdict)
+          xs)
+      pairs
+  in
+  List.mapi
+    (fun i x ->
+      let ham = ref 0 and unsure = ref 0 and spam = ref 0 in
+      Array.iter
+        (fun per_x ->
+          match List.nth per_x i with
           | Label.Ham_v -> incr ham
           | Label.Unsure_v -> incr unsure
           | Label.Spam_v -> incr spam)
-        xs
-    done
-  done;
-  List.mapi
-    (fun i x ->
-      let ham, unsure, spam = counts.(i) in
+        verdicts;
       (x, outcome_of_counts !ham !unsure !spam))
     xs
 

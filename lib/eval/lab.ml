@@ -4,26 +4,52 @@ module Corpus = Spamlab_corpus
 type t = {
   seed : int;
   scale : float;
+  jobs : int;
   config : Corpus.Generator.config;
   tokenizer : Spamlab_tokenizer.Tokenizer.t;
   root : Rng.t;
   mutable usenet_full : string array option;
+  mutable pool : Spamlab_parallel.Pool.t option;
 }
 
-let create ?(seed = 42) ?(scale = 1.0) () =
+let create ?(seed = 42) ?(scale = 1.0) ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some _ -> invalid_arg "Lab.create: jobs must be >= 1"
+    | None -> Spamlab_parallel.default_jobs ()
+  in
   {
     seed;
     scale;
+    jobs;
     config = Corpus.Generator.default_config ~seed ();
     tokenizer = Spamlab_tokenizer.Tokenizer.spambayes;
     root = Rng.create seed;
     usenet_full = None;
+    pool = None;
   }
 
 let seed t = t.seed
 let scale t = t.scale
+let jobs t = t.jobs
 let config t = t.config
 let tokenizer t = t.tokenizer
+
+let pool t =
+  match t.pool with
+  | Some pool -> pool
+  | None ->
+      let pool = Spamlab_parallel.Pool.create ~jobs:t.jobs in
+      t.pool <- Some pool;
+      pool
+
+let shutdown t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+      t.pool <- None;
+      Spamlab_parallel.Pool.shutdown pool
 
 let rng t name = Rng.split_named t.root name
 

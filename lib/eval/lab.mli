@@ -6,13 +6,24 @@
 
 type t
 
-val create : ?seed:int -> ?scale:float -> unit -> t
-(** Default seed 42, scale 1.0 (paper sizes — see {!Params}). *)
+val create : ?seed:int -> ?scale:float -> ?jobs:int -> unit -> t
+(** Default seed 42, scale 1.0 (paper sizes — see {!Params}), jobs
+    {!Spamlab_parallel.default_jobs} (the [SPAMLAB_JOBS] environment
+    variable, else the machine's recommended domain count).  Results
+    are identical at every [jobs] value. *)
 
 val seed : t -> int
 val scale : t -> float
+val jobs : t -> int
 val config : t -> Spamlab_corpus.Generator.config
 val tokenizer : t -> Spamlab_tokenizer.Tokenizer.t
+
+val pool : t -> Spamlab_parallel.Pool.t
+(** The lab's domain pool, created on first use. *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains (no-op if none were started).  The
+    pool is recreated on demand afterwards. *)
 
 val rng : t -> string -> Spamlab_stats.Rng.t
 (** Named independent stream (see {!Spamlab_stats.Rng.split_named}). *)

@@ -2,12 +2,22 @@ module Dataset = Spamlab_corpus.Dataset
 module Filter = Spamlab_spambayes.Filter
 module Label = Spamlab_spambayes.Label
 module Classify = Spamlab_spambayes.Classify
+module Token_db = Spamlab_spambayes.Token_db
+module Score = Spamlab_spambayes.Score
+module Options = Spamlab_spambayes.Options
 
 let attack_count ~train_size ~fraction =
-  if fraction < 0.0 || fraction >= 1.0 then
+  if not (Float.is_finite fraction) || fraction < 0.0 || fraction >= 1.0 then
     invalid_arg "Poison.attack_count: fraction must lie in [0,1)";
-  int_of_float
-    (Float.round (float_of_int train_size *. fraction /. (1.0 -. fraction)))
+  let raw =
+    Float.round (float_of_int train_size *. fraction /. (1.0 -. fraction))
+  in
+  (* Fractions within float rounding of 1.0 blow n*f/(1-f) past max_int,
+     and int_of_float on such values is undefined (silently 0 on some
+     targets) — refuse instead. *)
+  if raw >= float_of_int max_int then
+    invalid_arg "Poison.attack_count: attack volume overflows";
+  int_of_float raw
 
 let base_filter tokenizer examples =
   let filter = Filter.create ~tokenizer () in
@@ -24,6 +34,61 @@ let score_examples filter examples =
     (fun (e : Dataset.example) ->
       ((Dataset.classify filter e).Classify.indicator, e.label))
     examples
+
+let sweep filter ~payload ~counts test =
+  (* Training the payload [k] times changes exactly two things in the
+     base filter's DB: every payload token's spam count becomes
+     spam0 + k, and the spam-message total becomes nspam0 + k.  So look
+     each test token's base counts (and payload membership) up once,
+     and score every grid point as pure arithmetic over those cached
+     counts — no [Filter.copy], no retraining, and no hashtable access
+     in the per-count loop.  [Score.smoothed_counts] performs the exact
+     float sequence of [Score.smoothed], so each grid point's scores
+     are bit-identical to scoring a fresh copy of [filter] trained with
+     that count. *)
+  let options = Filter.options filter in
+  let db = Filter.db filter in
+  let nspam0 = Token_db.nspam db in
+  let nham = Token_db.nham db in
+  let min_strength = options.Options.minimum_prob_strength in
+  let in_payload =
+    let set = Hashtbl.create (2 * Array.length payload) in
+    Array.iter (fun token -> Hashtbl.replace set token ()) payload;
+    fun token -> Hashtbl.mem set token
+  in
+  let prepped =
+    Array.map
+      (fun (e : Dataset.example) ->
+        ( e.Dataset.label,
+          Array.map
+            (fun token ->
+              ( token,
+                Token_db.spam_count db token,
+                Token_db.ham_count db token,
+                in_payload token ))
+            e.Dataset.tokens ))
+      test
+  in
+  List.map
+    (fun count ->
+      let nspam = nspam0 + count in
+      Array.map
+        (fun (label, tokens) ->
+          let candidates =
+            Array.fold_left
+              (fun acc (token, spam0, ham, payload_member) ->
+                let spam = if payload_member then spam0 + count else spam0 in
+                let score =
+                  Score.smoothed_counts options ~spam ~ham ~nspam ~nham
+                in
+                if Float.abs (score -. 0.5) >= min_strength then
+                  { Classify.token; score } :: acc
+                else acc)
+              [] tokens
+          in
+          ((Classify.score_clues options candidates).Classify.indicator, label))
+        prepped)
+    counts
 
 let confusion_of_scores options scores =
   let confusion = Confusion.create () in

@@ -60,15 +60,11 @@ let run lab (params : Params.roni) =
   in
   let pool = Lab.corpus lab rng ~size:params.pool_size ~spam_fraction:0.5 in
   let tokenizer = Lab.tokenizer lab in
-  let assess_tokens tokens =
-    Roni.assess ~config rng ~pool ~candidate:tokens
-  in
-  (* Non-attack queries: fresh ordinary spam messages. *)
-  let non_attack_assessments =
-    Array.init params.non_attack_queries (fun _ ->
-        let msg = Generator.spam (Lab.config lab) rng in
-        assess_tokens
-          (Spamlab_tokenizer.Tokenizer.unique_tokens tokenizer msg))
+  (* Every RONI query (train/validate resampling trials over the shared
+     pool) is independent; each derives its own named randomness stream
+     and the whole query population fans across the domain pool. *)
+  let assess_tokens stream tokens =
+    Roni.assess ~config (Lab.rng lab stream) ~pool ~candidate:tokens
   in
   let impacts_of assessments =
     Array.map (fun a -> a.Roni.mean_ham_impact) assessments
@@ -78,22 +74,60 @@ let run lab (params : Params.roni) =
       (fun acc a -> if a.Roni.rejected then acc + 1 else acc)
       0 assessments
   in
+  (* Non-attack queries: fresh ordinary spam messages. *)
+  let non_attack_assessments =
+    Spamlab_parallel.Pool.map_array (Lab.pool lab)
+      (fun i ->
+        let stream = Printf.sprintf "roni/non-attack-%d" i in
+        let msg =
+          Generator.spam (Lab.config lab)
+            (Lab.rng lab (stream ^ "/message"))
+        in
+        assess_tokens stream
+          (Spamlab_tokenizer.Tokenizer.unique_tokens tokenizer msg))
+      (Array.init params.non_attack_queries (fun i -> i))
+  in
   let non_attack =
     group_of "non-attack spam"
       (impacts_of non_attack_assessments)
       (rejections_of non_attack_assessments)
   in
+  (* Attack queries: attack_repetitions assessments per variant, flattened
+     into one fan-out.  Payloads are built before the fan-out (the lab's
+     word-source caches are not domain-safe). *)
+  let variants = attack_variants lab in
+  let payloads =
+    Array.of_list
+      (List.map
+         (fun attack -> (Attack.name attack, Attack.payload tokenizer attack))
+         variants)
+  in
+  let queries =
+    Array.init
+      (Array.length payloads * params.attack_repetitions)
+      (fun i ->
+        (i / params.attack_repetitions, i mod params.attack_repetitions))
+  in
+  let attack_assessments =
+    Spamlab_parallel.Pool.map_array (Lab.pool lab)
+      (fun (variant, repetition) ->
+        let name, payload = payloads.(variant) in
+        assess_tokens
+          (Printf.sprintf "roni/attack-%s/rep-%d" name repetition)
+          payload)
+      queries
+  in
   let attacks =
-    List.map
-      (fun attack ->
-        let payload = Attack.payload tokenizer attack in
+    List.mapi
+      (fun variant attack ->
         let assessments =
-          Array.init params.attack_repetitions (fun _ ->
-              assess_tokens payload)
+          Array.sub attack_assessments
+            (variant * params.attack_repetitions)
+            params.attack_repetitions
         in
         group_of (Attack.name attack) (impacts_of assessments)
           (rejections_of assessments))
-      (attack_variants lab)
+      variants
   in
   let separated =
     List.for_all (fun g -> g.min_impact > non_attack.max_impact) attacks

@@ -70,6 +70,50 @@ let run lab (params : Params.threshold) =
     "no defense"
     :: List.map (fun q -> Printf.sprintf "threshold-.%02d" (int_of_float (q *. 100.))) params.quantiles
   in
+  (* Each fold runs as one pool task with its own named randomness
+     stream (the training-set halving inside [derive_thresholds]), so
+     results do not depend on which domain runs which fold.  A task
+     returns, per fraction and defense, the confusion matrix and derived
+     thresholds; folds are merged in index order after the join. *)
+  let fold_results =
+    Spamlab_parallel.Pool.map_array (Lab.pool lab)
+      (fun (fold_index, (train, test)) ->
+        let rng =
+          Lab.rng lab (Printf.sprintf "threshold-defense/fold-%d" fold_index)
+        in
+        let base = Poison.base_filter tokenizer train in
+        let counts =
+          List.map
+            (fun fraction ->
+              Poison.attack_count ~train_size:(Array.length train) ~fraction)
+            params.attack_fractions
+        in
+        let scores_by_fraction = Poison.sweep base ~payload ~counts test in
+        List.map2
+          (fun count scores ->
+            let no_defense =
+              ( Poison.confusion_of_scores Options.default scores,
+                Options.default.Options.ham_cutoff,
+                Options.default.Options.spam_cutoff )
+            in
+            let dynamic =
+              List.map
+                (fun quantile ->
+                  let theta0, theta1 =
+                    derive_thresholds quantile ~train ~payload ~count rng
+                  in
+                  let options =
+                    Options.with_cutoffs Options.default ~ham:theta0
+                      ~spam:theta1
+                  in
+                  ( Poison.confusion_of_scores options scores,
+                    theta0, theta1 ))
+                params.quantiles
+            in
+            no_defense :: dynamic)
+          counts scores_by_fraction)
+      (Array.mapi (fun i fold -> (i, fold)) folds)
+  in
   let cells = Hashtbl.create 32 in
   let cell defense fraction =
     match Hashtbl.find_opt cells (defense, fraction) with
@@ -83,41 +127,19 @@ let run lab (params : Params.threshold) =
         c
   in
   Array.iter
-    (fun (train, test) ->
-      let base = Poison.base_filter tokenizer train in
-      List.iter
-        (fun fraction ->
-          let count =
-            Poison.attack_count ~train_size:(Array.length train) ~fraction
-          in
-          let filter = Poison.poisoned base ~payload ~count in
-          let scores = Poison.score_examples filter test in
-          let record defense options theta0 theta1 =
-            let c = cell defense fraction in
-            c.confusion <-
-              Confusion.merge c.confusion
-                (Poison.confusion_of_scores options scores);
-            c.theta0_sum <- c.theta0_sum +. theta0;
-            c.theta1_sum <- c.theta1_sum +. theta1;
-            c.folds <- c.folds + 1
-          in
-          record "no defense" Options.default Options.default.Options.ham_cutoff
-            Options.default.Options.spam_cutoff;
-          List.iter
-            (fun quantile ->
-              let theta0, theta1 =
-                derive_thresholds quantile ~train ~payload ~count rng
-              in
-              let options =
-                Options.with_cutoffs Options.default ~ham:theta0 ~spam:theta1
-              in
-              record
-                (Printf.sprintf "threshold-.%02d"
-                   (int_of_float (quantile *. 100.)))
-                options theta0 theta1)
-            params.quantiles)
-        params.attack_fractions)
-    folds;
+    (fun per_fraction ->
+      List.iter2
+        (fun fraction per_defense ->
+          List.iter2
+            (fun defense (confusion, theta0, theta1) ->
+              let c = cell defense fraction in
+              c.confusion <- Confusion.merge c.confusion confusion;
+              c.theta0_sum <- c.theta0_sum +. theta0;
+              c.theta1_sum <- c.theta1_sum +. theta1;
+              c.folds <- c.folds + 1)
+            defenses per_defense)
+        params.attack_fractions per_fraction)
+    fold_results;
   List.map
     (fun defense ->
       let points =

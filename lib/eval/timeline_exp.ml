@@ -56,14 +56,27 @@ let run lab =
   in
   let rounds = List.map fst rounds_with_counts in
   let attack_counts = List.map snd rounds_with_counts in
-  let simulate policy roni =
-    Pipeline.run
-      { Pipeline.retrain_period = 1; policy; roni; initial_training }
-      (Spamlab_stats.Rng.copy rng) ~rounds
+  (* The three policies replay the same rounds from identical rng
+     copies (taken before the fan-out), so they are independent tasks. *)
+  let simulations =
+    Spamlab_parallel.Pool.map_list (Lab.pool lab)
+      (fun (policy, roni, rng) ->
+        Pipeline.run
+          { Pipeline.retrain_period = 1; policy; roni; initial_training }
+          rng ~rounds)
+      [
+        (Pipeline.Train_everything, None, Spamlab_stats.Rng.copy rng);
+        (Pipeline.Train_on_error, None, Spamlab_stats.Rng.copy rng);
+        ( Pipeline.Train_everything,
+          Some Roni.default_config,
+          Spamlab_stats.Rng.copy rng );
+      ]
   in
-  let undefended = simulate Pipeline.Train_everything None in
-  let toe = simulate Pipeline.Train_on_error None in
-  let defended = simulate Pipeline.Train_everything (Some Roni.default_config) in
+  let undefended, toe, defended =
+    match simulations with
+    | [ u; t; d ] -> (u, t, d)
+    | _ -> assert false
+  in
   let rec zip3 a b c =
     match (a, b, c) with
     | [], [], [] -> []

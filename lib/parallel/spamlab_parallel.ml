@@ -1,0 +1,169 @@
+(* Deterministic domain pool on stdlib Domain/Mutex/Condition.
+
+   The contract that makes parallel experiments reproducible: work is
+   partitioned by index, every element's computation must depend only on
+   its input (tasks derive their randomness from named Rng streams, never
+   a shared mutable generator), and results are written into a slot per
+   index — so the value of [map_array] is independent of how elements
+   land on domains.  Exception propagation is deterministic too: claims
+   are handed out in increasing index order, so the lowest raising index
+   is always claimed and evaluated, and its exception is the one
+   re-raised at the join regardless of scheduling. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "SPAMLAB_JOBS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> n
+      | _ -> invalid_arg "SPAMLAB_JOBS must be a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
+module Pool = struct
+  type task = unit -> unit
+
+  type t = {
+    jobs : int;
+    queue : task Queue.t;
+    mutex : Mutex.t;
+    has_work : Condition.t;
+    mutable closed : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  (* True inside a pool worker domain.  A nested [map_array] from within
+     a task must not wait on the pool that is running it (the workers it
+     would wait for are the ones already busy), so nested use falls back
+     to the sequential path — same results, no deadlock. *)
+  let in_worker_key = Domain.DLS.new_key (fun () -> false)
+  let in_worker () = Domain.DLS.get in_worker_key
+
+  let worker t =
+    Domain.DLS.set in_worker_key true;
+    let rec loop () =
+      Mutex.lock t.mutex;
+      let rec dequeue () =
+        if t.closed then None
+        else
+          match Queue.take_opt t.queue with
+          | Some task -> Some task
+          | None ->
+              Condition.wait t.has_work t.mutex;
+              dequeue ()
+      in
+      let task = dequeue () in
+      Mutex.unlock t.mutex;
+      match task with
+      | None -> ()
+      | Some task ->
+          (* Tasks are wrapped by [map_array] and never raise; the guard
+             keeps a buggy direct submission from killing the worker. *)
+          (try task () with _ -> ());
+          loop ()
+    in
+    loop ()
+
+  let create ~jobs =
+    if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+    let t =
+      {
+        jobs;
+        queue = Queue.create ();
+        mutex = Mutex.create ();
+        has_work = Condition.create ();
+        closed = false;
+        workers = [||];
+      }
+    in
+    (* jobs - 1 spawned domains: the caller's domain joins every map as
+       the jobs-th worker, so jobs = 1 spawns nothing and runs inline. *)
+    t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let jobs t = t.jobs
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+
+  let submit t task =
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool: submit after shutdown"
+    end;
+    Queue.add task t.queue;
+    Condition.signal t.has_work;
+    Mutex.unlock t.mutex
+
+  let map_array t f arr =
+    let n = Array.length arr in
+    if n = 0 then [||]
+    else if t.jobs = 1 || n = 1 || in_worker () then Array.map f arr
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failure =
+        Atomic.make (None : (int * exn * Printexc.raw_backtrace) option)
+      in
+      let record_failure i exn bt =
+        (* Keep the lowest-index failure (see the module comment). *)
+        let rec set () =
+          let current = Atomic.get failure in
+          let keep =
+            match current with Some (j, _, _) -> j <= i | None -> false
+          in
+          if
+            (not keep)
+            && not (Atomic.compare_and_set failure current (Some (i, exn, bt)))
+          then set ()
+        in
+        set ();
+        (* Short-circuit: stop handing out new indices.  Everything
+           below the lowest raising index was already claimed (claims
+           are monotone), so determinism of the propagated exception is
+           unaffected. *)
+        if Atomic.get next < n then Atomic.set next n
+      in
+      let rec drive () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception exn ->
+              record_failure i exn (Printexc.get_raw_backtrace ()));
+          drive ()
+        end
+      in
+      let helpers = min (t.jobs - 1) (n - 1) in
+      let pending = ref helpers in
+      let all_done = Condition.create () in
+      for _ = 1 to helpers do
+        submit t (fun () ->
+            drive ();
+            Mutex.lock t.mutex;
+            decr pending;
+            if !pending = 0 then Condition.broadcast all_done;
+            Mutex.unlock t.mutex)
+      done;
+      drive ();
+      Mutex.lock t.mutex;
+      while !pending > 0 do
+        Condition.wait all_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (match Atomic.get failure with
+      | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+      | None -> ());
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+
+  let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
+end
+
+let run ~jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)

@@ -1,0 +1,41 @@
+(** Deterministic domain pool for fanning independent experiment cells
+    (folds, targets, trials) across OCaml 5 domains.
+
+    Determinism contract: [Pool.map_array pool f arr] equals
+    [Array.map f arr] — same values, same order, same exception — at
+    every [jobs] setting, provided [f] is pure per element (in the
+    laboratory, tasks derive their randomness from named
+    {!Spamlab_stats.Rng.split_named} streams rather than sharing a
+    mutable generator). *)
+
+val default_jobs : unit -> int
+(** The [SPAMLAB_JOBS] environment variable if set, otherwise
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [SPAMLAB_JOBS] is not a positive int. *)
+
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawn [jobs - 1] worker domains ([jobs = 1] spawns none and every
+      map runs inline).  @raise Invalid_argument if [jobs < 1]. *)
+
+  val jobs : t -> int
+
+  val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+  (** Order-preserving parallel map.  The calling domain participates,
+      so all [jobs] domains compute.  If any [f] raises, the exception
+      of the lowest raising index is re-raised at the join (with its
+      backtrace); which exception propagates does not depend on
+      scheduling.  Nested calls from inside a worker fall back to the
+      sequential path rather than deadlocking. *)
+
+  val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+  val shutdown : t -> unit
+  (** Stop and join the workers.  Maps submitted afterwards raise. *)
+end
+
+val run : jobs:int -> (Pool.t -> 'a) -> 'a
+(** [run ~jobs f] creates a pool, applies [f], and shuts the pool down
+    (also on exception). *)

@@ -8,8 +8,30 @@ type result = {
   clues : clue list;
 }
 
-let select_discriminators (options : Options.t) db tokens =
+let by_strength_desc a b =
+  let sa = Float.abs (a.score -. 0.5) in
+  let sb = Float.abs (b.score -. 0.5) in
+  match Float.compare sb sa with
+  | 0 -> String.compare a.token b.token
+  | c -> c
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* The comparator is a total order on distinct tokens, so the selection
+   does not depend on the order candidates arrive in. *)
+let select_scored (options : Options.t) candidates =
   let scored =
+    List.filter
+      (fun c -> Float.abs (c.score -. 0.5) >= options.minimum_prob_strength)
+      candidates
+  in
+  take options.max_discriminators (List.sort by_strength_desc scored)
+
+let select_discriminators (options : Options.t) db tokens =
+  let candidates =
     Array.to_list tokens
     |> List.filter_map (fun token ->
            let score = Score.smoothed options db token in
@@ -17,20 +39,7 @@ let select_discriminators (options : Options.t) db tokens =
              Some { token; score }
            else None)
   in
-  let by_strength_desc a b =
-    let sa = Float.abs (a.score -. 0.5) in
-    let sb = Float.abs (b.score -. 0.5) in
-    match Float.compare sb sa with
-    | 0 -> String.compare a.token b.token
-    | c -> c
-  in
-  let sorted = List.sort by_strength_desc scored in
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
-  take options.max_discriminators sorted
+  select_scored options candidates
 
 let indicator_of_clues = function
   | [] -> 0.5
@@ -43,5 +52,10 @@ let verdict_of_indicator (options : Options.t) indicator =
 
 let score_tokens options db tokens =
   let clues = select_discriminators options db tokens in
+  let indicator = indicator_of_clues clues in
+  { indicator; verdict = verdict_of_indicator options indicator; clues }
+
+let score_clues options candidates =
+  let clues = select_scored options candidates in
   let indicator = indicator_of_clues clues in
   { indicator; verdict = verdict_of_indicator options indicator; clues }

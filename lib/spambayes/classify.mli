@@ -30,3 +30,11 @@ val verdict_of_indicator : Options.t -> float -> Label.verdict
 
 val score_tokens : Options.t -> Token_db.t -> string array -> result
 (** Full pipeline on a distinct-token array. *)
+
+val score_clues : Options.t -> clue list -> result
+(** The scoring pipeline on candidate clues whose f(w) was computed by
+    the caller (e.g. from cached counts via {!Score.smoothed_counts}):
+    filters by minimum strength, selects, Fisher-combines.  Candidates
+    may arrive in any order and may or may not be pre-filtered — the
+    result is identical to [score_tokens] on the same token → score
+    mapping. *)

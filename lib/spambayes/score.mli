@@ -16,6 +16,14 @@ val smoothed : Options.t -> Token_db.t -> string -> float
 (** [smoothed options db w] is f(w) ∈ (0,1).  Unknown tokens score
     exactly the prior [options.unknown_word_prob]. *)
 
+val smoothed_counts :
+  Options.t -> spam:int -> ham:int -> nspam:int -> nham:int -> float
+(** f(w) as a pure function of the token's per-class counts and the
+    class totals — exactly the arithmetic [smoothed] performs after its
+    DB lookups, bit for bit.  Lets callers that already hold the counts
+    (or can derive them, as the poisoning sweep does) score without
+    touching the token DB. *)
+
 val strength : Options.t -> Token_db.t -> string -> float
 (** |f(w) − 0.5| — the discriminator-selection key. *)
 

@@ -197,7 +197,46 @@ let poison_tests =
     test_case "attack_count validates the fraction" (fun () ->
         Alcotest.check_raises "1.0"
           (Invalid_argument "Poison.attack_count: fraction must lie in [0,1)")
-          (fun () -> ignore (Poison.attack_count ~train_size:10 ~fraction:1.0)));
+          (fun () -> ignore (Poison.attack_count ~train_size:10 ~fraction:1.0));
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Poison.attack_count: fraction must lie in [0,1)")
+          (fun () -> ignore (Poison.attack_count ~train_size:10 ~fraction:(-0.1)));
+        Alcotest.check_raises "nan"
+          (Invalid_argument "Poison.attack_count: fraction must lie in [0,1)")
+          (fun () -> ignore (Poison.attack_count ~train_size:10 ~fraction:Float.nan)));
+    test_case "attack_count refuses to overflow near fraction 1" (fun () ->
+        (* n·f/(1−f) blows past max_int as f → 1, where int_of_float is
+           undefined — must raise, not silently return garbage. *)
+        let just_under_one = 1.0 -. epsilon_float in
+        Alcotest.check_raises "overflow"
+          (Invalid_argument "Poison.attack_count: attack volume overflows")
+          (fun () ->
+            ignore
+              (Poison.attack_count ~train_size:10_000
+                 ~fraction:just_under_one));
+        (* Large-but-finite volumes still work. *)
+        check_int "50%" 10_000
+          (Poison.attack_count ~train_size:10_000 ~fraction:0.5));
+    test_case "sweep equals one poisoned copy per grid point" (fun () ->
+        let base =
+          Poison.base_filter Spamlab_tokenizer.Tokenizer.spambayes tiny_examples
+        in
+        let payload = [| "cheap"; "pills"; "meeting"; "unseen-token" |] in
+        (* Deliberately unsorted counts: results must come back in input
+           order. *)
+        let counts = [ 50; 0; 7; 500 ] in
+        let swept = Poison.sweep base ~payload ~counts tiny_examples in
+        let naive =
+          List.map
+            (fun count ->
+              Poison.score_examples
+                (Poison.poisoned base ~payload ~count)
+                tiny_examples)
+            counts
+        in
+        check_bool "bit-identical scores" true (swept = naive);
+        (* The sweep mutated nothing. *)
+        check_int "base nspam intact" 20 (Token_db.nspam (Filter.db base)));
     test_case "base_filter trains everything" (fun () ->
         let f =
           Poison.base_filter Spamlab_tokenizer.Tokenizer.spambayes tiny_examples

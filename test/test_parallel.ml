@@ -1,0 +1,114 @@
+(* Tests for the deterministic domain pool, and the end-to-end
+   regression that experiment results do not depend on the jobs
+   setting. *)
+
+open Spamlab_parallel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let test_case name f = Alcotest.test_case name `Quick f
+
+let with_pool ~jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let pool_tests =
+  [
+    test_case "map_array preserves order" (fun () ->
+        with_pool ~jobs:4 (fun pool ->
+            let input = Array.init 100 (fun i -> i) in
+            let got = Pool.map_array pool (fun i -> i * i) input in
+            check_bool "equals Array.map" true
+              (got = Array.map (fun i -> i * i) input)));
+    test_case "jobs=1 equals Array.map" (fun () ->
+        with_pool ~jobs:1 (fun pool ->
+            let input = Array.init 17 string_of_int in
+            check_bool "identical" true
+              (Pool.map_array pool String.length input
+              = Array.map String.length input)));
+    test_case "map_list preserves order" (fun () ->
+        with_pool ~jobs:3 (fun pool ->
+            check_bool "equals List.map" true
+              (Pool.map_list pool succ [ 5; 1; 4; 1; 5 ]
+              = [ 6; 2; 5; 2; 6 ])));
+    test_case "empty and singleton inputs" (fun () ->
+        with_pool ~jobs:4 (fun pool ->
+            check_int "empty" 0
+              (Array.length (Pool.map_array pool succ [||]));
+            check_bool "singleton" true
+              (Pool.map_array pool succ [| 41 |] = [| 42 |])));
+    test_case "worker exception re-raised at join" (fun () ->
+        with_pool ~jobs:4 (fun pool ->
+            (* Several indices raise; the contract picks the lowest so
+               the surfaced error does not depend on scheduling. *)
+            Alcotest.check_raises "lowest raising index wins"
+              (Failure "boom-3") (fun () ->
+                ignore
+                  (Pool.map_array pool
+                     (fun i ->
+                       if i >= 3 && i mod 2 = 1 then
+                         failwith (Printf.sprintf "boom-%d" i);
+                       i)
+                     (Array.init 64 (fun i -> i))))));
+    test_case "pool survives a raising map" (fun () ->
+        with_pool ~jobs:4 (fun pool ->
+            (try
+               ignore
+                 (Pool.map_array pool
+                    (fun i -> if i = 0 then failwith "once" else i)
+                    [| 0; 1; 2 |])
+             with Failure _ -> ());
+            check_bool "next map fine" true
+              (Pool.map_array pool succ [| 1; 2; 3 |] = [| 2; 3; 4 |])));
+    test_case "nested use falls back sequentially" (fun () ->
+        with_pool ~jobs:4 (fun pool ->
+            let got =
+              Pool.map_array pool
+                (fun i ->
+                  Array.fold_left ( + ) 0
+                    (Pool.map_array pool (fun j -> (10 * i) + j)
+                       [| 0; 1; 2 |]))
+                (Array.init 8 (fun i -> i))
+            in
+            check_bool "values correct" true
+              (got = Array.init 8 (fun i -> (30 * i) + 3))));
+    test_case "create validates jobs" (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Pool.create: jobs must be >= 1")
+          (fun () -> ignore (Pool.create ~jobs:0)));
+    test_case "run shuts the pool down" (fun () ->
+        let n = run ~jobs:2 (fun pool ->
+            Array.length (Pool.map_array pool succ [| 1; 2; 3 |]))
+        in
+        check_int "result" 3 n);
+  ]
+
+(* End-to-end: a small Figure-1 grid must produce structurally equal
+   results at jobs=1 and jobs=4 (the determinism contract of the whole
+   harness, not just the pool). *)
+let determinism_tests =
+  [
+    test_case "dictionary_exp identical at jobs=1 and jobs=4" (fun () ->
+        let open Spamlab_eval in
+        let params =
+          {
+            Params.train_size = 120;
+            spam_prevalence = 0.5;
+            attack_fractions = [ 0.0; 0.01; 0.05 ];
+            folds = 3;
+            dictionary_size = 2_000;
+            usenet_size = 2_000;
+          }
+        in
+        let run_with jobs =
+          let lab = Lab.create ~seed:7 ~scale:0.05 ~jobs () in
+          Fun.protect
+            ~finally:(fun () -> Lab.shutdown lab)
+            (fun () -> Dictionary_exp.run lab params)
+        in
+        check_bool "structurally equal" true (run_with 1 = run_with 4));
+  ]
+
+let () =
+  Alcotest.run "spamlab_parallel"
+    [ ("pool", pool_tests); ("determinism", determinism_tests) ]
