@@ -12,19 +12,33 @@
      main.exe --jobs 8 fig1       fan experiment cells over 8 domains
                                   (default: SPAMLAB_JOBS if set, else the
                                   recommended domain count; results are
-                                  identical at every jobs value) *)
+                                  identical at every jobs value)
+     main.exe --trace t.jsonl fig1   write a JSONL execution trace
+     main.exe --metrics fig1         dump counters/span timings to stderr
+     main.exe --timings t.json all   machine-readable per-experiment
+                                     wall-clock times *)
 
 open Spamlab_eval
+module Obs = Spamlab_obs.Obs
 
 let default_scale = 0.2
 
 let usage () =
   prerr_endline
-    ("usage: main.exe [--scale S] [--seed N] [--jobs N] [all|perf|"
+    ("usage: main.exe [--scale S] [--seed N] [--jobs N] [--trace FILE] \
+      [--metrics] [--timings FILE] [all|perf|"
     ^ String.concat "|" Registry.ids ^ "]...");
   exit 2
 
-type cli = { scale : float; seed : int; jobs : int; targets : string list }
+type cli = {
+  scale : float;
+  seed : int;
+  jobs : int;
+  trace : string option;
+  metrics : bool;
+  timings : string option;
+  targets : string list;
+}
 
 let parse_args () =
   let rec go acc = function
@@ -38,9 +52,16 @@ let parse_args () =
         | Some seed -> go { acc with seed } rest
         | None -> usage ())
     | "--jobs" :: v :: rest -> (
-        match int_of_string_opt v with
-        | Some jobs when jobs >= 1 -> go { acc with jobs } rest
-        | _ -> usage ())
+        (* Shared validation: same message as the spamlab CLI and the
+           SPAMLAB_JOBS environment path. *)
+        match Spamlab_parallel.parse_jobs v with
+        | Ok jobs -> go { acc with jobs } rest
+        | Error msg ->
+            prerr_endline msg;
+            exit 2)
+    | "--trace" :: path :: rest -> go { acc with trace = Some path } rest
+    | "--metrics" :: rest -> go { acc with metrics = true } rest
+    | "--timings" :: path :: rest -> go { acc with timings = Some path } rest
     | target :: rest ->
         if target = "all" || target = "perf" || Registry.find target <> None
         then go { acc with targets = acc.targets @ [ target ] } rest
@@ -51,6 +72,9 @@ let parse_args () =
       scale = default_scale;
       seed = 42;
       jobs = Spamlab_parallel.default_jobs ();
+      trace = None;
+      metrics = false;
+      timings = None;
       targets = [];
     }
   in
@@ -67,17 +91,34 @@ let run_experiment lab (e : Registry.experiment) =
   Printf.printf "paper: %s\n\n" e.Registry.paper_claim;
   let started = Unix.gettimeofday () in
   let report = e.Registry.run lab in
+  let seconds = Unix.gettimeofday () -. started in
   print_string report;
-  Printf.printf "\n[%s finished in %.1fs]\n\n" e.Registry.id
-    (Unix.gettimeofday () -. started);
-  flush stdout
+  Printf.printf "\n[%s finished in %.1fs]\n\n" e.Registry.id seconds;
+  flush stdout;
+  (e.Registry.id, seconds)
 
 let run_experiments lab = function
-  | "all" -> List.iter (run_experiment lab) Registry.all
+  | "all" -> List.map (run_experiment lab) Registry.all
   | id -> (
       match Registry.find id with
-      | Some e -> run_experiment lab e
+      | Some e -> [ run_experiment lab e ]
       | None -> usage ())
+
+(* Machine-readable per-experiment wall-clock times, one object per run:
+   {"seed":42,"scale":0.2,"jobs":4,"experiments":[{"id":"fig1",...}]} *)
+let write_timings path ~seed ~scale ~jobs timings =
+  let oc = open_out path in
+  Printf.fprintf oc "{\"seed\":%d,\"scale\":%.6g,\"jobs\":%d,\"experiments\":["
+    seed scale jobs;
+  List.iteri
+    (fun i (id, seconds) ->
+      if i > 0 then output_char oc ',';
+      Printf.fprintf oc "{\"id\":\"%s\",\"seconds\":%.6f}"
+        (Spamlab_obs.Json.escape_string id)
+        seconds)
+    timings;
+  output_string oc "]}\n";
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
@@ -220,13 +261,24 @@ let run_perf ~jobs () =
 
 let () =
   let cli = parse_args () in
+  (match cli.trace with Some path -> Obs.start_trace ~path | None -> ());
+  if cli.metrics then Obs.enable_metrics ();
+  Obs.configure_from_env ();
   Printf.printf
     "spamlab bench harness | seed %d | scale %.2f of paper Table 1 | jobs %d\n\n"
     cli.seed cli.scale cli.jobs;
   let lab = Lab.create ~seed:cli.seed ~scale:cli.scale ~jobs:cli.jobs () in
+  let timings = ref [] in
   List.iter
     (fun target ->
       if target = "perf" then run_perf ~jobs:cli.jobs ()
-      else run_experiments lab target)
+      else timings := !timings @ run_experiments lab target)
     cli.targets;
-  Lab.shutdown lab
+  Lab.shutdown lab;
+  Obs.stop ();
+  if cli.metrics then Obs.dump_metrics stderr;
+  match cli.timings with
+  | Some path ->
+      write_timings path ~seed:cli.seed ~scale:cli.scale ~jobs:cli.jobs
+        !timings
+  | None -> ()

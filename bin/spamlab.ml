@@ -24,6 +24,7 @@ module Message = Spamlab_email.Message
 module Mbox = Spamlab_email.Mbox
 module Rng = Spamlab_stats.Rng
 module Eval = Spamlab_eval
+module Obs = Spamlab_obs.Obs
 
 let setup_logs () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -560,30 +561,60 @@ let experiment_cmd =
        set, else the recommended domain count). Results are identical at \
        every jobs value."
     in
-    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+    let jobs_conv =
+      Arg.conv
+        ( (fun s ->
+            match Spamlab_parallel.parse_jobs s with
+            | Ok n -> Ok n
+            | Error msg -> Error (`Msg msg)),
+          Format.pp_print_int )
+    in
+    Arg.(value & opt (some jobs_conv) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let run seed scale jobs id =
+  let trace_arg =
+    let doc =
+      "Write a JSONL execution trace (spans and counters) to $(docv). \
+       Experiment output on stdout is unchanged."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Print aggregate counters and span timings to stderr after the run."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let run seed scale jobs trace metrics id =
     setup_logs ();
-    match jobs with
-    | Some j when j < 1 -> fail "--jobs must be >= 1"
-    | _ ->
-        let lab = Eval.Lab.create ~seed ~scale ?jobs () in
-        let finish result = Eval.Lab.shutdown lab; result in
-        (match id with
-        | "all" ->
-            List.iter
-              (fun (id, report) ->
-                Printf.printf "==== %s ====\n%s\n" id report)
-              (Eval.Registry.run_all lab);
-            finish (`Ok ())
-        | id -> (
-            match Eval.Registry.find id with
-            | None -> finish (fail "unknown experiment %S" id)
-            | Some e ->
-                print_string (e.Eval.Registry.run lab);
-                finish (`Ok ())))
+    (match trace with Some path -> Obs.start_trace ~path | None -> ());
+    if metrics then Obs.enable_metrics ();
+    Obs.configure_from_env ();
+    let lab = Eval.Lab.create ~seed ~scale ?jobs () in
+    let finish result =
+      Eval.Lab.shutdown lab;
+      Obs.stop ();
+      if metrics then Obs.dump_metrics stderr;
+      result
+    in
+    match id with
+    | "all" ->
+        List.iter
+          (fun (id, report) -> Printf.printf "==== %s ====\n%s\n" id report)
+          (Eval.Registry.run_all lab);
+        finish (`Ok ())
+    | id -> (
+        match Eval.Registry.find id with
+        | None -> finish (fail "unknown experiment %S" id)
+        | Some e ->
+            print_string (e.Eval.Registry.run lab);
+            finish (`Ok ()))
   in
-  let term = Term.(ret (const run $ seed_arg $ scale_arg $ jobs_arg $ id_arg)) in
+  let term =
+    Term.(
+      ret
+        (const run $ seed_arg $ scale_arg $ jobs_arg $ trace_arg $ metrics_arg
+       $ id_arg))
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Reproduce a table or figure from the paper's evaluation.")

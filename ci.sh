@@ -1,0 +1,44 @@
+#!/bin/sh
+# CI entry point: build, test, (optionally) check formatting, then run
+# one tiny traced experiment and validate the emitted JSONL trace.
+# Everything here must pass before a change lands.
+set -eu
+
+say() { printf '\n== %s ==\n' "$1"; }
+
+say "dune build"
+dune build
+
+say "dune runtest"
+dune runtest
+
+say "format check"
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "ocamlformat not installed; skipping (formatting is advisory)"
+fi
+
+say "traced smoke experiment"
+trace=$(mktemp /tmp/spamlab-ci-trace.XXXXXX.jsonl)
+trap 'rm -f "$trace"' EXIT
+./_build/default/bin/spamlab.exe experiment fig1 \
+  --scale 0.02 --jobs 2 --trace "$trace" > /dev/null
+
+say "trace validation"
+test -s "$trace" || { echo "FAIL: trace is empty"; exit 1; }
+head -n 1 "$trace" | grep -q '"ev":"meta".*"format":"spamlab-trace"' \
+  || { echo "FAIL: missing meta header"; exit 1; }
+if grep -nv '^{.*}$' "$trace"; then
+  echo "FAIL: non-JSON-object trace lines (above)"; exit 1
+fi
+opens=$(grep -c '"ev":"span_open"' "$trace")
+closes=$(grep -c '"ev":"span_close"' "$trace")
+test "$opens" -eq "$closes" \
+  || { echo "FAIL: $opens span_open vs $closes span_close"; exit 1; }
+test "$opens" -gt 0 || { echo "FAIL: no spans recorded"; exit 1; }
+grep -q '"ev":"counter".*"name":"eval.messages_classified"' "$trace" \
+  || { echo "FAIL: missing eval.messages_classified counter"; exit 1; }
+echo "trace OK: $opens spans, balanced"
+
+say "ci.sh: all checks passed"

@@ -9,13 +9,17 @@ type config = { quantile : float }
 let config_05 = { quantile = 0.05 }
 let config_10 = { quantile = 0.10 }
 
+(* Boundary convention mirrors [Classify.verdict_of_indicator]: a score
+   exactly at the threshold is classified with the more severe class, so
+   a ham scoring exactly t counts as misclassified (N_H,>= not N_H,>)
+   and a spam scoring exactly t is caught (strict <). *)
 let utility ~scores t =
   let spam_below, ham_above =
     Array.fold_left
       (fun (sb, ha) (score, gold) ->
         match gold with
         | Label.Spam when score < t -> (sb + 1, ha)
-        | Label.Ham when score > t -> (sb, ha + 1)
+        | Label.Ham when score >= t -> (sb, ha + 1)
         | Label.Spam | Label.Ham -> (sb, ha))
       (0, 0) scores
   in
@@ -54,14 +58,22 @@ let candidates_with_utility scores =
       Float.min 1.0 (score_at (n - 1) +. ((1.0 -. score_at (n - 1)) /. 2.0))
     else (score_at (i - 1) +. score_at i) /. 2.0
   in
-  (* A midpoint between two equal scores would sit exactly on them and
-     make the "<" / ">" split ambiguous; skip those so that an entry of
-     weight k behaves exactly like k duplicated entries. *)
-  let degenerate i = i > 0 && i < n && score_at (i - 1) = score_at i in
+  (* The prefix counts describe threshold t only when
+     score_at(i-1) < t <= score_at(i): everything before position i is
+     strictly below t (not caught by ">= t") and everything from i on is
+     at or above it.  A candidate violating that — a midpoint between
+     equal scores, or the top endpoint when the maximum score is 1.0 so
+     the candidate collides with an attained score — would install a
+     cutoff whose measured utility disagrees with the verdict function,
+     so it is skipped. *)
+  let consistent i t =
+    (i = 0 || score_at (i - 1) < t) && (i = n || t <= score_at i)
+  in
   Array.of_list
     (List.filter_map
        (fun i ->
-         if degenerate i then None
+         let t = candidate i in
+         if not (consistent i t) then None
          else
            let spam_below = spam_prefix.(i) in
            let ham_above = total_ham - ham_prefix.(i) in
@@ -71,7 +83,7 @@ let candidates_with_utility scores =
                float_of_int spam_below
                /. float_of_int (spam_below + ham_above)
            in
-           Some (candidate i, g))
+           Some (t, g))
        (List.init (n + 1) Fun.id))
 
 (* θ0 is the largest threshold still satisfying g(t) ≤ q: pushing it as

@@ -6,10 +6,12 @@
     the cutoffs from data: split the (possibly poisoned) training set in
     half, train a filter F on one half, score the other half V, and
     choose thresholds through the utility
-    {[ g(t) = N_S,<(t) / (N_S,<(t) + N_H,>(t)) ]}
-    where N_S,<(t) counts spam scoring below [t] and N_H,>(t) ham
-    scoring above.  θ0 is placed where g ≈ q and θ1 where g ≈ 1 − q, for
-    q ∈ {0.05, 0.10}. *)
+    {[ g(t) = N_S,<(t) / (N_S,<(t) + N_H,≥(t)) ]}
+    where N_S,<(t) counts spam scoring strictly below [t] and N_H,≥(t)
+    ham scoring at or above — the same boundary convention as
+    {!Spamlab_spambayes.Classify.verdict_of_indicator}, where a score
+    exactly at a cutoff takes the more severe class.  θ0 is placed
+    where g ≈ q and θ1 where g ≈ 1 − q, for q ∈ {0.05, 0.10}. *)
 
 type config = {
   quantile : float;  (** q above; the paper tests 0.05 and 0.10. *)

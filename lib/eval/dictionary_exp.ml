@@ -54,6 +54,7 @@ let run lab (params : Params.dictionary) =
   let fold_results =
     Spamlab_parallel.Pool.map_array (Lab.pool lab)
       (fun (train, test) ->
+        Spamlab_obs.Obs.span "dictionary.fold" @@ fun () ->
         let base = Poison.base_filter tokenizer train in
         let counts =
           List.map

@@ -57,6 +57,7 @@ let sweep lab (params : Params.focused) ~stream_name ~xs ~attack_of =
   let setups =
     Spamlab_parallel.Pool.map_array pool
       (fun rep ->
+        Spamlab_obs.Obs.span "focused.setup" @@ fun () ->
         let rng = Lab.rng lab (Printf.sprintf "%s/rep-%d" stream_name rep) in
         make_setup lab rng params)
       (Array.init params.repetitions (fun rep -> rep))
@@ -69,6 +70,7 @@ let sweep lab (params : Params.focused) ~stream_name ~xs ~attack_of =
   let verdicts =
     Spamlab_parallel.Pool.map_array pool
       (fun (rep, target_index) ->
+        Spamlab_obs.Obs.span "focused.cell" @@ fun () ->
         let rng =
           Lab.rng lab
             (Printf.sprintf "%s/rep-%d/target-%d" stream_name rep target_index)

@@ -15,8 +15,10 @@ type t = {
 let create ?(seed = 42) ?(scale = 1.0) ?jobs () =
   let jobs =
     match jobs with
-    | Some j when j >= 1 -> j
-    | Some _ -> invalid_arg "Lab.create: jobs must be >= 1"
+    | Some j -> (
+        match Spamlab_parallel.validate_jobs j with
+        | Ok j -> j
+        | Error msg -> invalid_arg msg)
     | None -> Spamlab_parallel.default_jobs ()
   in
   {

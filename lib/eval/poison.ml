@@ -5,6 +5,13 @@ module Classify = Spamlab_spambayes.Classify
 module Token_db = Spamlab_spambayes.Token_db
 module Score = Spamlab_spambayes.Score
 module Options = Spamlab_spambayes.Options
+module Obs = Spamlab_obs.Obs
+
+(* Work counters for the observability layer.  They are bumped with
+   atomic adds from inside pool tasks, so their totals are invariant
+   under the [--jobs] setting (unlike the pool's scheduling spans). *)
+let messages_classified = Obs.counter "eval.messages_classified"
+let tokens_scored = Obs.counter "eval.tokens_scored"
 
 let attack_count ~train_size ~fraction =
   if not (Float.is_finite fraction) || fraction < 0.0 || fraction >= 1.0 then
@@ -32,6 +39,8 @@ let poisoned filter ~payload ~count =
 let score_examples filter examples =
   Array.map
     (fun (e : Dataset.example) ->
+      Obs.incr messages_classified;
+      Obs.add tokens_scored (Array.length e.Dataset.tokens);
       ((Dataset.classify filter e).Classify.indicator, e.label))
     examples
 
@@ -71,9 +80,12 @@ let sweep filter ~payload ~counts test =
   in
   List.map
     (fun count ->
+      Obs.span "poison.sweep.point" @@ fun () ->
       let nspam = nspam0 + count in
       Array.map
         (fun (label, tokens) ->
+          Obs.incr messages_classified;
+          Obs.add tokens_scored (Array.length tokens);
           let candidates =
             Array.fold_left
               (fun acc (token, spam0, ham, payload_member) ->

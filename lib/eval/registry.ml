@@ -250,12 +250,22 @@ let stealth =
       (fun lab -> Extension_exp.render_stealth (Extension_exp.stealth lab));
   }
 
+(* Every experiment runs under an [exp/<id>] span so a trace or metrics
+   dump attributes time to experiments without each module opting in. *)
+let instrument e =
+  let span_name = "exp/" ^ e.id in
+  {
+    e with
+    run = (fun lab -> Spamlab_obs.Obs.span span_name (fun () -> e.run lab));
+  }
+
 let all =
-  [
-    table1; corpus_stats; fig1; tokens; fig2; fig3; fig4; roni; fig5;
-    ablate_disc; ablate_band; ablate_smooth; ablate_coverage; pseudospam;
-    goodword; roni_sweep; timeline; tokenizers; budget; stealth;
-  ]
+  List.map instrument
+    [
+      table1; corpus_stats; fig1; tokens; fig2; fig3; fig4; roni; fig5;
+      ablate_disc; ablate_band; ablate_smooth; ablate_coverage; pseudospam;
+      goodword; roni_sweep; timeline; tokenizers; budget; stealth;
+    ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 

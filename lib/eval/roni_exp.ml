@@ -78,6 +78,7 @@ let run lab (params : Params.roni) =
   let non_attack_assessments =
     Spamlab_parallel.Pool.map_array (Lab.pool lab)
       (fun i ->
+        Spamlab_obs.Obs.span "roni.non_attack" @@ fun () ->
         let stream = Printf.sprintf "roni/non-attack-%d" i in
         let msg =
           Generator.spam (Lab.config lab)
@@ -111,6 +112,7 @@ let run lab (params : Params.roni) =
   let attack_assessments =
     Spamlab_parallel.Pool.map_array (Lab.pool lab)
       (fun (variant, repetition) ->
+        Spamlab_obs.Obs.span "roni.attack" @@ fun () ->
         let name, payload = payloads.(variant) in
         assess_tokens
           (Printf.sprintf "roni/attack-%s/rep-%d" name repetition)

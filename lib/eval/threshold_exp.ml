@@ -28,6 +28,7 @@ type cell = {
    clean examples plus half the attack copies, score the other half
    (the attack email scored once, weighted). *)
 let derive_thresholds quantile ~train ~payload ~count rng =
+  Spamlab_obs.Obs.span "threshold.derive" @@ fun () ->
   let half_a, half_b = Dataset.split rng 0.5 train in
   let filter = Filter.create () in
   Dataset.train_filter filter half_a;
@@ -78,6 +79,7 @@ let run lab (params : Params.threshold) =
   let fold_results =
     Spamlab_parallel.Pool.map_array (Lab.pool lab)
       (fun (fold_index, (train, test)) ->
+        Spamlab_obs.Obs.span "threshold.fold" @@ fun () ->
         let rng =
           Lab.rng lab (Printf.sprintf "threshold-defense/fold-%d" fold_index)
         in

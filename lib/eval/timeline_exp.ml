@@ -61,6 +61,7 @@ let run lab =
   let simulations =
     Spamlab_parallel.Pool.map_list (Lab.pool lab)
       (fun (policy, roni, rng) ->
+        Spamlab_obs.Obs.span "timeline.policy" @@ fun () ->
         Pipeline.run
           { Pipeline.retrain_period = 1; policy; roni; initial_training }
           rng ~rounds)

@@ -1,0 +1,1 @@
+external now_ns : unit -> int64 = "spamlab_obs_monotonic_ns"

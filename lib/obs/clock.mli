@@ -1,0 +1,6 @@
+(** Monotonic clock (CLOCK_MONOTONIC via a local C stub — no library
+    dependency).  All span timestamps in the observability layer come
+    from here; differences are meaningful, absolute values are not. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock.  Thread- and domain-safe. *)

@@ -1,0 +1,35 @@
+type field = string * string (* key, already-rendered value *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str key value = (key, Printf.sprintf "\"%s\"" (escape_string value))
+let int key value = (key, string_of_int value)
+let i64 key value = (key, Int64.to_string value)
+
+let line fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (key, value) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string key);
+      Buffer.add_string buf "\":";
+      Buffer.add_string buf value)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

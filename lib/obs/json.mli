@@ -1,0 +1,21 @@
+(** Minimal JSON emission for the JSONL trace sink.  Only what the
+    trace format needs: flat objects of string/int fields, one per
+    line.  No parser — the test suite carries its own small validator,
+    so the format is checked from the outside. *)
+
+type field
+
+val str : string -> string -> field
+(** [str key value]: a string-valued field; [value] is escaped. *)
+
+val int : string -> int -> field
+
+val i64 : string -> int64 -> field
+
+val line : field list -> string
+(** One JSONL line: a flat object in the given field order, no
+    trailing newline. *)
+
+val escape_string : string -> string
+(** JSON string-body escaping (backslash, quote, control characters as
+    \u00XX).  Exposed for tests. *)

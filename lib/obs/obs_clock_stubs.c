@@ -1,0 +1,17 @@
+/* Monotonic clock for span timing.  CLOCK_MONOTONIC never jumps
+   backwards (NTP slews it but never steps it), which is the property
+   span durations need; wall-clock time is not used anywhere in the
+   observability layer. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <time.h>
+
+CAMLprim value spamlab_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -10,12 +10,31 @@
    is always claimed and evaluated, and its exception is the one
    re-raised at the join regardless of scheduling. *)
 
+module Obs = Spamlab_obs.Obs
+module Clock = Spamlab_obs.Clock
+
+(* Every entry point that accepts a jobs count — [--jobs] in bin/spamlab
+   and bench/main, the [SPAMLAB_JOBS] environment variable, and
+   [Lab.create ?jobs] — funnels through these two functions so an
+   invalid value fails with one message everywhere. *)
+let jobs_error got =
+  Printf.sprintf "--jobs/SPAMLAB_JOBS must be a positive integer (got %s)" got
+
+let validate_jobs n =
+  if n >= 1 then Ok n else Error (jobs_error (string_of_int n))
+
+let parse_jobs s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some n -> validate_jobs n
+  | None -> Error (jobs_error (if s = "" then "an empty string" else s))
+
 let default_jobs () =
   match Sys.getenv_opt "SPAMLAB_JOBS" with
   | Some v -> (
-      match int_of_string_opt (String.trim v) with
-      | Some n when n >= 1 -> n
-      | _ -> invalid_arg "SPAMLAB_JOBS must be a positive integer")
+      match parse_jobs v with
+      | Ok n -> n
+      | Error msg -> invalid_arg msg)
   | None -> Domain.recommended_domain_count ()
 
 module Pool = struct
@@ -89,7 +108,23 @@ module Pool = struct
     Array.iter Domain.join t.workers;
     t.workers <- [||]
 
+  (* When observability is on, a submitted task reports how long it sat
+     in the queue (pool.queue_wait, measured from submit to the moment a
+     worker picks it up) and how long it ran (pool.task).  These spans
+     describe scheduling, so unlike the experiment-layer counters they
+     are NOT invariant under different [jobs] settings. *)
+  let instrument task =
+    if not (Obs.enabled ()) then task
+    else begin
+      let submitted_ns = Clock.now_ns () in
+      fun () ->
+        Obs.record_span "pool.queue_wait" ~start_ns:submitted_ns
+          ~stop_ns:(Clock.now_ns ());
+        Obs.span "pool.task" task
+    end
+
   let submit t task =
+    let task = instrument task in
     Mutex.lock t.mutex;
     if t.closed then begin
       Mutex.unlock t.mutex;
@@ -103,7 +138,8 @@ module Pool = struct
     let n = Array.length arr in
     if n = 0 then [||]
     else if t.jobs = 1 || n = 1 || in_worker () then Array.map f arr
-    else begin
+    else
+      Obs.span "pool.map" @@ fun () ->
       let results = Array.make n None in
       let next = Atomic.make 0 in
       let failure =
@@ -131,6 +167,9 @@ module Pool = struct
       let rec drive () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          (* Per-domain claim count: the metrics dump turns these into a
+             pool-utilization distribution. *)
+          Obs.tick "pool.item";
           (match f arr.(i) with
           | v -> results.(i) <- Some v
           | exception exn ->
@@ -159,7 +198,6 @@ module Pool = struct
       | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
       | None -> ());
       Array.map (function Some v -> v | None -> assert false) results
-    end
 
   let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
 end

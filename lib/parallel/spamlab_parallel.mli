@@ -8,10 +8,20 @@
     {!Spamlab_stats.Rng.split_named} streams rather than sharing a
     mutable generator). *)
 
+val validate_jobs : int -> (int, string) result
+(** [Ok n] when [n >= 1]; otherwise [Error msg] with the one shared
+    jobs-validation message used by every entry point ([--jobs] flags,
+    [SPAMLAB_JOBS], {!Spamlab_eval.Lab.create}). *)
+
+val parse_jobs : string -> (int, string) result
+(** {!validate_jobs} composed with integer parsing (leading/trailing
+    whitespace tolerated); the [Error] message is the same shared one. *)
+
 val default_jobs : unit -> int
-(** The [SPAMLAB_JOBS] environment variable if set, otherwise
-    [Domain.recommended_domain_count ()].
-    @raise Invalid_argument if [SPAMLAB_JOBS] is not a positive int. *)
+(** The [SPAMLAB_JOBS] environment variable if set (via
+    {!parse_jobs}), otherwise [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [SPAMLAB_JOBS] does not parse as a
+    positive int. *)
 
 module Pool : sig
   type t
@@ -28,7 +38,14 @@ module Pool : sig
       of the lowest raising index is re-raised at the join (with its
       backtrace); which exception propagates does not depend on
       scheduling.  Nested calls from inside a worker fall back to the
-      sequential path rather than deadlocking. *)
+      sequential path rather than deadlocking.
+
+      When {!Spamlab_obs.Obs} is enabled, parallel maps record a
+      [pool.map] span, each submitted helper records [pool.queue_wait]
+      and [pool.task] spans, and every claimed element ticks a
+      per-domain [pool.item] count.  These describe scheduling and are
+      {e not} invariant under different [jobs] settings (the
+      experiment-layer counters are). *)
 
   val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 

@@ -45,10 +45,15 @@ let indicator_of_clues = function
   | [] -> 0.5
   | clues -> Fisher.indicator (List.map (fun c -> c.score) clues)
 
+(* SpamBayes boundary semantics: a score at a cutoff takes the more
+   severe class — I >= theta1 is spam, theta0 <= I < theta1 is unsure,
+   I < theta0 is ham.  (Nelson et al. report accuracy at the theta1
+   threshold; the previous <= comparisons classified an indicator
+   exactly at spam_cutoff as unsure and at ham_cutoff as ham.) *)
 let verdict_of_indicator (options : Options.t) indicator =
-  if indicator <= options.ham_cutoff then Label.Ham_v
-  else if indicator <= options.spam_cutoff then Label.Unsure_v
-  else Label.Spam_v
+  if indicator >= options.spam_cutoff then Label.Spam_v
+  else if indicator >= options.ham_cutoff then Label.Unsure_v
+  else Label.Ham_v
 
 let score_tokens options db tokens =
   let clues = select_discriminators options db tokens in

@@ -26,7 +26,9 @@ val indicator_of_clues : clue list -> float
 (** I(E) from selected clues; 0.5 for an empty δ(E) (no evidence). *)
 
 val verdict_of_indicator : Options.t -> float -> Label.verdict
-(** Thresholding: I ≤ θ0 ham, θ0 < I ≤ θ1 unsure, I > θ1 spam. *)
+(** Thresholding with SpamBayes boundary semantics — a score exactly at
+    a cutoff takes the more severe class: I < θ0 ham, θ0 ≤ I < θ1
+    unsure, I ≥ θ1 spam. *)
 
 val score_tokens : Options.t -> Token_db.t -> string array -> result
 (** Full pipeline on a distinct-token array. *)

@@ -26,7 +26,15 @@ let untrain t label msg = untrain_tokens t label (features t msg)
 let train_corpus t examples =
   List.iter (fun (label, msg) -> train t label msg) examples
 
-let classify_tokens t tokens = Classify.score_tokens t.options t.db tokens
+(* Per-message timing is detail-level: this is the hot path, and even
+   with tracing on, a span per classified message would dominate the
+   trace.  [Obs.detail] is a single flag read when observability is off,
+   and only opted into via SPAMLAB_OBS_DETAIL=1. *)
+let classify_tokens t tokens =
+  if Spamlab_obs.Obs.detail () then
+    Spamlab_obs.Obs.span "spambayes.classify" (fun () ->
+        Classify.score_tokens t.options t.db tokens)
+  else Classify.score_tokens t.options t.db tokens
 let classify t msg = classify_tokens t (features t msg)
 
 let score t msg = (classify t msg).Classify.indicator

@@ -97,8 +97,68 @@ let iter f t = Hashtbl.iter (fun token c -> f token ~spam:c.spam ~ham:c.ham) t.t
 let fold f init t =
   Hashtbl.fold (fun token c acc -> f acc token ~spam:c.spam ~ham:c.ham) t.table init
 
+(* Tokens come straight from attacker-controlled email bodies, so they
+   can contain the format's own delimiters.  Version 2 escapes exactly
+   the characters the line format gives meaning to: backslash, tab,
+   newline, carriage return. *)
+let escape_token token =
+  let needs_escaping = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' | '\t' | '\n' | '\r' -> needs_escaping := true
+      | _ -> ())
+    token;
+  if not !needs_escaping then token
+  else begin
+    let buf = Buffer.create (String.length token + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c -> Buffer.add_char buf c)
+      token;
+    Buffer.contents buf
+  end
+
+let unescape_token s =
+  if not (String.contains s '\\') then Ok s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec loop i =
+      if i >= n then Ok (Buffer.contents buf)
+      else
+        match s.[i] with
+        | '\\' ->
+            if i + 1 >= n then Error "dangling backslash in token"
+            else (
+              match s.[i + 1] with
+              | '\\' ->
+                  Buffer.add_char buf '\\';
+                  loop (i + 2)
+              | 't' ->
+                  Buffer.add_char buf '\t';
+                  loop (i + 2)
+              | 'n' ->
+                  Buffer.add_char buf '\n';
+                  loop (i + 2)
+              | 'r' ->
+                  Buffer.add_char buf '\r';
+                  loop (i + 2)
+              | c -> Error (Printf.sprintf "bad escape \\%c in token" c))
+        | c ->
+            Buffer.add_char buf c;
+            loop (i + 1)
+    in
+    loop 0
+  end
+
 let save oc t =
-  Printf.fprintf oc "spamlab-token-db 1 %d %d\n" t.nspam t.nham;
+  Printf.fprintf oc "spamlab-token-db 2 %d %d\n" t.nspam t.nham;
   (* Sorted output makes the format canonical and diffable. *)
   let entries =
     fold (fun acc token ~spam ~ham -> (token, spam, ham) :: acc) [] t
@@ -107,37 +167,60 @@ let save oc t =
     List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) entries
   in
   List.iter
-    (fun (token, spam, ham) -> Printf.fprintf oc "%s\t%d\t%d\n" token spam ham)
+    (fun (token, spam, ham) ->
+      Printf.fprintf oc "%s\t%d\t%d\n" (escape_token token) spam ham)
     entries
 
 let load ic =
+  let ( let* ) r f = Result.bind r f in
   match In_channel.input_line ic with
   | None -> Error "empty token-db file"
   | Some header -> (
       match String.split_on_char ' ' header with
-      | [ "spamlab-token-db"; "1"; nspam; nham ] -> (
+      | [ "spamlab-token-db"; ("1" | "2") as version; nspam; nham ] -> (
           match (int_of_string_opt nspam, int_of_string_opt nham) with
-          | Some nspam, Some nham ->
+          | Some nspam, Some nham when nspam >= 0 && nham >= 0 ->
               let t = create () in
               t.nspam <- nspam;
               t.nham <- nham;
+              let decode_token raw =
+                (* Version 1 wrote tokens verbatim (and could not contain
+                   the delimiters it would have corrupted on), so its
+                   tokens must not be unescaped. *)
+                if version = "1" then Ok raw else unescape_token raw
+              in
+              let entry line =
+                match String.split_on_char '\t' line with
+                | [ raw; spam; ham ] -> (
+                    let* token = decode_token raw in
+                    match (int_of_string_opt spam, int_of_string_opt ham) with
+                    | Some spam, Some ham ->
+                        if spam < 0 || ham < 0 then
+                          Error
+                            (Printf.sprintf "negative count on line %S" line)
+                        else if spam > nspam || ham > nham then
+                          Error
+                            (Printf.sprintf
+                               "count exceeds header message totals on line \
+                                %S"
+                               line)
+                        else Ok (token, spam, ham)
+                    | _ -> Error (Printf.sprintf "bad counts on line %S" line)
+                    )
+                | _ -> Error (Printf.sprintf "bad line %S" line)
+              in
               let rec loop () =
                 match In_channel.input_line ic with
                 | None -> Ok t
                 | Some "" -> loop ()
-                | Some line -> (
-                    match String.split_on_char '\t' line with
-                    | [ token; spam; ham ] -> (
-                        match
-                          (int_of_string_opt spam, int_of_string_opt ham)
-                        with
-                        | Some spam, Some ham ->
-                            Hashtbl.replace t.table token { spam; ham };
-                            loop ()
-                        | _ ->
-                            Error
-                              (Printf.sprintf "bad counts on line %S" line))
-                    | _ -> Error (Printf.sprintf "bad line %S" line))
+                | Some line ->
+                    let* token, spam, ham = entry line in
+                    if Hashtbl.mem t.table token then
+                      Error (Printf.sprintf "duplicate token %S" token)
+                    else begin
+                      Hashtbl.replace t.table token { spam; ham };
+                      loop ()
+                    end
               in
               loop ()
           | _ -> Error "bad message counts in header")

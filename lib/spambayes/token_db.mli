@@ -49,7 +49,16 @@ val iter : (string -> spam:int -> ham:int -> unit) -> t -> unit
 val fold : ('a -> string -> spam:int -> ham:int -> 'a) -> 'a -> t -> 'a
 
 val save : out_channel -> t -> unit
-(** Line-oriented text format: a header line with the message counts,
-    then one [token<TAB>spam<TAB>ham] line per token. *)
+(** Line-oriented text format, version 2: a header line
+    [spamlab-token-db 2 nspam nham], then one [token<TAB>spam<TAB>ham]
+    line per token, sorted by token.  Backslash, tab, newline, and
+    carriage return inside tokens are escaped as [\\], [\t], [\n], [\r]
+    — tokens come from attacker-controlled email bodies, so they can
+    contain the format's own delimiters. *)
 
 val load : in_channel -> (t, string) result
+(** Reads version 2 (escaped) and version 1 (legacy, verbatim tokens)
+    files.  Returns [Error] — never a silently-corrupt database — on a
+    malformed header or line, a bad escape sequence, a negative count, a
+    per-token count exceeding the header's message totals, or a
+    duplicate token line. *)

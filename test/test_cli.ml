@@ -31,6 +31,13 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let test_case name f = Alcotest.test_case name `Quick f
 
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec scan i =
+    i + m <= n && (String.sub haystack i m = needle || scan (i + 1))
+  in
+  scan 0
+
 let ham_mbox = in_tmp "ham.mbox"
 let spam_mbox = in_tmp "spam.mbox"
 let db_file = in_tmp "filter.db"
@@ -114,18 +121,7 @@ let cli_tests =
                in_tmp "one_attack.eml" ]);
         check_bool "rejected" true
           (String.length (read_output ()) > 0
-          &&
-          let out = read_output () in
-          let contains needle =
-            let n = String.length out and m = String.length needle in
-            let rec scan i =
-              i + m <= n
-              && (String.sub out i m = needle || scan (i + 1))
-            in
-            scan 0
-          in
-          contains "REJECT");
-    );
+          && contains (read_output ()) "REJECT"));
     test_case "thresholds prints an ordered pair" (fun () ->
         check_int "exit" 0
           (run_command [ "thresholds"; "--ham"; ham_mbox; "--spam"; spam_mbox ]);
@@ -167,6 +163,74 @@ let cli_tests =
     test_case "unknown experiment fails cleanly" (fun () ->
         check_bool "nonzero" true
           (run_command [ "experiment"; "fig99" ] <> 0));
+    test_case "experiment rejects --jobs 0 with the shared message" (fun () ->
+        check_bool "nonzero" true
+          (run_command [ "experiment"; "table1"; "--jobs"; "0" ] <> 0);
+        let err =
+          In_channel.with_open_text (in_tmp "stderr") In_channel.input_all
+        in
+        (* cmdliner may line-wrap the message, so match its head only. *)
+        check_bool "shared jobs message" true
+          (contains err "--jobs/SPAMLAB_JOBS must be a positive integer"));
+    test_case "--trace writes JSONL without changing stdout" (fun () ->
+        let trace = in_tmp "table1.jsonl" in
+        check_int "exit" 0
+          (run_command [ "experiment"; "table1"; "--scale"; "0.05" ]);
+        let untraced = read_output () in
+        check_int "exit traced" 0
+          (run_command
+             [ "experiment"; "table1"; "--scale"; "0.05"; "--trace"; trace ]);
+        check_bool "stdout byte-identical with tracing on" true
+          (read_output () = untraced);
+        let lines =
+          In_channel.with_open_text trace In_channel.input_lines
+          |> List.filter (fun l -> l <> "")
+        in
+        (match lines with
+        | first :: _ ->
+            check_bool "meta header first" true
+              (contains first "\"ev\":\"meta\""
+              && contains first "spamlab-trace")
+        | [] -> Alcotest.fail "empty trace");
+        let count needle =
+          List.length (List.filter (fun l -> contains l needle) lines)
+        in
+        check_bool "has experiment span" true
+          (count "\"name\":\"exp/table1\"" > 0);
+        check_int "spans balanced" (count "\"ev\":\"span_open\"")
+          (count "\"ev\":\"span_close\""));
+    test_case "--metrics dumps counters to stderr" (fun () ->
+        (* table1 renders a static table, so use a (tiny) real
+           experiment that actually classifies messages. *)
+        check_int "exit" 0
+          (run_command
+             [ "experiment"; "fig1"; "--scale"; "0.02"; "--metrics" ]);
+        let err =
+          In_channel.with_open_text (in_tmp "stderr") In_channel.input_all
+        in
+        check_bool "metrics banner" true (contains err "== spamlab metrics ==");
+        check_bool "messages counter present" true
+          (contains err "eval.messages_classified"));
+    test_case "traced counter aggregates identical at --jobs 1 and 4" (fun () ->
+        let trace_for jobs path =
+          check_int "exit" 0
+            (run_command
+               [ "experiment"; "fig1"; "--scale"; "0.02"; "--jobs";
+                 string_of_int jobs; "--trace"; path ]);
+          let stdout = read_output () in
+          let counters =
+            In_channel.with_open_text path In_channel.input_lines
+            |> List.filter (fun l -> contains l "\"ev\":\"counter\"")
+            |> List.sort compare
+          in
+          (stdout, counters)
+        in
+        let out1, counters1 = trace_for 1 (in_tmp "fig1-j1.jsonl") in
+        let out4, counters4 = trace_for 4 (in_tmp "fig1-j4.jsonl") in
+        check_bool "stdout identical across jobs" true (out1 = out4);
+        check_bool "some counters recorded" true (counters1 <> []);
+        check_bool "counter lines identical across jobs" true
+          (counters1 = counters4));
   ]
 
 let () = Alcotest.run "cli" [ ("cli", cli_tests) ]

@@ -213,11 +213,22 @@ let defense_tests =
           Poison.confusion_of_scores options
             (Poison.score_examples poisoned test_examples)
         in
+        (* Under the SpamBayes boundary semantics (indicator >= theta1
+           is spam) a ham whose indicator saturates at exactly 1.0 is
+           unreachable by any cutoff, so the defense cannot drive
+           ham-as-spam to zero here — this 5% dictionary attack
+           saturates a fraction of the test ham.  The previous
+           near-zero expectation only held because the old strict-">"
+           comparison silently disabled the spam verdict whenever
+           theta1 = 1.0.  The honest property is a large reduction. *)
+        let undefended_rate = Confusion.ham_as_spam_rate undefended in
+        let defended_rate = Confusion.ham_as_spam_rate defended in
+        check_bool "attack succeeds without the defense" true
+          (undefended_rate > 0.5);
         check_bool "defense reduces ham-as-spam" true
-          (Confusion.ham_as_spam_rate defended
-          <= Confusion.ham_as_spam_rate undefended);
-        check_bool "defended ham-as-spam near zero" true
-          (Confusion.ham_as_spam_rate defended < 0.05));
+          (defended_rate <= undefended_rate);
+        check_bool "defended ham-as-spam at most a third of undefended" true
+          (defended_rate < undefended_rate /. 3.0));
   ]
 
 let persistence_tests =

@@ -83,6 +83,38 @@ let pool_tests =
         check_int "result" 3 n);
   ]
 
+(* The one shared jobs-validation path behind --jobs, SPAMLAB_JOBS and
+   Lab.create. *)
+let jobs_validation_tests =
+  let expected_msg got =
+    Printf.sprintf "--jobs/SPAMLAB_JOBS must be a positive integer (got %s)"
+      got
+  in
+  [
+    test_case "validate_jobs accepts positives" (fun () ->
+        check_bool "one" true (validate_jobs 1 = Ok 1);
+        check_bool "many" true (validate_jobs 64 = Ok 64));
+    test_case "validate_jobs rejects zero and negatives" (fun () ->
+        check_bool "zero" true (validate_jobs 0 = Error (expected_msg "0"));
+        check_bool "negative" true
+          (validate_jobs (-3) = Error (expected_msg "-3")));
+    test_case "parse_jobs parses and trims" (fun () ->
+        check_bool "plain" true (parse_jobs "4" = Ok 4);
+        check_bool "padded" true (parse_jobs " 2 " = Ok 2));
+    test_case "parse_jobs rejects non-numbers with the shared message"
+      (fun () ->
+        check_bool "word" true
+          (parse_jobs "lots" = Error (expected_msg "lots"));
+        check_bool "zero" true (parse_jobs "0" = Error (expected_msg "0"));
+        check_bool "empty" true
+          (parse_jobs "" = Error (expected_msg "an empty string")));
+    test_case "Lab.create rejects invalid jobs with the shared message"
+      (fun () ->
+        Alcotest.check_raises "zero jobs"
+          (Invalid_argument (expected_msg "0"))
+          (fun () -> ignore (Spamlab_eval.Lab.create ~jobs:0 ())));
+  ]
+
 (* End-to-end: a small Figure-1 grid must produce structurally equal
    results at jobs=1 and jobs=4 (the determinism contract of the whole
    harness, not just the pool). *)
@@ -111,4 +143,7 @@ let determinism_tests =
 
 let () =
   Alcotest.run "spamlab_parallel"
-    [ ("pool", pool_tests); ("determinism", determinism_tests) ]
+    [
+      ("pool", pool_tests); ("jobs-validation", jobs_validation_tests);
+      ("determinism", determinism_tests);
+    ]

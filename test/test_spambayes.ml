@@ -82,6 +82,32 @@ let db_with training =
   List.iter (fun (label, tokens) -> Token_db.train db label (Array.of_list tokens)) training;
   db
 
+let db_round_trip db =
+  let path = Filename.temp_file "spamlab" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Token_db.save oc db;
+      close_out oc;
+      let ic = open_in path in
+      let loaded = Token_db.load ic in
+      close_in ic;
+      loaded)
+
+let db_load_string content =
+  let path = Filename.temp_file "spamlab" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      let ic = open_in path in
+      let loaded = Token_db.load ic in
+      close_in ic;
+      loaded)
+
 let token_db_tests =
   [
     test_case "train updates counts" (fun () ->
@@ -186,6 +212,52 @@ let token_db_tests =
             let r = Token_db.load ic in
             close_in ic;
             check_bool "error" true (Result.is_error r)));
+    test_case "save/load round-trips delimiter-laden tokens" (fun () ->
+        (* Tokens come from attacker-controlled mail, so the persistence
+           format must survive its own delimiters.  Version 1 wrote
+           these verbatim, silently corrupting the file. *)
+        let nasty =
+          [ "a\tb"; "line1\nline2"; "back\\slash"; ""; "caf\xc3\xa9"; "\r" ]
+        in
+        let db = db_with [ (Label.Spam, nasty); (Label.Ham, [ "a\tb" ]) ] in
+        match db_round_trip db with
+        | Error e -> Alcotest.fail e
+        | Ok db' ->
+            check_int "distinct" (Token_db.distinct_tokens db)
+              (Token_db.distinct_tokens db');
+            List.iter
+              (fun token ->
+                check_int
+                  ("spam count of " ^ String.escaped token)
+                  (Token_db.spam_count db token)
+                  (Token_db.spam_count db' token))
+              nasty;
+            check_int "tab token ham" 1 (Token_db.ham_count db' "a\tb"));
+    test_case "load rejects negative counts" (fun () ->
+        let r = db_load_string "spamlab-token-db 2 1 1\ntok\t-1\t0\n" in
+        check_bool "error" true (Result.is_error r));
+    test_case "load rejects counts exceeding header totals" (fun () ->
+        let r = db_load_string "spamlab-token-db 2 1 1\ntok\t2\t0\n" in
+        check_bool "error" true (Result.is_error r));
+    test_case "load rejects negative header counts" (fun () ->
+        let r = db_load_string "spamlab-token-db 2 -1 0\n" in
+        check_bool "error" true (Result.is_error r));
+    test_case "load rejects duplicate token lines" (fun () ->
+        let r =
+          db_load_string "spamlab-token-db 2 2 0\ntok\t1\t0\ntok\t2\t0\n"
+        in
+        check_bool "error" true (Result.is_error r));
+    test_case "load rejects bad escape sequences" (fun () ->
+        let r = db_load_string "spamlab-token-db 2 1 0\nto\\xk\t1\t0\n" in
+        check_bool "bad escape" true (Result.is_error r);
+        let r = db_load_string "spamlab-token-db 2 1 0\ntok\\\t1\t0\n" in
+        check_bool "dangling backslash" true (Result.is_error r));
+    test_case "load accepts legacy v1 files verbatim" (fun () ->
+        match db_load_string "spamlab-token-db 1 1 0\nback\\slash\t1\t0\n" with
+        | Error e -> Alcotest.fail e
+        | Ok db ->
+            (* v1 never escaped, so its backslashes are literal. *)
+            check_int "verbatim token" 1 (Token_db.spam_count db "back\\slash"));
     test_case "fold visits every token" (fun () ->
         let db = db_with [ (Label.Ham, [ "a"; "b"; "c" ]) ] in
         check_int "count" 3
@@ -324,13 +396,25 @@ let classify_tests =
         check_float "indicator" 0.5 r.Classify.indicator;
         check_bool "unsure" true (r.Classify.verdict = Label.Unsure_v));
     test_case "verdict thresholds at the boundaries" (fun () ->
+        (* SpamBayes semantics: a score exactly at a cutoff takes the
+           more severe class.  Regression for the former <= comparisons,
+           which classified I = spam_cutoff as unsure and I = ham_cutoff
+           as ham. *)
         let v = Classify.verdict_of_indicator Options.default in
         check_bool "0 ham" true (v 0.0 = Label.Ham_v);
-        check_bool "0.15 ham (inclusive)" true (v 0.15 = Label.Ham_v);
-        check_bool "0.1500001 unsure" true (v 0.1500001 = Label.Unsure_v);
-        check_bool "0.9 unsure (inclusive)" true (v 0.9 = Label.Unsure_v);
-        check_bool "0.9000001 spam" true (v 0.9000001 = Label.Spam_v);
+        check_bool "just below 0.15 ham" true (v 0.1499999 = Label.Ham_v);
+        check_bool "0.15 unsure (boundary is unsure)" true
+          (v 0.15 = Label.Unsure_v);
+        check_bool "just below 0.9 unsure" true (v 0.8999999 = Label.Unsure_v);
+        check_bool "0.9 spam (boundary is spam)" true (v 0.9 = Label.Spam_v);
         check_bool "1 spam" true (v 1.0 = Label.Spam_v));
+    test_case "boundary semantics hold for custom cutoffs" (fun () ->
+        let options =
+          Options.with_cutoffs Options.default ~ham:0.25 ~spam:0.75
+        in
+        let v = Classify.verdict_of_indicator options in
+        check_bool "0.25 unsure" true (v 0.25 = Label.Unsure_v);
+        check_bool "0.75 spam" true (v 0.75 = Label.Spam_v));
     test_case "spammy tokens classify spam, hammy ham" (fun () ->
         let db = training_db () in
         let spam_result =
@@ -484,11 +568,19 @@ let property_tests =
         && Array.for_all
              (fun t -> Token_db.spam_count a t = Token_db.spam_count b t)
              tokens);
-    qtest "save/load round-trips random databases" ~count:50
+    qtest "save/load round-trips random databases" ~count:100
+      (* The token alphabet deliberately includes the format's own
+         delimiters (tab, newline, carriage return, backslash), raw
+         UTF-8 bytes, and — via size 0 — the empty token. *)
       QCheck2.Gen.(
         list_size (int_range 0 20)
           (triple
-             (string_size ~gen:(char_range 'a' 'h') (int_range 1 5))
+             (string_size
+                ~gen:
+                  (oneofl
+                     [ 'a'; 'b'; 'c'; '\t'; '\n'; '\r'; '\\'; ' '; '\xc3';
+                       '\xa9' ])
+                (int_range 0 5))
              bool (int_range 1 3)))
       (fun entries ->
         let db = Token_db.create () in
