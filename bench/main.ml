@@ -138,6 +138,7 @@ let perf_tests () =
     Spamlab_core.Dictionary_attack.(
       payload tokenizer (make ~name:"perf" ~words:aspell))
   in
+  let ids = Spamlab_spambayes.Intern.intern_array tokens in
   [
     Test.make ~name:"tokenize-message"
       (Staged.stage (fun () ->
@@ -145,6 +146,21 @@ let perf_tests () =
     Test.make ~name:"classify-message"
       (Staged.stage (fun () ->
            Spamlab_spambayes.Filter.classify_tokens filter tokens));
+    (* The same classification on pre-interned ids: the steady state of
+       every experiment (Dataset.example carries ids), isolating what
+       string hashing used to cost per message. *)
+    Test.make ~name:"classify-preinterned-ids"
+      (Staged.stage (fun () ->
+           Spamlab_spambayes.Filter.classify_ids filter ids));
+    (* All-hit interning of a dictionary-sized payload — the lock-free
+       snapshot path that parallel workers take after [Intern.freeze]. *)
+    Test.make ~name:"intern-lookup-20k-payload"
+      (Staged.stage (fun () ->
+           Spamlab_spambayes.Intern.intern_array payload));
+    (* O(|delta|) copy-on-write snapshot; this was an O(|DB|) rebuild of
+       the whole count table before the CoW representation. *)
+    Test.make ~name:"filter-copy-cow"
+      (Staged.stage (fun () -> Spamlab_spambayes.Filter.copy filter));
     Test.make ~name:"train-untrain-message"
       (Staged.stage (fun () ->
            Spamlab_spambayes.Filter.train_tokens filter

@@ -41,4 +41,27 @@ grep -q '"ev":"counter".*"name":"eval.messages_classified"' "$trace" \
   || { echo "FAIL: missing eval.messages_classified counter"; exit 1; }
 echo "trace OK: $opens spans, balanced"
 
+say "bench --timings smoke"
+timings=$(mktemp /tmp/spamlab-ci-timings.XXXXXX.json)
+trap 'rm -f "$trace" "$timings"' EXIT
+./_build/default/bench/main.exe fig2 \
+  --scale 0.02 --jobs 2 --timings "$timings" > /dev/null
+
+say "timings validation"
+test -s "$timings" || { echo "FAIL: timings file is empty"; exit 1; }
+grep -q '"seed":' "$timings" || { echo "FAIL: missing seed key"; exit 1; }
+grep -q '"scale":' "$timings" || { echo "FAIL: missing scale key"; exit 1; }
+grep -q '"jobs":' "$timings" || { echo "FAIL: missing jobs key"; exit 1; }
+grep -q '"experiments":\[' "$timings" \
+  || { echo "FAIL: missing experiments array"; exit 1; }
+grep -q '"id":"fig2"' "$timings" \
+  || { echo "FAIL: missing fig2 experiment entry"; exit 1; }
+# Every recorded wall time must be positive (a 0.000000 would mean the
+# experiment never actually ran).
+if grep -q '"seconds":0\.000000' "$timings" \
+  || grep -q '"seconds":-' "$timings"; then
+  echo "FAIL: non-positive experiment wall time"; exit 1
+fi
+echo "timings OK: $(cat "$timings")"
+
 say "ci.sh: all checks passed"

@@ -24,8 +24,8 @@ let () =
       (Attack.make ~name:"usenet" ~words:(Lab.usenet_top lab ~size:19_000))
   in
   let attack_example =
-    { Dataset.label = Label.Spam; tokens = payload;
-      raw_token_count = Array.length payload }
+    Dataset.of_tokens Label.Spam payload
+      ~raw_token_count:(Array.length payload)
   in
   let week i =
     let clean = Lab.corpus lab rng ~size:150 ~spam_fraction:0.5 in

@@ -38,17 +38,27 @@ val assess :
   pool:Spamlab_corpus.Dataset.example array ->
   candidate:string array ->
   assessment
-(** [assess rng ~pool ~candidate] measures the candidate token array
-    (always trained as spam, per the contamination assumption) against
-    train/validation splits sampled from [pool].  The pool must contain
-    at least [train_size + validation_size] examples and at least one
-    ham example.  @raise Invalid_argument otherwise. *)
+(** [assess rng ~pool ~candidate] measures the candidate distinct-token
+    array (always trained as spam, per the contamination assumption)
+    against train/validation splits sampled from [pool].  The
+    with-candidate side is scored arithmetically from the baseline's
+    counts (one spam training shifts candidate members' spam counts and
+    N_S by one), so the cost per trial is independent of the candidate's
+    size — a dictionary-attack candidate carries tens of thousands of
+    tokens.  The pool must contain at least
+    [train_size + validation_size] examples and at least one ham
+    example.  @raise Invalid_argument otherwise. *)
 
 val screen :
   ?config:config ->
+  ?domains:Spamlab_parallel.Pool.t ->
   Spamlab_stats.Rng.t ->
   pool:Spamlab_corpus.Dataset.example array ->
   stream:string array array ->
   (string array * assessment) array
 (** Assess a whole stream of incoming messages; pairs each candidate
-    with its assessment. *)
+    with its assessment.  Candidates are independent: pass [domains] to
+    fan them over the domain pool.  Each candidate's trials draw from
+    an RNG stream derived by name from [rng]'s seed (not from [rng]'s
+    consumption position), so the result is identical with and without
+    [domains], at every pool width. *)

@@ -2,29 +2,31 @@ module Label = Spamlab_spambayes.Label
 module Filter = Spamlab_spambayes.Filter
 module Tokenizer = Spamlab_tokenizer.Tokenizer
 
+module Intern = Spamlab_spambayes.Intern
+
 type example = {
   label : Label.gold;
   tokens : string array;
+  ids : int array;
   raw_token_count : int;
 }
 
+let of_tokens label tokens ~raw_token_count =
+  { label; tokens; ids = Intern.intern_array tokens; raw_token_count }
+
 let of_message tokenizer label msg =
-  let stream = Tokenizer.tokenize tokenizer msg in
-  {
-    label;
-    tokens = Tokenizer.unique_of_list stream;
-    raw_token_count = List.length stream;
-  }
+  let tokens, raw_token_count =
+    Tokenizer.unique_counted (Tokenizer.tokenize tokenizer msg)
+  in
+  of_tokens label tokens ~raw_token_count
 
 let of_labeled tokenizer corpus =
   Array.map (fun (label, msg) -> of_message tokenizer label msg) corpus
 
 let train_filter filter examples =
-  Array.iter
-    (fun e -> Filter.train_tokens filter e.label e.tokens)
-    examples
+  Array.iter (fun e -> Filter.train_ids filter e.label e.ids) examples
 
-let classify filter e = Filter.classify_tokens filter e.tokens
+let classify filter e = Filter.classify_ids filter e.ids
 
 let kfold ~k arr =
   let n = Array.length arr in

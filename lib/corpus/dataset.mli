@@ -6,6 +6,11 @@
 type example = {
   label : Spamlab_spambayes.Label.gold;
   tokens : string array;  (** Distinct tokens, sorted. *)
+  ids : int array;
+      (** [tokens] interned elementwise ({!Spamlab_spambayes.Intern}) —
+          same length, same order.  Training and classification run on
+          these; the strings remain for attacks, reporting and
+          persistence. *)
   raw_token_count : int;  (** Stream length before dedup (token-volume
                               accounting, §4.2). *)
 }
@@ -18,6 +23,14 @@ val of_message :
   Spamlab_spambayes.Label.gold ->
   Spamlab_email.Message.t ->
   example
+
+val of_tokens :
+  Spamlab_spambayes.Label.gold ->
+  string array ->
+  raw_token_count:int ->
+  example
+(** Build an example from an already-deduplicated token array (attack
+    payloads, synthetic fixtures); interns the ids. *)
 
 val train_filter : Spamlab_spambayes.Filter.t -> example array -> unit
 (** Train every example into the filter. *)

@@ -42,8 +42,8 @@ let measure env options =
     Poison.confusion_of_scores options
       (Array.map
          (fun (e : Spamlab_corpus.Dataset.example) ->
-           ( (Spamlab_spambayes.Classify.score_tokens options
-                (Filter.db filter) e.Spamlab_corpus.Dataset.tokens)
+           ( (Spamlab_spambayes.Classify.score_ids options
+                (Filter.db filter) e.Spamlab_corpus.Dataset.ids)
                .Spamlab_spambayes.Classify.indicator,
              e.Spamlab_corpus.Dataset.label ))
          env.test)

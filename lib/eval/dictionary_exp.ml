@@ -47,6 +47,9 @@ let run lab (params : Params.dictionary) =
   let payloads =
     List.map (fun attack -> (attack, Attack.payload tokenizer attack)) attacks
   in
+  (* Corpus and payloads are fully interned by now; freezing makes the
+     in-task id lookups lock-free. *)
+  Spamlab_spambayes.Intern.freeze ();
   (* Folds are independent (no randomness is consumed past corpus
      generation), so they fan across the domain pool; each fold sweeps
      every (variant, fraction) incrementally and returns its confusion

@@ -60,21 +60,26 @@ let sweep filter ~payload ~counts test =
   let nspam0 = Token_db.nspam db in
   let nham = Token_db.nham db in
   let min_strength = options.Options.minimum_prob_strength in
+  (* Base counts and payload membership are looked up by interned id —
+     [e.ids] is [e.tokens] interned elementwise, so index [i] of both
+     arrays names the same token. *)
+  let payload_ids = Spamlab_spambayes.Intern.intern_array payload in
   let in_payload =
-    let set = Hashtbl.create (2 * Array.length payload) in
-    Array.iter (fun token -> Hashtbl.replace set token ()) payload;
-    fun token -> Hashtbl.mem set token
+    let set = Hashtbl.create (2 * Array.length payload_ids) in
+    Array.iter (fun id -> Hashtbl.replace set id ()) payload_ids;
+    fun id -> Hashtbl.mem set id
   in
   let prepped =
     Array.map
       (fun (e : Dataset.example) ->
         ( e.Dataset.label,
-          Array.map
-            (fun token ->
+          Array.mapi
+            (fun i token ->
+              let id = e.Dataset.ids.(i) in
               ( token,
-                Token_db.spam_count db token,
-                Token_db.ham_count db token,
-                in_payload token ))
+                Token_db.spam_count_id db id,
+                Token_db.ham_count_id db id,
+                in_payload id ))
             e.Dataset.tokens ))
       test
   in

@@ -60,6 +60,9 @@ let run lab (params : Params.roni) =
   in
   let pool = Lab.corpus lab rng ~size:params.pool_size ~spam_fraction:0.5 in
   let tokenizer = Lab.tokenizer lab in
+  (* The shared pool's vocabulary is interned; freeze so the thousands
+     of in-task count lookups and candidate internings are lock-free. *)
+  Spamlab_spambayes.Intern.freeze ();
   (* Every RONI query (train/validate resampling trials over the shared
      pool) is independent; each derives its own named randomness stream
      and the whole query population fans across the domain pool. *)
@@ -103,6 +106,7 @@ let run lab (params : Params.roni) =
          (fun attack -> (Attack.name attack, Attack.payload tokenizer attack))
          variants)
   in
+  Spamlab_spambayes.Intern.freeze ();
   let queries =
     Array.init
       (Array.length payloads * params.attack_repetitions)

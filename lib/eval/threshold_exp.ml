@@ -67,6 +67,9 @@ let run lab (params : Params.threshold) =
   in
   let payload = Attack.payload tokenizer attack in
   let folds = Dataset.kfold ~k:params.folds examples in
+  (* Corpus and payload are fully interned; freeze before the fan-out
+     so in-task id lookups are lock-free. *)
+  Spamlab_spambayes.Intern.freeze ();
   let defenses =
     "no defense"
     :: List.map (fun q -> Printf.sprintf "threshold-.%02d" (int_of_float (q *. 100.))) params.quantiles

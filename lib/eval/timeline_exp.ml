@@ -25,11 +25,8 @@ let build_rounds lab rng ~round_size ~attack_payload =
       if List.mem round_index attack_rounds then begin
         let attack_count = max 2 (round_size / 20) in
         let attack_example =
-          {
-            Dataset.label = Label.Spam;
-            tokens = attack_payload;
-            raw_token_count = Array.length attack_payload;
-          }
+          Dataset.of_tokens Label.Spam attack_payload
+            ~raw_token_count:(Array.length attack_payload)
         in
         let injected =
           Array.append clean (Array.make attack_count attack_example)
@@ -56,6 +53,9 @@ let run lab =
   in
   let rounds = List.map fst rounds_with_counts in
   let attack_counts = List.map snd rounds_with_counts in
+  (* Rounds and payload are fully interned; freeze before the fan-out
+     so in-task id lookups are lock-free. *)
+  Spamlab_spambayes.Intern.freeze ();
   (* The three policies replay the same rounds from identical rng
      copies (taken before the fan-out), so they are independent tasks. *)
   let simulations =

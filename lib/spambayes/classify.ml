@@ -55,10 +55,29 @@ let verdict_of_indicator (options : Options.t) indicator =
   else if indicator >= options.ham_cutoff then Label.Unsure_v
   else Label.Ham_v
 
-let score_tokens options db tokens =
-  let clues = select_discriminators options db tokens in
+(* The id path: counts come from two array reads per token instead of
+   two string-hashtable probes.  Clue tokens are materialized as strings
+   up front (only for candidates that clear the strength band), so the
+   sort tie-break — String.compare on the token — is byte-for-byte the
+   same as the string path's. *)
+let select_discriminators_ids (options : Options.t) db ids =
+  let candidates =
+    Array.to_list ids
+    |> List.filter_map (fun id ->
+           let score = Score.smoothed_id options db id in
+           if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
+             Some { token = Intern.to_string id; score }
+           else None)
+  in
+  select_scored options candidates
+
+let score_ids options db ids =
+  let clues = select_discriminators_ids options db ids in
   let indicator = indicator_of_clues clues in
   { indicator; verdict = verdict_of_indicator options indicator; clues }
+
+let score_tokens options db tokens =
+  score_ids options db (Intern.intern_array tokens)
 
 let score_clues options candidates =
   let clues = select_scored options candidates in

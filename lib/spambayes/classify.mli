@@ -31,7 +31,13 @@ val verdict_of_indicator : Options.t -> float -> Label.verdict
     unsure, I ≥ θ1 spam. *)
 
 val score_tokens : Options.t -> Token_db.t -> string array -> result
-(** Full pipeline on a distinct-token array. *)
+(** Full pipeline on a distinct-token array.  Interns the tokens (one
+    batch) and defers to {!score_ids}; results are identical either
+    way. *)
+
+val score_ids : Options.t -> Token_db.t -> int array -> result
+(** Full pipeline on pre-interned distinct-token ids — the hot path for
+    datasets that carry id arrays ([Dataset.example]). *)
 
 val score_clues : Options.t -> clue list -> result
 (** The scoring pipeline on candidate clues whose f(w) was computed by

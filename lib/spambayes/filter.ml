@@ -19,6 +19,9 @@ let features t msg = Spamlab_tokenizer.Tokenizer.unique_tokens t.tokenizer msg
 let train_tokens t label tokens = Token_db.train t.db label tokens
 let train_tokens_many t label tokens k = Token_db.train_many t.db label tokens k
 let untrain_tokens t label tokens = Token_db.untrain t.db label tokens
+let train_ids t label ids = Token_db.train_ids t.db label ids
+let train_ids_many t label ids k = Token_db.train_many_ids t.db label ids k
+let untrain_ids t label ids = Token_db.untrain_ids t.db label ids
 
 let train t label msg = train_tokens t label (features t msg)
 let untrain t label msg = untrain_tokens t label (features t msg)
@@ -35,6 +38,13 @@ let classify_tokens t tokens =
     Spamlab_obs.Obs.span "spambayes.classify" (fun () ->
         Classify.score_tokens t.options t.db tokens)
   else Classify.score_tokens t.options t.db tokens
+
+let classify_ids t ids =
+  if Spamlab_obs.Obs.detail () then
+    Spamlab_obs.Obs.span "spambayes.classify" (fun () ->
+        Classify.score_ids t.options t.db ids)
+  else Classify.score_ids t.options t.db ids
+
 let classify t msg = classify_tokens t (features t msg)
 
 let score t msg = (classify t msg).Classify.indicator

@@ -17,7 +17,8 @@ val db : t -> Token_db.t
 (** The live database; mutating it mutates the filter. *)
 
 val copy : t -> t
-(** Deep copy (independent database). *)
+(** Logically-deep copy (independent database) — O(1) via the token
+    DB's copy-on-write snapshot (see {!Token_db.copy}). *)
 
 val features : t -> Spamlab_email.Message.t -> string array
 (** Distinct tokens of a message under this filter's tokenizer. *)
@@ -34,11 +35,20 @@ val train_tokens_many : t -> Label.gold -> string array -> int -> unit
 val untrain : t -> Label.gold -> Spamlab_email.Message.t -> unit
 val untrain_tokens : t -> Label.gold -> string array -> unit
 
+val train_ids : t -> Label.gold -> int array -> unit
+(** Train on pre-interned distinct-token ids (see
+    {!Intern.intern_array}) — the hot path for [Dataset.example]s,
+    which carry their id arrays. *)
+
+val train_ids_many : t -> Label.gold -> int array -> int -> unit
+val untrain_ids : t -> Label.gold -> int array -> unit
+
 val train_corpus :
   t -> (Label.gold * Spamlab_email.Message.t) list -> unit
 
 val classify : t -> Spamlab_email.Message.t -> Classify.result
 val classify_tokens : t -> string array -> Classify.result
+val classify_ids : t -> int array -> Classify.result
 
 val score : t -> Spamlab_email.Message.t -> float
 (** Just I(E). *)

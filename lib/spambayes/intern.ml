@@ -1,0 +1,102 @@
+let interned_tokens = Spamlab_obs.Obs.counter "spambayes.interned_tokens"
+
+(* Id-to-string slots not yet assigned hold this sentinel, compared
+   physically: the empty string is a legitimate token (the token-db
+   round-trip tests train it), so no string value can mark "unset". *)
+let unset = Bytes.unsafe_to_string (Bytes.create 0)
+
+type state = {
+  mutex : Mutex.t;
+  table : (string, int) Hashtbl.t;  (* live; only touched under [mutex] *)
+  mutable names : string array;  (* id -> string; slots written once *)
+  mutable count : int;
+}
+
+let st =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 65_536;
+    names = Array.make 1_024 unset;
+    count = 0;
+  }
+
+(* Lock-free lookup snapshot: a copy of [st.table], never mutated after
+   publication.  [Atomic] gives the publication edge. *)
+let frozen : (string, int) Hashtbl.t Atomic.t =
+  Atomic.make (Hashtbl.create 1)
+
+(* Refresh the snapshot whenever the table has grown well past it, so
+   steady-state lookups stay lock-free even if nobody calls [freeze]
+   explicitly.  Geometric threshold keeps the copies amortized O(1) per
+   interned string.  Only touched under [st.mutex]. *)
+let next_refresh = ref 1_024
+
+let refresh_locked () =
+  if st.count >= !next_refresh then begin
+    Atomic.set frozen (Hashtbl.copy st.table);
+    next_refresh := (2 * st.count) + 1_024
+  end
+
+let intern_locked s =
+  match Hashtbl.find_opt st.table s with
+  | Some id -> id
+  | None ->
+      let id = st.count in
+      if id >= Array.length st.names then begin
+        let bigger = Array.make (2 * Array.length st.names) unset in
+        Array.blit st.names 0 bigger 0 id;
+        (* Publish the grown array only after copying: a racing
+           [to_string] sees either array, both valid for ids < count. *)
+        st.names <- bigger
+      end;
+      st.names.(id) <- s;
+      st.count <- id + 1;
+      Hashtbl.replace st.table s id;
+      Spamlab_obs.Obs.incr interned_tokens;
+      id
+
+let id s =
+  match Hashtbl.find_opt (Atomic.get frozen) s with
+  | Some id -> id
+  | None ->
+      Mutex.protect st.mutex (fun () ->
+          let id = intern_locked s in
+          refresh_locked ();
+          id)
+
+let intern_array tokens =
+  let snapshot = Atomic.get frozen in
+  let n = Array.length tokens in
+  let out = Array.make n (-1) in
+  let missing = ref false in
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt snapshot tokens.(i) with
+    | Some id -> out.(i) <- id
+    | None -> missing := true
+  done;
+  if !missing then
+    Mutex.protect st.mutex (fun () ->
+        for i = 0 to n - 1 do
+          if out.(i) < 0 then out.(i) <- intern_locked tokens.(i)
+        done;
+        refresh_locked ());
+  out
+
+let find s =
+  match Hashtbl.find_opt (Atomic.get frozen) s with
+  | Some id -> Some id
+  | None -> Mutex.protect st.mutex (fun () -> Hashtbl.find_opt st.table s)
+
+let to_string id =
+  let names = st.names in
+  if id < 0 || id >= Array.length names then
+    invalid_arg "Intern.to_string: unknown id"
+  else begin
+    let s = names.(id) in
+    if s == unset then invalid_arg "Intern.to_string: unknown id" else s
+  end
+
+let freeze () =
+  Mutex.protect st.mutex (fun () -> Atomic.set frozen (Hashtbl.copy st.table))
+
+let size () = st.count

@@ -1,0 +1,60 @@
+(** Global token interning: strings to dense int ids.
+
+    Every token the process ever sees maps to one small int; the hot
+    paths ({!Token_db}, {!Classify}) then index count arrays instead of
+    hashing strings.  The table is process-global and append-only: an id,
+    once assigned, never changes and never goes away, so ids may be
+    stored in long-lived structures ({!Token_db} bases,
+    [Dataset.example]) and shared freely between domains.
+
+    {2 Domain safety}
+
+    Interning is thread-safe: new assignments take a mutex (one lock per
+    {!intern_array} call, not per token).  {!freeze} publishes a
+    lock-free snapshot of the current table, so lookups of
+    already-interned strings — the entire steady state of an experiment
+    after its corpus is built — cost one hashtable probe with no lock.
+    Interning {e after} a freeze is still correct (misses fall back to
+    the mutex path); freezing again refreshes the snapshot.
+
+    {!to_string} is lock-free by construction: id-to-string slots are
+    written exactly once, before the id is handed out, and ids only
+    travel between domains along happens-before edges (the pool queue,
+    a mutex), so a reader's view of the table always covers every id it
+    can name.
+
+    {2 Determinism}
+
+    Id {e values} depend on interning order and are therefore
+    schedule-dependent under parallel fan-out.  They never reach any
+    output: scores depend only on counts, clue ordering ties break on
+    the token {e string}, and {!Token_db.save} resolves ids back to
+    strings and sorts.  Nothing downstream may compare or order ids
+    across runs. *)
+
+val id : string -> int
+(** Intern one string (assigning a fresh id on first sight). *)
+
+val intern_array : string array -> int array
+(** Intern a batch elementwise — at most one lock acquisition for all
+    misses together. *)
+
+val find : string -> int option
+(** Lookup without interning — never mutates, so read-only paths
+    (e.g. [Token_db.spam_count] on an arbitrary string) stay
+    contention-free. *)
+
+val to_string : int -> string
+(** The string for an assigned id.
+    @raise Invalid_argument on an id never returned by this module. *)
+
+val freeze : unit -> unit
+(** Publish a lock-free lookup snapshot of the table as of now.  Call
+    after corpus/payload construction, before parallel fan-out.  Safe at
+    any time, from any domain, any number of times.  (The snapshot also
+    refreshes itself automatically once the table has grown well past
+    it, so omitting the call costs amortized-O(1) extra work, not
+    correctness.) *)
+
+val size : unit -> int
+(** Number of distinct strings interned so far. *)

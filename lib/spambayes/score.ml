@@ -34,6 +34,12 @@ let smoothed (options : Options.t) db token =
     ~ham:(Token_db.ham_count db token)
     ~nspam:(Token_db.nspam db) ~nham:(Token_db.nham db)
 
+let smoothed_id (options : Options.t) db id =
+  smoothed_counts options
+    ~spam:(Token_db.spam_count_id db id)
+    ~ham:(Token_db.ham_count_id db id)
+    ~nspam:(Token_db.nspam db) ~nham:(Token_db.nham db)
+
 let strength options db token =
   Float.abs (smoothed options db token -. 0.5)
 

@@ -16,6 +16,11 @@ val smoothed : Options.t -> Token_db.t -> string -> float
 (** [smoothed options db w] is f(w) ∈ (0,1).  Unknown tokens score
     exactly the prior [options.unknown_word_prob]. *)
 
+val smoothed_id : Options.t -> Token_db.t -> int -> float
+(** [smoothed] by interned token id — the hot path: the same float
+    sequence, with the two string-hashtable lookups replaced by two
+    array reads. *)
+
 val smoothed_counts :
   Options.t -> spam:int -> ham:int -> nspam:int -> nham:int -> float
 (** f(w) as a pure function of the token's per-class counts and the

@@ -1,101 +1,248 @@
+module Obs = Spamlab_obs.Obs
+
+let db_copies = Obs.counter "spambayes.db_copies"
+let db_copy_delta_entries = Obs.counter "spambayes.db_copy_delta_entries"
+
 type counts = { mutable spam : int; mutable ham : int }
 
+(* Counts live in int arrays indexed by interned token id, offset by
+   [off] so a filter that only ever sees late-interned ids (RONI trains
+   thousands of tiny throwaway filters after the corpus has interned
+   its whole vocabulary) does not allocate the dense prefix.
+
+   Copy-on-write: [copy] shares the base arrays physically and marks
+   both sides [shared]; from then on every write goes through [delta],
+   a small id-keyed overlay holding the {e absolute} counts of touched
+   ids.  Reads consult delta first, base second.  Invariants:
+   - [shared = false] implies [delta] is empty (writes hit the arrays);
+   - once shared, a [t] stays shared (another copy may still hold the
+     arrays), so base slots are immutable from that point on;
+   - [distinct] counts ids whose combined count is non-zero, maintained
+     on every 0-to-positive / positive-to-0 transition. *)
 type t = {
-  table : (string, counts) Hashtbl.t;
+  mutable base_spam : int array;
+  mutable base_ham : int array;
+  mutable off : int;
+  mutable shared : bool;
+  delta : (int, counts) Hashtbl.t;
   mutable nspam : int;
   mutable nham : int;
+  mutable distinct : int;
 }
 
-let create () = { table = Hashtbl.create 4096; nspam = 0; nham = 0 }
+let create () =
+  {
+    base_spam = [||];
+    base_ham = [||];
+    off = 0;
+    shared = false;
+    delta = Hashtbl.create 16;
+    nspam = 0;
+    nham = 0;
+    distinct = 0;
+  }
 
 let copy t =
-  let table = Hashtbl.create (Hashtbl.length t.table) in
-  Hashtbl.iter
-    (fun token c -> Hashtbl.replace table token { spam = c.spam; ham = c.ham })
-    t.table;
-  { table; nspam = t.nspam; nham = t.nham }
+  t.shared <- true;
+  Obs.incr db_copies;
+  Obs.add db_copy_delta_entries (Hashtbl.length t.delta);
+  {
+    base_spam = t.base_spam;
+    base_ham = t.base_ham;
+    off = t.off;
+    shared = true;
+    delta = Hashtbl.copy t.delta;
+    nspam = t.nspam;
+    nham = t.nham;
+    distinct = t.distinct;
+  }
 
 let nspam t = t.nspam
 let nham t = t.nham
+let distinct_tokens t = t.distinct
 
-let counts_of t token =
-  match Hashtbl.find_opt t.table token with
-  | Some c -> c
-  | None ->
-      let c = { spam = 0; ham = 0 } in
-      Hashtbl.replace t.table token c;
-      c
+let[@inline] base_spam_read t id =
+  let i = id - t.off in
+  if i >= 0 && i < Array.length t.base_spam then
+    Array.unsafe_get t.base_spam i
+  else 0
 
+let[@inline] base_ham_read t id =
+  let i = id - t.off in
+  if i >= 0 && i < Array.length t.base_ham then Array.unsafe_get t.base_ham i
+  else 0
+
+let spam_count_id t id =
+  if Hashtbl.length t.delta = 0 then base_spam_read t id
+  else
+    match Hashtbl.find_opt t.delta id with
+    | Some c -> c.spam
+    | None -> base_spam_read t id
+
+let ham_count_id t id =
+  if Hashtbl.length t.delta = 0 then base_ham_read t id
+  else
+    match Hashtbl.find_opt t.delta id with
+    | Some c -> c.ham
+    | None -> base_ham_read t id
+
+(* String lookups go through [Intern.find], which never interns:
+   querying an arbitrary string must not grow the global table. *)
 let spam_count t token =
-  match Hashtbl.find_opt t.table token with Some c -> c.spam | None -> 0
+  match Intern.find token with None -> 0 | Some id -> spam_count_id t id
 
 let ham_count t token =
-  match Hashtbl.find_opt t.table token with Some c -> c.ham | None -> 0
+  match Intern.find token with None -> 0 | Some id -> ham_count_id t id
 
-let distinct_tokens t = Hashtbl.length t.table
+(* Grow the base arrays to cover [id] (unshared path only). *)
+let ensure_base t id =
+  let len = Array.length t.base_spam in
+  if len = 0 then begin
+    t.base_spam <- Array.make 64 0;
+    t.base_ham <- Array.make 64 0;
+    t.off <- id
+  end
+  else begin
+    let i = id - t.off in
+    if i < 0 || i >= len then begin
+      let lo = min t.off id and hi = max (t.off + len) (id + 1) in
+      (* Geometric growth so a train loop over ascending ids stays
+         amortized O(1) per token. *)
+      let cap = max (hi - lo) (2 * len) in
+      let spam = Array.make cap 0 and ham = Array.make cap 0 in
+      Array.blit t.base_spam 0 spam (t.off - lo) len;
+      Array.blit t.base_ham 0 ham (t.off - lo) len;
+      t.base_spam <- spam;
+      t.base_ham <- ham;
+      t.off <- lo
+    end
+  end
 
-let train t label tokens =
+(* The write-side cell for [id] on the shared path: absolute counts,
+   initialized from base on first touch. *)
+let delta_cell t id =
+  match Hashtbl.find_opt t.delta id with
+  | Some c -> c
+  | None ->
+      let c = { spam = base_spam_read t id; ham = base_ham_read t id } in
+      Hashtbl.replace t.delta id c;
+      c
+
+(* Add [k] (possibly negative) to one class count of [id], maintaining
+   [distinct] across zero transitions. *)
+let bump t label id k =
+  if t.shared then begin
+    let c = delta_cell t id in
+    let was = c.spam + c.ham in
+    (match label with
+    | Label.Spam -> c.spam <- c.spam + k
+    | Label.Ham -> c.ham <- c.ham + k);
+    let now = c.spam + c.ham in
+    if was = 0 && now > 0 then t.distinct <- t.distinct + 1
+    else if was > 0 && now = 0 then t.distinct <- t.distinct - 1
+  end
+  else begin
+    ensure_base t id;
+    let i = id - t.off in
+    let arr =
+      match label with Label.Spam -> t.base_spam | Label.Ham -> t.base_ham
+    in
+    let was = t.base_spam.(i) + t.base_ham.(i) in
+    arr.(i) <- arr.(i) + k;
+    let now = t.base_spam.(i) + t.base_ham.(i) in
+    if was = 0 && now > 0 then t.distinct <- t.distinct + 1
+    else if was > 0 && now = 0 then t.distinct <- t.distinct - 1
+  end
+
+let train_ids t label ids =
   (match label with
   | Label.Spam -> t.nspam <- t.nspam + 1
   | Label.Ham -> t.nham <- t.nham + 1);
-  Array.iter
-    (fun token ->
-      let c = counts_of t token in
-      match label with
-      | Label.Spam -> c.spam <- c.spam + 1
-      | Label.Ham -> c.ham <- c.ham + 1)
-    tokens
+  Array.iter (fun id -> bump t label id 1) ids
 
-let train_many t label tokens k =
+let train t label tokens = train_ids t label (Intern.intern_array tokens)
+
+let train_many_ids t label ids k =
   if k < 0 then invalid_arg "Token_db.train_many: negative count";
   if k > 0 then begin
     (match label with
     | Label.Spam -> t.nspam <- t.nspam + k
     | Label.Ham -> t.nham <- t.nham + k);
-    Array.iter
-      (fun token ->
-        let c = counts_of t token in
-        match label with
-        | Label.Spam -> c.spam <- c.spam + k
-        | Label.Ham -> c.ham <- c.ham + k)
-      tokens
+    Array.iter (fun id -> bump t label id k) ids
   end
 
-let untrain t label tokens =
-  (* Validate before mutating so a failed untrain leaves the DB intact. *)
+let train_many t label tokens k =
+  train_many_ids t label (Intern.intern_array tokens) k
+
+let untrain_ids t label ids =
   let global_ok =
     match label with Label.Spam -> t.nspam > 0 | Label.Ham -> t.nham > 0
   in
   if not global_ok then
     invalid_arg "Token_db.untrain: no trained message of that class";
+  (* Validate before mutating so a failed untrain leaves the DB intact.
+     The check is occurrence-aware: an id appearing m times in [ids]
+     needs a count of at least m — checking mere presence per distinct
+     id would let the decrement loop drive a duplicated token negative
+     (and previously raised Not_found mid-loop, after mutation). *)
+  let mult = Hashtbl.create (Array.length ids) in
   Array.iter
-    (fun token ->
-      let present =
-        match (Hashtbl.find_opt t.table token, label) with
-        | Some c, Label.Spam -> c.spam > 0
-        | Some c, Label.Ham -> c.ham > 0
-        | None, _ -> false
-      in
-      if not present then
-        invalid_arg
-          (Printf.sprintf "Token_db.untrain: token %S was never trained" token))
-    tokens;
+    (fun id ->
+      Hashtbl.replace mult id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt mult id)))
+    ids;
+  Array.iter
+    (fun id ->
+      match Hashtbl.find_opt mult id with
+      | None -> () (* later duplicate of an already-validated id *)
+      | Some m ->
+          Hashtbl.remove mult id;
+          let have =
+            match label with
+            | Label.Spam -> spam_count_id t id
+            | Label.Ham -> ham_count_id t id
+          in
+          if have < m then
+            invalid_arg
+              (Printf.sprintf "Token_db.untrain: token %S was never trained"
+                 (Intern.to_string id)))
+    ids;
   (match label with
   | Label.Spam -> t.nspam <- t.nspam - 1
   | Label.Ham -> t.nham <- t.nham - 1);
-  Array.iter
-    (fun token ->
-      let c = Hashtbl.find t.table token in
-      (match label with
-      | Label.Spam -> c.spam <- c.spam - 1
-      | Label.Ham -> c.ham <- c.ham - 1);
-      if c.spam = 0 && c.ham = 0 then Hashtbl.remove t.table token)
-    tokens
+  Array.iter (fun id -> bump t label id (-1)) ids
 
-let iter f t = Hashtbl.iter (fun token c -> f token ~spam:c.spam ~ham:c.ham) t.table
+let untrain t label tokens = untrain_ids t label (Intern.intern_array tokens)
 
+(* Iteration skips combined-zero entries, so the observable contents
+   match the old hashtable representation (which removed emptied
+   tokens).  Order is unspecified, as before; all callers either sort
+   (save, good-word ranking) or fold commutatively. *)
 let fold f init t =
-  Hashtbl.fold (fun token c acc -> f acc token ~spam:c.spam ~ham:c.ham) t.table init
+  let acc = ref init in
+  let len = Array.length t.base_spam in
+  let use_delta = Hashtbl.length t.delta > 0 in
+  for i = 0 to len - 1 do
+    let id = t.off + i in
+    let spam, ham =
+      if use_delta then
+        match Hashtbl.find_opt t.delta id with
+        | Some c -> (c.spam, c.ham)
+        | None -> (t.base_spam.(i), t.base_ham.(i))
+      else (t.base_spam.(i), t.base_ham.(i))
+    in
+    if spam <> 0 || ham <> 0 then acc := f !acc (Intern.to_string id) ~spam ~ham
+  done;
+  if use_delta then
+    Hashtbl.iter
+      (fun id c ->
+        if
+          (id < t.off || id >= t.off + len) && (c.spam <> 0 || c.ham <> 0)
+        then acc := f !acc (Intern.to_string id) ~spam:c.spam ~ham:c.ham)
+      t.delta;
+  !acc
+
+let iter f t = fold (fun () token ~spam ~ham -> f token ~spam ~ham) () t
 
 (* Tokens come straight from attacker-controlled email bodies, so they
    can contain the format's own delimiters.  Version 2 escapes exactly
@@ -159,7 +306,9 @@ let unescape_token s =
 
 let save oc t =
   Printf.fprintf oc "spamlab-token-db 2 %d %d\n" t.nspam t.nham;
-  (* Sorted output makes the format canonical and diffable. *)
+  (* Sorted output makes the format canonical and diffable — and
+     independent of id assignment order, so saves are byte-identical
+     across runs and jobs settings. *)
   let entries =
     fold (fun acc token ~spam ~ham -> (token, spam, ham) :: acc) [] t
   in
@@ -170,6 +319,20 @@ let save oc t =
     (fun (token, spam, ham) ->
       Printf.fprintf oc "%s\t%d\t%d\n" (escape_token token) spam ham)
     entries
+
+(* Load-side write of one entry into a fresh (unshared) db.  A line with
+   both counts zero is accepted but not retained: the count arrays
+   cannot distinguish "present with zero counts" from "absent", and
+   neither can any score (both read 0/0). *)
+let set_counts t token ~spam ~ham =
+  if spam <> 0 || ham <> 0 then begin
+    let id = Intern.id token in
+    ensure_base t id;
+    let i = id - t.off in
+    t.base_spam.(i) <- spam;
+    t.base_ham.(i) <- ham;
+    t.distinct <- t.distinct + 1
+  end
 
 let load ic =
   let ( let* ) r f = Result.bind r f in
@@ -183,6 +346,7 @@ let load ic =
               let t = create () in
               t.nspam <- nspam;
               t.nham <- nham;
+              let seen = Hashtbl.create 4096 in
               let decode_token raw =
                 (* Version 1 wrote tokens verbatim (and could not contain
                    the delimiters it would have corrupted on), so its
@@ -215,10 +379,11 @@ let load ic =
                 | Some "" -> loop ()
                 | Some line ->
                     let* token, spam, ham = entry line in
-                    if Hashtbl.mem t.table token then
+                    if Hashtbl.mem seen token then
                       Error (Printf.sprintf "duplicate token %S" token)
                     else begin
-                      Hashtbl.replace t.table token { spam; ham };
+                      Hashtbl.replace seen token ();
+                      set_counts t token ~spam ~ham;
                       loop ()
                     end
               in

@@ -6,15 +6,37 @@
     times in one message contributes 1 — matching SpamBayes' set
     semantics.  Callers pass deduplicated token arrays (see
     {!Spamlab_tokenizer.Tokenizer.unique_tokens}); this module trusts
-    them. *)
+    them.
+
+    {2 Representation}
+
+    Counts are stored in int arrays indexed by interned token id (see
+    {!Intern}), so the [_id] variants of every operation touch no
+    string and hash nothing.  The string variants intern (writes) or
+    probe the intern table without growing it (reads), then defer to
+    the id path; both views are always coherent.
+
+    {!copy} is copy-on-write: the copy shares the base count arrays and
+    both sides write subsequent changes into a small per-instance
+    overlay, so copying costs O(|changes since the last copy|) — O(1)
+    for the ubiquitous copy-then-poison pattern — instead of O(|DB|).
+
+    One representational consequence: an entry whose counts return to
+    0/0 (or is loaded as 0/0) is indistinguishable from an absent one.
+    {!distinct_tokens}, {!iter}, {!fold} and {!save} all treat such
+    entries as absent, exactly as the previous implementation removed
+    emptied tokens from its table. *)
 
 type t
 
 val create : unit -> t
 
 val copy : t -> t
-(** Deep copy: mutations of the copy never affect the original.  Used by
-    the RONI defense, which repeatedly trains tentative candidates. *)
+(** Logically-deep copy: mutations of the copy never affect the
+    original, and vice versa.  O(|delta|) where delta is the set of
+    tokens either side touched since the arrays were last materially
+    copied — O(1) in the RONI / poisoning pattern (copy a freshly
+    trained base, then train candidates into the copy). *)
 
 val nspam : t -> int
 (** Number of spam messages trained. *)
@@ -22,15 +44,25 @@ val nspam : t -> int
 val nham : t -> int
 
 val spam_count : t -> string -> int
-(** N_S(w); 0 for unknown tokens. *)
+(** N_S(w); 0 for unknown tokens.  Never grows the intern table. *)
 
 val ham_count : t -> string -> int
 
+val spam_count_id : t -> int -> int
+(** N_S(w) by interned id — the hot path: two array reads, no
+    hashing.  Ids never present in this db read 0. *)
+
+val ham_count_id : t -> int -> int
+
 val distinct_tokens : t -> int
+(** Number of tokens with a non-zero combined count. *)
 
 val train : t -> Label.gold -> string array -> unit
 (** [train t label tokens] records one message of class [label] whose
     distinct tokens are [tokens]. *)
+
+val train_ids : t -> Label.gold -> int array -> unit
+(** {!train} on pre-interned ids (see {!Intern.intern_array}). *)
 
 val train_many : t -> Label.gold -> string array -> int -> unit
 (** [train_many t label tokens k] records [k] identical messages in one
@@ -39,12 +71,21 @@ val train_many : t -> Label.gold -> string array -> int -> unit
     emails; this keeps them tractable at paper scale.
     @raise Invalid_argument if [k < 0]. *)
 
+val train_many_ids : t -> Label.gold -> int array -> int -> unit
+
 val untrain : t -> Label.gold -> string array -> unit
-(** Exact inverse of {!train} for the same arguments.  @raise
-    Invalid_argument if it would drive any count negative (indicates the
-    message was never trained). *)
+(** Exact inverse of {!train} for the same arguments.  Validation is
+    occurrence-aware — a token appearing m times in the array needs a
+    recorded count of at least m — and happens entirely before any
+    mutation, so a failed untrain leaves the database intact.
+    @raise Invalid_argument if it would drive any count negative
+    (indicates the message was never trained). *)
+
+val untrain_ids : t -> Label.gold -> int array -> unit
 
 val iter : (string -> spam:int -> ham:int -> unit) -> t -> unit
+(** Visit every token with a non-zero combined count, in unspecified
+    order. *)
 
 val fold : ('a -> string -> spam:int -> ham:int -> 'a) -> 'a -> t -> 'a
 
@@ -54,11 +95,14 @@ val save : out_channel -> t -> unit
     line per token, sorted by token.  Backslash, tab, newline, and
     carriage return inside tokens are escaped as [\\], [\t], [\n], [\r]
     — tokens come from attacker-controlled email bodies, so they can
-    contain the format's own delimiters. *)
+    contain the format's own delimiters.  Ids are resolved back to
+    strings and sorted, so the bytes are independent of interning
+    order. *)
 
 val load : in_channel -> (t, string) result
 (** Reads version 2 (escaped) and version 1 (legacy, verbatim tokens)
     files.  Returns [Error] — never a silently-corrupt database — on a
     malformed header or line, a bad escape sequence, a negative count, a
     per-token count exceeding the header's message totals, or a
-    duplicate token line. *)
+    duplicate token line.  A line with both counts zero is accepted but
+    not retained (see the representation note above). *)

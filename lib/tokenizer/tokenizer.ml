@@ -11,6 +11,25 @@ let unique_of_list tokens =
   let sorted = List.sort_uniq String.compare tokens in
   Array.of_list sorted
 
+(* Dedup in place after one materializing traversal, so callers that
+   also want the raw stream length (Dataset.of_message) pay a single
+   pass over the list instead of sort_uniq + List.length. *)
+let unique_counted tokens =
+  let arr = Array.of_list tokens in
+  let n = Array.length arr in
+  if n = 0 then ([||], 0)
+  else begin
+    Array.sort String.compare arr;
+    let w = ref 1 in
+    for i = 1 to n - 1 do
+      if not (String.equal arr.(i) arr.(!w - 1)) then begin
+        arr.(!w) <- arr.(i);
+        incr w
+      end
+    done;
+    ((if !w = n then arr else Array.sub arr 0 !w), n)
+  end
+
 let unique_tokens t msg = unique_of_list (tokenize t msg)
 
 let spambayes : t = (module Spambayes_tok)

@@ -25,6 +25,11 @@ val unique_tokens : t -> Spamlab_email.Message.t -> string array
 val unique_of_list : string list -> string array
 (** Sort-and-dedup helper shared by attack construction. *)
 
+val unique_counted : string list -> string array * int
+(** [unique_counted stream] is [(unique_of_list stream, List.length
+    stream)] in a single traversal of the list — the token-volume
+    accounting path (§4.2) runs this per generated message. *)
+
 val spambayes : t
 val bogofilter : t
 val spamassassin : t

@@ -213,11 +213,8 @@ let pipeline_tests =
   let clean_round = Array.sub pool 120 60 in
   let attack_round =
     let attack_example =
-      {
-        Dataset.label = Label.Spam;
-        tokens = ham_covering_attack;
-        raw_token_count = Array.length ham_covering_attack;
-      }
+      Dataset.of_tokens Label.Spam ham_covering_attack
+        ~raw_token_count:(Array.length ham_covering_attack)
     in
     Array.append (Array.sub pool 120 60) (Array.make 5 attack_example)
   in

@@ -184,7 +184,7 @@ let tiny_examples =
         | Label.Ham -> [| "meeting"; "budget"; "uniq" ^ string_of_int i |]
         | Label.Spam -> [| "cheap"; "pills"; "uniq" ^ string_of_int i |]
       in
-      { Dataset.label; tokens; raw_token_count = 3 })
+      Dataset.of_tokens label tokens ~raw_token_count:3)
 
 let poison_tests =
   [

@@ -1,0 +1,409 @@
+(* Tests for the token-interning layer and the copy-on-write Token_db:
+   intern table invariants, the occurrence-aware untrain fix, and
+   differential properties pitting the int-indexed/CoW implementation
+   against a straightforward string-keyed reference on random
+   train/untrain/classify traces. *)
+
+open Spamlab_spambayes
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let test_case name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let save_string db =
+  let path = Filename.temp_file "spamlab" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Token_db.save oc db;
+      close_out oc;
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s)
+
+(* ------------------------------------------------------------------ *)
+(* Intern table                                                        *)
+
+let intern_tests =
+  [
+    test_case "same string, same id; to_string round-trips" (fun () ->
+        let a1 = Intern.id "intern-test-alpha" in
+        let a2 = Intern.id "intern-test-alpha" in
+        let b = Intern.id "intern-test-beta" in
+        check_int "stable" a1 a2;
+        check_bool "distinct strings, distinct ids" true (a1 <> b);
+        check_str "round-trip a" "intern-test-alpha" (Intern.to_string a1);
+        check_str "round-trip b" "intern-test-beta" (Intern.to_string b));
+    test_case "empty string is a real token" (fun () ->
+        let e = Intern.id "" in
+        check_str "round-trip" "" (Intern.to_string e);
+        check_int "stable" e (Intern.id ""));
+    test_case "find never interns" (fun () ->
+        let probe = "intern-test-never-interned-gamma" in
+        check_bool "absent" true (Intern.find probe = None);
+        let before = Intern.size () in
+        check_bool "still absent" true (Intern.find probe = None);
+        check_int "size unchanged" before (Intern.size ());
+        let id = Intern.id probe in
+        check_bool "found after intern" true (Intern.find probe = Some id));
+    test_case "intern_array agrees with id, elementwise" (fun () ->
+        let tokens =
+          [| "intern-test-x"; "intern-test-y"; "intern-test-x"; "" |]
+        in
+        let ids = Intern.intern_array tokens in
+        check_int "length" (Array.length tokens) (Array.length ids);
+        Array.iteri
+          (fun i tok -> check_int tok (Intern.id tok) ids.(i))
+          tokens;
+        check_int "duplicates share an id" ids.(0) ids.(2));
+    test_case "freeze keeps lookups working and is idempotent" (fun () ->
+        let pre = Intern.id "intern-test-pre-freeze" in
+        Intern.freeze ();
+        check_int "pre-freeze id survives" pre
+          (Intern.id "intern-test-pre-freeze");
+        let post = Intern.id "intern-test-post-freeze" in
+        Intern.freeze ();
+        Intern.freeze ();
+        check_int "post-freeze id survives" post
+          (Intern.id "intern-test-post-freeze");
+        check_str "to_string after freeze" "intern-test-post-freeze"
+          (Intern.to_string post));
+    test_case "to_string rejects unknown ids" (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Intern.to_string: unknown id") (fun () ->
+            ignore (Intern.to_string (-1)));
+        Alcotest.check_raises "past the end"
+          (Invalid_argument "Intern.to_string: unknown id") (fun () ->
+            ignore (Intern.to_string (Intern.size () + 1_000_000))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Occurrence-aware untrain (regression: duplicate tokens)             *)
+
+let untrain_duplicate_tests =
+  [
+    test_case "duplicate token with count 1 fails atomically" (fun () ->
+        (* The old per-token validation passed for each occurrence of
+           "dup" (count 1 > 0), decremented once, then blew up mid-way,
+           leaving nspam and the counts corrupted. *)
+        let db = Token_db.create () in
+        Token_db.train db Label.Spam [| "dup"; "solo" |];
+        Alcotest.check_raises "rejected"
+          (Invalid_argument
+             "Token_db.untrain: token \"dup\" was never trained") (fun () ->
+            Token_db.untrain db Label.Spam [| "dup"; "dup" |]);
+        check_int "nspam intact" 1 (Token_db.nspam db);
+        check_int "dup count intact" 1 (Token_db.spam_count db "dup");
+        check_int "solo count intact" 1 (Token_db.spam_count db "solo");
+        check_int "distinct intact" 2 (Token_db.distinct_tokens db));
+    test_case "duplicates round-trip when trained with duplicates"
+      (fun () ->
+        let db = Token_db.create () in
+        Token_db.train db Label.Ham [| "dup"; "dup"; "other" |];
+        check_int "trained twice" 2 (Token_db.ham_count db "dup");
+        Token_db.untrain db Label.Ham [| "dup"; "dup"; "other" |];
+        check_int "back to zero" 0 (Token_db.ham_count db "dup");
+        check_int "nham zero" 0 (Token_db.nham db);
+        check_int "empty again" 0 (Token_db.distinct_tokens db));
+    test_case "validation precedes all mutation on a copy" (fun () ->
+        let base = Token_db.create () in
+        Token_db.train base Label.Spam [| "shared-a"; "shared-b" |];
+        let copy = Token_db.copy base in
+        Alcotest.check_raises "rejected on the copy"
+          (Invalid_argument
+             "Token_db.untrain: token \"shared-a\" was never trained")
+          (fun () ->
+            Token_db.untrain copy Label.Spam [| "shared-a"; "shared-a" |]);
+        check_str "copy still byte-identical to base" (save_string base)
+          (save_string copy));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation: a plain string-keyed count table with the
+   semantics the pre-interning Token_db had.  Deliberately naive — its
+   job is to be obviously correct.                                     *)
+
+module Ref_db = struct
+  type t = {
+    counts : (string, int * int) Hashtbl.t;
+    mutable nspam : int;
+    mutable nham : int;
+  }
+
+  let create () = { counts = Hashtbl.create 64; nspam = 0; nham = 0 }
+
+  let copy t =
+    { counts = Hashtbl.copy t.counts; nspam = t.nspam; nham = t.nham }
+
+  let get t tok =
+    Option.value (Hashtbl.find_opt t.counts tok) ~default:(0, 0)
+
+  let set t tok (s, h) =
+    if s = 0 && h = 0 then Hashtbl.remove t.counts tok
+    else Hashtbl.replace t.counts tok (s, h)
+
+  let bump t label tok k =
+    let s, h = get t tok in
+    match (label : Label.gold) with
+    | Label.Spam -> set t tok (s + k, h)
+    | Label.Ham -> set t tok (s, h + k)
+
+  let train_many t label tokens k =
+    Array.iter (fun tok -> bump t label tok k) tokens;
+    match (label : Label.gold) with
+    | Label.Spam -> t.nspam <- t.nspam + k
+    | Label.Ham -> t.nham <- t.nham + k
+
+  let train t label tokens = train_many t label tokens 1
+  let untrain t label tokens = train_many t label tokens (-1)
+  let spam_count t tok = fst (get t tok)
+  let ham_count t tok = snd (get t tok)
+  let distinct t = Hashtbl.length t.counts
+
+  let escape token =
+    let buf = Buffer.create (String.length token + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c -> Buffer.add_char buf c)
+      token;
+    Buffer.contents buf
+
+  (* An independent rendering of the v2 text format, for byte-level
+     comparison against [Token_db.save]. *)
+  let save_string t =
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "spamlab-token-db 2 %d %d\n" t.nspam t.nham;
+    Hashtbl.fold (fun tok c acc -> (tok, c) :: acc) t.counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (tok, (s, h)) ->
+           Printf.bprintf buf "%s\t%d\t%d\n" (escape tok) s h);
+    Buffer.contents buf
+
+  (* Classification from reference counts: strength-filter every token's
+     smoothed score, then reuse the real selection/Fisher pipeline
+     ([Classify.score_clues] is pure in the counts). *)
+  let score options t tokens =
+    let nspam = t.nspam and nham = t.nham in
+    let min_strength = options.Options.minimum_prob_strength in
+    let candidates =
+      Array.fold_left
+        (fun acc tok ->
+          let score =
+            Score.smoothed_counts options ~spam:(spam_count t tok)
+              ~ham:(ham_count t tok) ~nspam ~nham
+          in
+          if Float.abs (score -. 0.5) >= min_strength then
+            { Classify.token = tok; score } :: acc
+          else acc)
+        [] tokens
+    in
+    Classify.score_clues options candidates
+end
+
+(* ------------------------------------------------------------------ *)
+(* Random traces                                                       *)
+
+(* A small universe forces collisions, duplicates, and re-zeroed
+   entries; the nasty strings exercise save escaping. *)
+let universe =
+  [|
+    "alpha"; "beta"; "gamma"; "delta"; ""; "tab\tinside"; "nl\ninside";
+    "back\\slash"; "cr\rinside"; "unicode-é";
+  |]
+
+type op =
+  | Train of Label.gold * int array  (* indices into [universe] *)
+  | Train_many of Label.gold * int array * int
+  | Untrain of int  (* index into the list of previously trained msgs *)
+
+let gen_ops =
+  let open QCheck2.Gen in
+  let label = map (fun b -> if b then Label.Spam else Label.Ham) bool in
+  let msg = array_size (int_range 0 6) (int_range 0 (Array.length universe - 1)) in
+  let op =
+    frequency
+      [
+        (4, map2 (fun l m -> Train (l, m)) label msg);
+        (2, map3 (fun l m k -> Train_many (l, m, k)) label msg (int_range 0 4));
+        (2, map (fun i -> Untrain i) (int_range 0 1000));
+      ]
+  in
+  list_size (int_range 0 40) op
+
+(* Messages honor the documented contract (deduplicated token arrays);
+   duplicate-token behavior is pinned separately above. *)
+let resolve idx =
+  Array.to_list idx
+  |> List.map (fun i -> universe.(i))
+  |> List.sort_uniq String.compare
+  |> Array.of_list
+
+(* Applies a trace to both implementations.  Untrains only ever target a
+   message recorded as trained (and still un-untrained), so both sides
+   stay on the defined part of the API. *)
+let apply_trace ops db rdb =
+  let trained = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Train (label, idx) ->
+          let tokens = resolve idx in
+          Token_db.train db label tokens;
+          Ref_db.train rdb label tokens;
+          trained := (label, tokens) :: !trained
+      | Train_many (label, idx, k) ->
+          let tokens = resolve idx in
+          Token_db.train_many db label tokens k;
+          Ref_db.train_many rdb label tokens k;
+          for _ = 1 to k do
+            trained := (label, tokens) :: !trained
+          done
+      | Untrain i -> (
+          match !trained with
+          | [] -> ()
+          | l ->
+              let n = List.length l in
+              let label, tokens = List.nth l (i mod n) in
+              Token_db.untrain db label tokens;
+              Ref_db.untrain rdb label tokens;
+              trained :=
+                List.filteri (fun j _ -> j <> i mod n) l))
+    ops
+
+let agree db rdb =
+  Token_db.nspam db = rdb.Ref_db.nspam
+  && Token_db.nham db = rdb.Ref_db.nham
+  && Token_db.distinct_tokens db = Ref_db.distinct rdb
+  && Array.for_all
+       (fun tok ->
+         Token_db.spam_count db tok = Ref_db.spam_count rdb tok
+         && Token_db.ham_count db tok = Ref_db.ham_count rdb tok)
+       universe
+  && Token_db.spam_count db "never-trained-token" = 0
+  && save_string db = Ref_db.save_string rdb
+
+let scores_agree db rdb =
+  let options = Options.default in
+  (* Distinct-token probe messages drawn from the universe. *)
+  let probes =
+    [
+      [| "alpha"; "beta"; "" |];
+      [| "gamma"; "tab\tinside"; "back\\slash"; "unicode-é" |];
+      Array.copy universe;
+      [| "never-trained-token"; "delta" |];
+    ]
+  in
+  List.for_all
+    (fun probe ->
+      let got = Classify.score_tokens options db probe in
+      let want = Ref_db.score options rdb probe in
+      got.Classify.indicator = want.Classify.indicator
+      && got.Classify.verdict = want.Classify.verdict
+      && got.Classify.clues = want.Classify.clues)
+    probes
+
+let differential_tests =
+  [
+    qtest ~count:200 "trace: counts, distinct, saved bytes match reference"
+      gen_ops
+      (fun ops ->
+        let db = Token_db.create () and rdb = Ref_db.create () in
+        apply_trace ops db rdb;
+        agree db rdb);
+    qtest ~count:100 "trace: classification matches reference scoring"
+      gen_ops
+      (fun ops ->
+        let db = Token_db.create () and rdb = Ref_db.create () in
+        apply_trace ops db rdb;
+        scores_agree db rdb);
+    qtest ~count:100 "trace: save/load round-trip is the identity" gen_ops
+      (fun ops ->
+        let db = Token_db.create () and rdb = Ref_db.create () in
+        apply_trace ops db rdb;
+        let path = Filename.temp_file "spamlab" ".db" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            Token_db.save oc db;
+            close_out oc;
+            let ic = open_in path in
+            let loaded = Token_db.load ic in
+            close_in ic;
+            match loaded with
+            | Error _ -> false
+            | Ok loaded -> save_string loaded = save_string db));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Copy-on-write vs deep copy                                          *)
+
+let gen_three_traces =
+  let open QCheck2.Gen in
+  triple gen_ops gen_ops gen_ops
+
+let cow_tests =
+  [
+    qtest ~count:100 "overlay copy behaves exactly like a deep copy"
+      gen_three_traces
+      (fun (base_ops, a_ops, b_ops) ->
+        (* CoW world: one base, one copy, divergent mutations. *)
+        let db = Token_db.create () and rdb = Ref_db.create () in
+        apply_trace base_ops db rdb;
+        let db_copy = Token_db.copy db in
+        let rdb_copy = Ref_db.copy rdb in
+        apply_trace a_ops db rdb;
+        apply_trace b_ops db_copy rdb_copy;
+        (* Each side must match a reference that was deep-copied, i.e.
+           neither side's mutations may leak into the other. *)
+        agree db rdb && agree db_copy rdb_copy
+        && scores_agree db rdb
+        && scores_agree db_copy rdb_copy);
+    test_case "copy chains stay independent" (fun () ->
+        let a = Token_db.create () in
+        Token_db.train a Label.Spam [| "chain-s" |];
+        let b = Token_db.copy a in
+        let c = Token_db.copy b in
+        Token_db.train b Label.Ham [| "chain-h" |];
+        Token_db.untrain c Label.Spam [| "chain-s" |];
+        check_int "a keeps its spam count" 1 (Token_db.spam_count a "chain-s");
+        check_int "a has no ham" 0 (Token_db.ham_count a "chain-h");
+        check_int "b keeps both" 1 (Token_db.ham_count b "chain-h");
+        check_int "b keeps spam" 1 (Token_db.spam_count b "chain-s");
+        check_int "c emptied" 0 (Token_db.spam_count c "chain-s");
+        check_int "c distinct" 0 (Token_db.distinct_tokens c);
+        check_int "a nspam" 1 (Token_db.nspam a);
+        check_int "c nspam" 0 (Token_db.nspam c));
+    test_case "mutating the original never leaks into an earlier copy"
+      (fun () ->
+        let base = Token_db.create () in
+        Token_db.train base Label.Ham [| "leak-x"; "leak-y" |];
+        let snapshot = Token_db.copy base in
+        let bytes_before = save_string snapshot in
+        Token_db.train_many base Label.Spam [| "leak-x"; "leak-z" |] 7;
+        Token_db.untrain base Label.Ham [| "leak-x"; "leak-y" |];
+        check_str "snapshot bytes unchanged" bytes_before
+          (save_string snapshot);
+        check_int "snapshot ham intact" 1
+          (Token_db.ham_count snapshot "leak-x"));
+  ]
+
+let () =
+  Alcotest.run "spamlab_intern"
+    [
+      ("intern", intern_tests);
+      ("untrain-duplicates", untrain_duplicate_tests);
+      ("differential", differential_tests);
+      ("cow", cow_tests);
+    ]

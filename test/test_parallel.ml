@@ -139,6 +139,39 @@ let determinism_tests =
             (fun () -> Dictionary_exp.run lab params)
         in
         check_bool "structurally equal" true (run_with 1 = run_with 4));
+    test_case "Roni.screen identical sequentially and at jobs=1 and jobs=4"
+      (fun () ->
+        let module Dataset = Spamlab_corpus.Dataset in
+        let module Label = Spamlab_spambayes.Label in
+        let module Roni = Spamlab_core.Roni in
+        let module Rng = Spamlab_stats.Rng in
+        (* A small synthetic pool: enough examples for the config's
+           train+validation sampling, with both classes present. *)
+        let pool =
+          Array.init 24 (fun i ->
+              let label = if i mod 3 = 0 then Label.Spam else Label.Ham in
+              let tokens =
+                Array.init 6 (fun j -> Printf.sprintf "w%d-%d" (i mod 7) j)
+              in
+              Dataset.of_tokens label tokens
+                ~raw_token_count:(Array.length tokens))
+        in
+        let stream =
+          Array.init 6 (fun i ->
+              Array.init 9 (fun j -> Printf.sprintf "cand%d-%d" i j))
+        in
+        let config =
+          { Roni.default_config with train_size = 6; validation_size = 12;
+            trials = 3 }
+        in
+        let run_with domains =
+          Roni.screen ~config ?domains (Rng.create 11) ~pool ~stream
+        in
+        let sequential = run_with None in
+        let parallel_1 = with_pool ~jobs:1 (fun p -> run_with (Some p)) in
+        let parallel_4 = with_pool ~jobs:4 (fun p -> run_with (Some p)) in
+        check_bool "sequential = jobs=1" true (sequential = parallel_1);
+        check_bool "jobs=1 = jobs=4" true (parallel_1 = parallel_4));
   ]
 
 let () =
