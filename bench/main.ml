@@ -130,7 +130,9 @@ let perf_tests () =
   let config = Lab.config lab in
   let tokenizer = Lab.tokenizer lab in
   let message = Spamlab_corpus.Generator.ham config rng in
-  let examples = Lab.corpus lab rng ~size:500 ~spam_fraction:0.5 in
+  let examples =
+    Lab.corpus lab ~name:"perf/corpus" ~size:500 ~spam_fraction:0.5
+  in
   let filter = Poison.base_filter tokenizer examples in
   let tokens = Spamlab_tokenizer.Tokenizer.unique_tokens tokenizer message in
   let aspell = Lab.aspell lab ~size:20_000 in
@@ -179,6 +181,21 @@ let perf_tests () =
          List.init 150 (fun i -> 0.01 +. (0.98 *. float_of_int i /. 149.0))
        in
        Staged.stage (fun () -> Spamlab_stats.Fisher.indicator fs));
+    (* The fused message->ids ingest against the pre-PR 4 reference
+       pipeline (token list, then sort_uniq-style dedup, then intern). *)
+    Test.make_grouped ~name:"tokenize-to-ids"
+      [
+        Test.make ~name:"fused"
+          (Staged.stage (fun () ->
+               Spamlab_corpus.Dataset.tokenize_ids tokenizer message));
+        Test.make ~name:"list-reference"
+          (Staged.stage (fun () ->
+               let tokens, _ =
+                 Spamlab_tokenizer.Tokenizer.unique_counted
+                   (Spamlab_tokenizer.Tokenizer.tokenize tokenizer message)
+               in
+               Spamlab_spambayes.Intern.intern_array tokens));
+      ];
   ]
 
 (* The two perf claims of the multicore harness, measured rather than
@@ -188,9 +205,10 @@ let perf_tests () =
 let harness_tests ~jobs () =
   let open Bechamel in
   let lab = Lab.create ~seed:42 ~scale:0.05 ~jobs:1 () in
-  let rng = Lab.rng lab "perf-harness" in
   let tokenizer = Lab.tokenizer lab in
-  let examples = Lab.corpus lab rng ~size:300 ~spam_fraction:0.5 in
+  let examples =
+    Lab.corpus lab ~name:"perf-harness/corpus" ~size:300 ~spam_fraction:0.5
+  in
   let folds = Spamlab_corpus.Dataset.kfold ~k:4 examples in
   let score_fold (train, test) =
     let base = Poison.base_filter tokenizer train in
@@ -232,6 +250,20 @@ let harness_tests ~jobs () =
                  counts));
         Test.make ~name:"incremental"
           (Staged.stage (fun () -> Poison.sweep base ~payload ~counts test));
+      ];
+    (* Jobs-invariant parallel generation against the sequential path:
+       both produce byte-identical corpora (per-index rng children). *)
+    Test.make_grouped ~name:"corpus-generate-500"
+      [
+        Test.make ~name:"sequential"
+          (Staged.stage (fun () ->
+               Spamlab_corpus.Trec.generate (Lab.config lab)
+                 (Lab.rng lab "bench-corpus") ~size:500 ~spam_fraction:0.5));
+        Test.make
+          ~name:(Printf.sprintf "pool-jobs-%d" jobs)
+          (Staged.stage (fun () ->
+               Spamlab_corpus.Trec.generate ~pool (Lab.config lab)
+                 (Lab.rng lab "bench-corpus") ~size:500 ~spam_fraction:0.5));
       ];
   ]
 

@@ -64,4 +64,22 @@ if grep -q '"seconds":0\.000000' "$timings" \
 fi
 echo "timings OK: $(cat "$timings")"
 
+say "cross-jobs determinism"
+# Experiment stdout must be byte-identical at every --jobs value: the
+# corpus substrate splits one rng child per message index, so the
+# domain count can never leak into results.  fig2 exercises the
+# focused-attack path, roni the defense path.
+j1=$(mktemp /tmp/spamlab-ci-jobs1.XXXXXX.txt)
+j4=$(mktemp /tmp/spamlab-ci-jobs4.XXXXXX.txt)
+trap 'rm -f "$trace" "$timings" "$j1" "$j4"' EXIT
+for exp in fig2 roni; do
+  ./_build/default/bin/spamlab.exe experiment "$exp" \
+    --scale 0.05 --jobs 1 > "$j1"
+  ./_build/default/bin/spamlab.exe experiment "$exp" \
+    --scale 0.05 --jobs 4 > "$j4"
+  diff -u "$j1" "$j4" \
+    || { echo "FAIL: $exp output differs between --jobs 1 and --jobs 4"; exit 1; }
+  echo "$exp: jobs 1 == jobs 4"
+done
+
 say "ci.sh: all checks passed"

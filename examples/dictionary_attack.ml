@@ -13,12 +13,16 @@ module Confusion = Spamlab_eval.Confusion
 let () =
   let lab = Lab.create ~seed:7 ~scale:0.2 () in
   let tokenizer = Lab.tokenizer lab in
-  let rng = Lab.rng lab "example-dictionary" in
 
   (* The victim's world: a 2,000-message inbox, half spam, plus a
      held-out week of mail to measure delivery on. *)
-  let train = Lab.corpus lab rng ~size:2_000 ~spam_fraction:0.5 in
-  let test = Lab.corpus lab rng ~size:400 ~spam_fraction:0.5 in
+  let train =
+    Lab.corpus lab ~name:"example-dictionary/train" ~size:2_000
+      ~spam_fraction:0.5
+  in
+  let test =
+    Lab.corpus lab ~name:"example-dictionary/test" ~size:400 ~spam_fraction:0.5
+  in
   let base = Poison.base_filter tokenizer train in
 
   let report label filter =

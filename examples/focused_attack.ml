@@ -21,7 +21,10 @@ let () =
   let rng = Lab.rng lab "example-focused" in
 
   (* The victim's inbox and trained filter. *)
-  let messages = Lab.corpus_messages lab rng ~size:1_000 ~spam_fraction:0.5 in
+  let messages =
+    Lab.corpus_messages lab ~name:"example-focused/inbox" ~size:1_000
+      ~spam_fraction:0.5
+  in
   let base =
     Poison.base_filter tokenizer (Dataset.of_labeled tokenizer messages)
   in

@@ -18,7 +18,9 @@ let () =
   let rng = Lab.rng lab "example-roni" in
 
   (* The trusted pool RONI resamples train/validation splits from. *)
-  let pool = Lab.corpus lab rng ~size:400 ~spam_fraction:0.5 in
+  let pool =
+    Lab.corpus lab ~name:"example-roni/pool" ~size:400 ~spam_fraction:0.5
+  in
   Printf.printf
     "RONI config: %d-message train, %d-message validation, %d trials, reject if impact > %.1f\n\n"
     Roni.default_config.Roni.train_size

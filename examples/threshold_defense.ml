@@ -19,8 +19,13 @@ let () =
   let tokenizer = Lab.tokenizer lab in
   let rng = Lab.rng lab "example-threshold" in
 
-  let train = Lab.corpus lab rng ~size:2_000 ~spam_fraction:0.5 in
-  let test = Lab.corpus lab rng ~size:400 ~spam_fraction:0.5 in
+  let train =
+    Lab.corpus lab ~name:"example-threshold/train" ~size:2_000
+      ~spam_fraction:0.5
+  in
+  let test =
+    Lab.corpus lab ~name:"example-threshold/test" ~size:400 ~spam_fraction:0.5
+  in
 
   (* Poison the training set with a 2% usenet dictionary attack. *)
   let payload =

@@ -18,7 +18,10 @@ let () =
 
   (* The filter starts from 400 trusted messages; each week brings 150
      more.  Weeks 3 and 4 carry 8 usenet dictionary-attack emails each. *)
-  let initial_training = Lab.corpus lab rng ~size:400 ~spam_fraction:0.5 in
+  let initial_training =
+    Lab.corpus lab ~name:"example-pipeline/initial" ~size:400
+      ~spam_fraction:0.5
+  in
   let payload =
     Attack.payload tokenizer
       (Attack.make ~name:"usenet" ~words:(Lab.usenet_top lab ~size:19_000))
@@ -28,7 +31,11 @@ let () =
       ~raw_token_count:(Array.length payload)
   in
   let week i =
-    let clean = Lab.corpus lab rng ~size:150 ~spam_fraction:0.5 in
+    let clean =
+      Lab.corpus lab
+        ~name:(Printf.sprintf "example-pipeline/week-%d" i)
+        ~size:150 ~spam_fraction:0.5
+    in
     if i = 3 || i = 4 then
       Array.append clean (Array.make 8 attack_example)
     else clean

@@ -18,7 +18,10 @@ let emails t ~count = List.init count (fun _ -> email t)
 let payload tokenizer t = Attack_email.payload_tokens tokenizer (email t)
 
 let raw_token_count tokenizer t =
-  List.length (Spamlab_tokenizer.Tokenizer.tokenize tokenizer (email t))
+  let n = ref 0 in
+  Spamlab_tokenizer.Tokenizer.iter_tokens tokenizer (email t) (fun _ ->
+      incr n);
+  !n
 
 let train filter tokenizer t ~count =
   let tokens = payload tokenizer t in

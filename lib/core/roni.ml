@@ -92,9 +92,13 @@ let assess ?(config = default_config) rng ~pool ~candidate =
      classifications — independent of the candidate's size. *)
   let candidate_ids = Spamlab_spambayes.Intern.intern_array candidate in
   let candidate_member =
-    let set = Hashtbl.create (2 * Array.length candidate_ids) in
-    Array.iter (fun id -> Hashtbl.replace set id ()) candidate_ids;
-    fun id -> Hashtbl.mem set id
+    (* Ids are dense, so membership is a byte table rather than a
+       hashtable: the with-candidate scoring loop probes it once per
+       validation-token instance. *)
+    let table = Bytes.make (Spamlab_spambayes.Intern.size ()) '\000' in
+    Array.iter (fun id -> Bytes.set table id '\001') candidate_ids;
+    let n = Bytes.length table in
+    fun id -> id < n && Bytes.get table id = '\001'
   in
   let per_trial =
     Array.init config.trials (fun _ ->

@@ -14,14 +14,25 @@ type example = {
 let of_tokens label tokens ~raw_token_count =
   { label; tokens; ids = Intern.intern_array tokens; raw_token_count }
 
+(* Fused path: stream tokens into a per-domain buffer, dedup in place,
+   intern the whole message in one batch — no token-string list. *)
 let of_message tokenizer label msg =
   let tokens, raw_token_count =
-    Tokenizer.unique_counted (Tokenizer.tokenize tokenizer msg)
+    Tokenizer.unique_counted_tokens tokenizer msg
   in
   of_tokens label tokens ~raw_token_count
 
-let of_labeled tokenizer corpus =
-  Array.map (fun (label, msg) -> of_message tokenizer label msg) corpus
+let tokenize_ids tokenizer msg =
+  let tokens, raw_token_count =
+    Tokenizer.unique_counted_tokens tokenizer msg
+  in
+  (Intern.intern_array tokens, raw_token_count)
+
+let of_labeled ?pool tokenizer corpus =
+  let build (label, msg) = of_message tokenizer label msg in
+  match pool with
+  | Some p -> Spamlab_parallel.Pool.map_array p build corpus
+  | None -> Array.map build corpus
 
 let train_filter filter examples =
   Array.iter (fun e -> Filter.train_ids filter e.label e.ids) examples
@@ -52,5 +63,21 @@ let total_raw_tokens examples =
   Array.fold_left (fun acc e -> acc + e.raw_token_count) 0 examples
 
 let filter_label label examples =
-  Array.of_list
-    (List.filter (fun e -> e.label = label) (Array.to_list examples))
+  let n =
+    Array.fold_left
+      (fun n e -> if e.label = label then n + 1 else n)
+      0 examples
+  in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n examples.(0) in
+    let j = ref 0 in
+    Array.iter
+      (fun e ->
+        if e.label = label then begin
+          out.(!j) <- e;
+          incr j
+        end)
+      examples;
+    out
+  end

@@ -16,13 +16,29 @@ type example = {
 }
 
 val of_labeled :
-  Spamlab_tokenizer.Tokenizer.t -> Trec.labeled array -> example array
+  ?pool:Spamlab_parallel.Pool.t ->
+  Spamlab_tokenizer.Tokenizer.t ->
+  Trec.labeled array ->
+  example array
+(** Tokenize every message; with [?pool] the per-message work fans over
+    the domain pool (pure per message, so jobs-invariant up to intern
+    id assignment — compare [tokens], never [ids], across runs). *)
 
 val of_message :
   Spamlab_tokenizer.Tokenizer.t ->
   Spamlab_spambayes.Label.gold ->
   Spamlab_email.Message.t ->
   example
+(** Fused message → example: tokens stream into a reusable per-domain
+    buffer ({!Spamlab_tokenizer.Tokenizer.unique_counted_tokens}), are
+    deduplicated in place and interned in one batch — the intermediate
+    token-string list of the pre-fusion pipeline is never built. *)
+
+val tokenize_ids :
+  Spamlab_tokenizer.Tokenizer.t -> Spamlab_email.Message.t -> int array * int
+(** [tokenize_ids t msg] is the id half of {!of_message}: the sorted
+    deduplicated interned ids plus the raw stream length, for callers
+    that never need the strings. *)
 
 val of_tokens :
   Spamlab_spambayes.Label.gold ->

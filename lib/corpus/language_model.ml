@@ -10,7 +10,8 @@ type t = {
   components : (string array * Sampler.categorical) array;
   mixture : Sampler.categorical;
   weights : float array;
-  mutable prob_index : (string, float) Hashtbl.t option;
+  prob_index : (string, float) Hashtbl.t option Atomic.t;
+  prob_lock : Mutex.t;
 }
 
 let make components =
@@ -38,7 +39,8 @@ let make components =
            components);
     mixture = Sampler.categorical weights;
     weights;
-    prob_index = None;
+    prob_index = Atomic.make None;
+    prob_lock = Mutex.create ();
   }
 
 let head_exponent = 1.1
@@ -120,13 +122,22 @@ let build_prob_index t =
     t.components;
   table
 
+(* Double-checked lazy build: pool workers may race here, and a plain
+   mutable field would have no publication guarantee under the OCaml 5
+   memory model (a reader could observe the Some before the table's
+   contents).  The Atomic read is the lock-free steady-state path; the
+   build is serialized and published once. *)
 let word_prob t w =
   let table =
-    match t.prob_index with
+    match Atomic.get t.prob_index with
     | Some table -> table
     | None ->
-        let table = build_prob_index t in
-        t.prob_index <- Some table;
-        table
+        Mutex.protect t.prob_lock (fun () ->
+            match Atomic.get t.prob_index with
+            | Some table -> table
+            | None ->
+                let table = build_prob_index t in
+                Atomic.set t.prob_index (Some table);
+                table)
   in
   Option.value ~default:0.0 (Hashtbl.find_opt table w)

@@ -8,14 +8,20 @@
 type labeled = Spamlab_spambayes.Label.gold * Spamlab_email.Message.t
 
 val generate :
+  ?pool:Spamlab_parallel.Pool.t ->
   Generator.config ->
   Spamlab_stats.Rng.t ->
   size:int ->
   spam_fraction:float ->
   labeled array
 (** Exactly [round (size × spam_fraction)] spam and the rest ham, in
-    shuffled order.  @raise Invalid_argument if [size < 0] or the
-    fraction is outside [0,1]. *)
+    shuffled order.  Each message is built from its own rng child,
+    pre-split by index ({!Spamlab_stats.Rng.split_indexed}) from one
+    advance of [rng]: the corpus is a pure function of the rng state,
+    [size] and [spam_fraction], and with [?pool] message construction
+    fans over the domain pool with output identical at every jobs
+    count.  @raise Invalid_argument if [size < 0] or the fraction is
+    outside [0,1]. *)
 
 val ham_only : labeled array -> Spamlab_email.Message.t array
 val spam_only : labeled array -> Spamlab_email.Message.t array

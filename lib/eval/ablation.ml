@@ -22,10 +22,11 @@ type env = {
 }
 
 let make_env lab =
-  let rng = Lab.rng lab "ablation" in
   let size = max 400 (int_of_float (2_000.0 *. Lab.scale lab)) in
-  let train = Lab.corpus lab rng ~size ~spam_fraction:0.5 in
-  let test = Lab.corpus lab rng ~size:(size / 5) ~spam_fraction:0.5 in
+  let train = Lab.corpus lab ~name:"ablation/train" ~size ~spam_fraction:0.5 in
+  let test =
+    Lab.corpus lab ~name:"ablation/test" ~size:(size / 5) ~spam_fraction:0.5
+  in
   let base = Poison.base_filter (Lab.tokenizer lab) train in
   let payload =
     Attack.payload (Lab.tokenizer lab)
@@ -100,8 +101,13 @@ let smoothing_sweep lab =
 let coverage_sweep lab =
   let rng = Lab.rng lab "ablation-coverage" in
   let size = max 400 (int_of_float (2_000.0 *. Lab.scale lab)) in
-  let train = Lab.corpus lab rng ~size ~spam_fraction:0.5 in
-  let test = Lab.corpus lab rng ~size:(size / 5) ~spam_fraction:0.5 in
+  let train =
+    Lab.corpus lab ~name:"ablation-coverage/train" ~size ~spam_fraction:0.5
+  in
+  let test =
+    Lab.corpus lab ~name:"ablation-coverage/test" ~size:(size / 5)
+      ~spam_fraction:0.5
+  in
   let base = Poison.base_filter (Lab.tokenizer lab) train in
   let optimal = Lab.optimal_words lab in
   let total = Array.length optimal in

@@ -52,7 +52,7 @@ let pseudospam lab =
   let rng = Lab.rng lab "pseudospam" in
   let size = world_size lab in
   let tokenizer = Lab.tokenizer lab in
-  let train = Lab.corpus lab rng ~size ~spam_fraction:0.5 in
+  let train = Lab.corpus lab ~name:"pseudospam/train" ~size ~spam_fraction:0.5 in
   let base = Poison.base_filter tokenizer train in
   let campaign = campaign_vocabulary lab in
   let camouflage = (Lab.config lab).Generator.vocabulary.Vocabulary.shared in
@@ -61,7 +61,9 @@ let pseudospam lab =
         Dataset.of_message tokenizer Label.Spam
           (campaign_message lab rng campaign))
   in
-  let other_test = Lab.corpus lab rng ~size:(size / 5) ~spam_fraction:0.5 in
+  let other_test =
+    Lab.corpus lab ~name:"pseudospam/test" ~size:(size / 5) ~spam_fraction:0.5
+  in
   let plan =
     Pseudospam.craft rng ~campaign ~camouflage ~camouflage_fraction:0.5
       ~count:1
@@ -133,7 +135,7 @@ let good_word lab =
   let rng = Lab.rng lab "goodword" in
   let size = world_size lab in
   let tokenizer = Lab.tokenizer lab in
-  let train = Lab.corpus lab rng ~size ~spam_fraction:0.5 in
+  let train = Lab.corpus lab ~name:"goodword/train" ~size ~spam_fraction:0.5 in
   let filter = Poison.base_filter tokenizer train in
   let good_words = Good_word.hammiest_tokens filter ~limit:300 in
   let probes =
@@ -209,8 +211,10 @@ let stealth lab =
   let rng = Lab.rng lab "stealth" in
   let size = world_size lab in
   let tokenizer = Lab.tokenizer lab in
-  let train = Lab.corpus lab rng ~size ~spam_fraction:0.5 in
-  let test = Lab.corpus lab rng ~size:(size / 5) ~spam_fraction:0.5 in
+  let train = Lab.corpus lab ~name:"stealth/train" ~size ~spam_fraction:0.5 in
+  let test =
+    Lab.corpus lab ~name:"stealth/test" ~size:(size / 5) ~spam_fraction:0.5
+  in
   let base = Poison.base_filter tokenizer train in
   let words = Lab.usenet_top lab ~size:19_000 in
   let n = Array.length words in
@@ -306,8 +310,13 @@ let information_value lab =
   let rng = Lab.rng lab "information-value" in
   let size = world_size lab in
   let tokenizer = Lab.tokenizer lab in
-  let train = Lab.corpus lab rng ~size ~spam_fraction:0.5 in
-  let test = Lab.corpus lab rng ~size:(size / 5) ~spam_fraction:0.5 in
+  let train =
+    Lab.corpus lab ~name:"information-value/train" ~size ~spam_fraction:0.5
+  in
+  let test =
+    Lab.corpus lab ~name:"information-value/test" ~size:(size / 5)
+      ~spam_fraction:0.5
+  in
   let base = Poison.base_filter tokenizer train in
   let count = Poison.attack_count ~train_size:size ~fraction:0.01 in
   let ham_model = (Lab.config lab).Generator.ham_model in
@@ -374,13 +383,13 @@ type tokenizer_point = {
 }
 
 let tokenizer_comparison lab =
-  let rng = Lab.rng lab "tokenizers" in
   let size = world_size lab in
   let train_messages =
-    Lab.corpus_messages lab rng ~size ~spam_fraction:0.5
+    Lab.corpus_messages lab ~name:"tokenizers/train" ~size ~spam_fraction:0.5
   in
   let test_messages =
-    Lab.corpus_messages lab rng ~size:(size / 5) ~spam_fraction:0.5
+    Lab.corpus_messages lab ~name:"tokenizers/test" ~size:(size / 5)
+      ~spam_fraction:0.5
   in
   let attack_words = Lab.usenet_top lab ~size:19_000 in
   let count = Poison.attack_count ~train_size:size ~fraction:0.01 in
@@ -449,7 +458,7 @@ let roni_sweep lab =
   let rng = Lab.rng lab "roni-sweep" in
   let size = world_size lab in
   let tokenizer = Lab.tokenizer lab in
-  let pool = Lab.corpus lab rng ~size ~spam_fraction:0.5 in
+  let pool = Lab.corpus lab ~name:"roni-sweep/pool" ~size ~spam_fraction:0.5 in
   let payload =
     Attack.payload tokenizer
       (Attack.make ~name:"usenet" ~words:(Lab.usenet_top lab ~size:19_000))

@@ -16,9 +16,9 @@ type setup = {
 
 (* One repetition's fixed environment: a clean trained inbox and the
    spam headers the attacker can steal. *)
-let make_setup lab rng (params : Params.focused) =
+let make_setup lab ~name (params : Params.focused) =
   let messages =
-    Lab.corpus_messages lab rng ~size:params.inbox_size
+    Lab.corpus_messages lab ~name ~size:params.inbox_size
       ~spam_fraction:params.spam_prevalence
   in
   let examples = Dataset.of_labeled (Lab.tokenizer lab) messages in
@@ -58,8 +58,9 @@ let sweep lab (params : Params.focused) ~stream_name ~xs ~attack_of =
     Spamlab_parallel.Pool.map_array pool
       (fun rep ->
         Spamlab_obs.Obs.span "focused.setup" @@ fun () ->
-        let rng = Lab.rng lab (Printf.sprintf "%s/rep-%d" stream_name rep) in
-        make_setup lab rng params)
+        make_setup lab
+          ~name:(Printf.sprintf "%s/rep-%d/corpus" stream_name rep)
+          params)
       (Array.init params.repetitions (fun rep -> rep))
   in
   let pairs =
@@ -126,7 +127,7 @@ type shift_report = {
 
 let token_shifts lab (params : Params.focused) =
   let rng = Lab.rng lab "focused-token-shift" in
-  let setup = make_setup lab rng params in
+  let setup = make_setup lab ~name:"focused-token-shift/corpus" params in
   let wanted = [ Label.Spam_v; Label.Unsure_v; Label.Ham_v ] in
   let found : (Label.verdict * shift_report) list ref = ref [] in
   let attempts = max 20 (4 * params.targets) in

@@ -1,5 +1,8 @@
 open Spamlab_stats
 module Corpus = Spamlab_corpus
+module Obs = Spamlab_obs.Obs
+
+type corpus_key = { name : string; size : int; spam_fraction : float }
 
 type t = {
   seed : int;
@@ -8,9 +11,17 @@ type t = {
   config : Corpus.Generator.config;
   tokenizer : Spamlab_tokenizer.Tokenizer.t;
   root : Rng.t;
-  mutable usenet_full : string array option;
+  usenet_full : string array option Atomic.t;
+  lock : Mutex.t;  (* guards [pool] and [usenet_full] initialization *)
   mutable pool : Spamlab_parallel.Pool.t option;
+  cache_lock : Mutex.t;
+  messages_cache : (corpus_key, Corpus.Trec.labeled array) Hashtbl.t;
+  examples_cache :
+    (corpus_key * string, Corpus.Dataset.example array) Hashtbl.t;
 }
+
+let cache_hit = Obs.counter "lab.corpus_cache.hit"
+let cache_miss = Obs.counter "lab.corpus_cache.miss"
 
 let create ?(seed = 42) ?(scale = 1.0) ?jobs () =
   let jobs =
@@ -28,8 +39,12 @@ let create ?(seed = 42) ?(scale = 1.0) ?jobs () =
     config = Corpus.Generator.default_config ~seed ();
     tokenizer = Spamlab_tokenizer.Tokenizer.spambayes;
     root = Rng.create seed;
-    usenet_full = None;
+    usenet_full = Atomic.make None;
+    lock = Mutex.create ();
     pool = None;
+    cache_lock = Mutex.create ();
+    messages_cache = Hashtbl.create 16;
+    examples_cache = Hashtbl.create 16;
   }
 
 let seed t = t.seed
@@ -39,19 +54,24 @@ let config t = t.config
 let tokenizer t = t.tokenizer
 
 let pool t =
-  match t.pool with
-  | Some pool -> pool
-  | None ->
-      let pool = Spamlab_parallel.Pool.create ~jobs:t.jobs in
-      t.pool <- Some pool;
-      pool
+  Mutex.protect t.lock (fun () ->
+      match t.pool with
+      | Some pool -> pool
+      | None ->
+          let pool = Spamlab_parallel.Pool.create ~jobs:t.jobs in
+          t.pool <- Some pool;
+          pool)
 
 let shutdown t =
-  match t.pool with
+  let pool =
+    Mutex.protect t.lock (fun () ->
+        let p = t.pool in
+        t.pool <- None;
+        p)
+  in
+  match pool with
   | None -> ()
-  | Some pool ->
-      t.pool <- None;
-      Spamlab_parallel.Pool.shutdown pool
+  | Some pool -> Spamlab_parallel.Pool.shutdown pool
 
 let rng t name = Rng.split_named t.root name
 
@@ -59,22 +79,68 @@ let vocabulary t = t.config.Corpus.Generator.vocabulary
 
 let aspell t ~size = Corpus.Dictionary.aspell ~size (vocabulary t)
 
+(* Double-checked: the Atomic read is the lock-free fast path; the
+   build is serialized so pool workers cannot both construct the
+   ranking (the PR 4 race fix — plain mutable option fields have no
+   publication guarantee under the OCaml 5 memory model). *)
 let usenet_full t =
-  match t.usenet_full with
+  match Atomic.get t.usenet_full with
   | Some words -> words
   | None ->
-      let words = Corpus.Usenet.ranked (vocabulary t) in
-      t.usenet_full <- Some words;
-      words
+      Mutex.protect t.lock (fun () ->
+          match Atomic.get t.usenet_full with
+          | Some words -> words
+          | None ->
+              let words = Corpus.Usenet.ranked (vocabulary t) in
+              Atomic.set t.usenet_full (Some words);
+              words)
 
 let usenet_top t ~size = Corpus.Usenet.top (usenet_full t) size
 
 let optimal_words t =
   Corpus.Language_model.support t.config.Corpus.Generator.ham_model
 
-let corpus_messages t rng ~size ~spam_fraction =
-  Corpus.Trec.generate t.config rng ~size ~spam_fraction
+(* Corpus memoization.  The key is (stream name, size, spam_fraction)
+   — plus the tokenizer name for the example-level cache — and the
+   generating rng is always a fresh [split_named] child of the lab
+   root, so a cached corpus is exactly what recomputation would
+   produce.  Lookups take [cache_lock]; the (expensive, internally
+   parallel) compute runs outside it so concurrent misses on
+   different keys do not serialize.  On a racing duplicate compute the
+   first insert wins, keeping every caller on one physical corpus. *)
+let cached lock tbl key compute =
+  let existing = Mutex.protect lock (fun () -> Hashtbl.find_opt tbl key) in
+  match existing with
+  | Some v ->
+      Obs.incr cache_hit;
+      v
+  | None ->
+      Obs.incr cache_miss;
+      let v = compute () in
+      Mutex.protect lock (fun () ->
+          match Hashtbl.find_opt tbl key with
+          | Some v' -> v'
+          | None ->
+              Hashtbl.add tbl key v;
+              v)
 
-let corpus t rng ~size ~spam_fraction =
-  Corpus.Dataset.of_labeled t.tokenizer
-    (corpus_messages t rng ~size ~spam_fraction)
+let cached_messages t ~name ~size ~spam_fraction =
+  cached t.cache_lock t.messages_cache { name; size; spam_fraction }
+    (fun () ->
+      Corpus.Trec.generate ~pool:(pool t) t.config (rng t name) ~size
+        ~spam_fraction)
+
+(* Callers shuffle and partition corpora in place: hand out a fresh
+   array (sharing the immutable elements), never the cached one. *)
+let corpus_messages t ~name ~size ~spam_fraction =
+  Array.copy (cached_messages t ~name ~size ~spam_fraction)
+
+let corpus t ~name ~size ~spam_fraction =
+  let key =
+    ( { name; size; spam_fraction },
+      Spamlab_tokenizer.Tokenizer.name t.tokenizer )
+  in
+  Array.copy
+    (cached t.cache_lock t.examples_cache key (fun () ->
+         Corpus.Dataset.of_labeled ~pool:(pool t) t.tokenizer
+           (cached_messages t ~name ~size ~spam_fraction)))

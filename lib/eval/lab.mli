@@ -34,10 +34,21 @@ val optimal_words : t -> string array
 (** Support of the ham language model — the §3.4 optimal word source. *)
 
 val corpus :
-  t -> Spamlab_stats.Rng.t -> size:int -> spam_fraction:float ->
+  t -> name:string -> size:int -> spam_fraction:float ->
   Spamlab_corpus.Dataset.example array
-(** Generate and tokenize a fresh labeled inbox. *)
+(** The labeled, tokenized inbox of the stream [name]: generated from
+    the rng child [rng t name] and memoized on
+    (name, size, spam_fraction, tokenizer), so two requests for the
+    same world — within one experiment or across a [bench all] run —
+    tokenize it once.  The returned array is a fresh copy (callers
+    shuffle in place) sharing the immutable examples.  Cache traffic
+    is visible as the [lab.corpus_cache.hit]/[.miss] counters.  Safe
+    to call from pool workers; generation and tokenization fan over
+    the lab pool, with identical output at every jobs count. *)
 
 val corpus_messages :
-  t -> Spamlab_stats.Rng.t -> size:int -> spam_fraction:float ->
+  t -> name:string -> size:int -> spam_fraction:float ->
   Spamlab_corpus.Trec.labeled array
+(** Untokenized variant of {!corpus}; shares its message-level cache
+    entry (so [corpus] then [corpus_messages] of one world generates
+    once). *)

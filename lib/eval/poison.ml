@@ -69,41 +69,63 @@ let sweep filter ~payload ~counts test =
     Array.iter (fun id -> Hashtbl.replace set id ()) payload_ids;
     fun id -> Hashtbl.mem set id
   in
+  (* Test messages share most of their vocabulary, so scoring each
+     token instance at each grid point recomputes (and boxes) the same
+     smoothed probability thousands of times.  Instead, index the
+     distinct test-fold ids into compact slots, rewrite each message as
+     slot indices, and per grid point fill one unboxed float table with
+     each distinct token's score — messages then classify by reading
+     floats out of that table. *)
+  let slot_of_id = Hashtbl.create 4096 in
+  let distinct = ref [] in
+  let nslots = ref 0 in
+  let slot_of id =
+    match Hashtbl.find_opt slot_of_id id with
+    | Some s -> s
+    | None ->
+        let s = !nslots in
+        Hashtbl.add slot_of_id id s;
+        distinct := id :: !distinct;
+        incr nslots;
+        s
+  in
   let prepped =
     Array.map
       (fun (e : Dataset.example) ->
-        ( e.Dataset.label,
-          Array.mapi
-            (fun i token ->
-              let id = e.Dataset.ids.(i) in
-              ( token,
-                Token_db.spam_count_id db id,
-                Token_db.ham_count_id db id,
-                in_payload id ))
-            e.Dataset.tokens ))
+        (e.Dataset.label, e.Dataset.tokens, Array.map slot_of e.Dataset.ids))
       test
   in
+  let distinct = Array.of_list (List.rev !distinct) in
+  let nslots = !nslots in
+  let spam0 = Array.map (fun id -> Token_db.spam_count_id db id) distinct in
+  let ham0 = Array.map (fun id -> Token_db.ham_count_id db id) distinct in
+  let payload_member = Array.map in_payload distinct in
+  let slot_score = Array.make nslots 0.5 in
   List.map
     (fun count ->
       Obs.span "poison.sweep.point" @@ fun () ->
       let nspam = nspam0 + count in
+      for s = 0 to nslots - 1 do
+        let spam =
+          if payload_member.(s) then spam0.(s) + count else spam0.(s)
+        in
+        slot_score.(s) <-
+          Score.smoothed_counts options ~spam ~ham:ham0.(s) ~nspam ~nham
+      done;
       Array.map
-        (fun (label, tokens) ->
+        (fun (label, tokens, slots) ->
           Obs.incr messages_classified;
-          Obs.add tokens_scored (Array.length tokens);
-          let candidates =
-            Array.fold_left
-              (fun acc (token, spam0, ham, payload_member) ->
-                let spam = if payload_member then spam0 + count else spam0 in
-                let score =
-                  Score.smoothed_counts options ~spam ~ham ~nspam ~nham
-                in
-                if Float.abs (score -. 0.5) >= min_strength then
-                  { Classify.token; score } :: acc
-                else acc)
-              [] tokens
-          in
-          ((Classify.score_clues options candidates).Classify.indicator, label))
+          Obs.add tokens_scored (Array.length slots);
+          let candidates = ref [] in
+          Array.iteri
+            (fun i s ->
+              let score = slot_score.(s) in
+              if Float.abs (score -. 0.5) >= min_strength then
+                candidates :=
+                  { Classify.token = tokens.(i); score } :: !candidates)
+            slots;
+          ( (Classify.score_clues options !candidates).Classify.indicator,
+            label ))
         prepped)
     counts
 

@@ -233,9 +233,10 @@ let corpus_stats =
        distributional facts the attacks exploit";
     run =
       (fun lab ->
-        let rng = Lab.rng lab "corpus-stats" in
         let size = max 500 (int_of_float (5_000.0 *. Lab.scale lab)) in
-        let corpus = Lab.corpus_messages lab rng ~size ~spam_fraction:0.5 in
+        let corpus =
+          Lab.corpus_messages lab ~name:"corpus-stats" ~size ~spam_fraction:0.5
+        in
         Spamlab_corpus.Corpus_stats.render
           (Spamlab_corpus.Corpus_stats.measure (Lab.tokenizer lab) corpus));
   }

@@ -49,7 +49,6 @@ let group_of name impacts rejections =
   }
 
 let run lab (params : Params.roni) =
-  let rng = Lab.rng lab "roni" in
   let config =
     {
       Roni.train_size = params.train_size;
@@ -58,7 +57,9 @@ let run lab (params : Params.roni) =
       threshold = Roni.default_config.Roni.threshold;
     }
   in
-  let pool = Lab.corpus lab rng ~size:params.pool_size ~spam_fraction:0.5 in
+  let pool =
+    Lab.corpus lab ~name:"roni" ~size:params.pool_size ~spam_fraction:0.5
+  in
   let tokenizer = Lab.tokenizer lab in
   (* The shared pool's vocabulary is interned; freeze so the thousands
      of in-task count lookups and candidate internings are lock-free. *)

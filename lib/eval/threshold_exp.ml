@@ -54,9 +54,8 @@ let derive_thresholds quantile ~train ~payload ~count rng =
 
 let run lab (params : Params.threshold) =
   let tokenizer = Lab.tokenizer lab in
-  let rng = Lab.rng lab "threshold-defense" in
   let examples =
-    Lab.corpus lab rng ~size:params.train_size
+    Lab.corpus lab ~name:"threshold-defense" ~size:params.train_size
       ~spam_fraction:params.spam_prevalence
   in
   let attack =

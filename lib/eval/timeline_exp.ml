@@ -20,7 +20,9 @@ let build_rounds lab rng ~round_size ~attack_payload =
   List.init total_rounds (fun i ->
       let round_index = i + 1 in
       let clean =
-        Lab.corpus lab rng ~size:round_size ~spam_fraction:0.5
+        Lab.corpus lab
+          ~name:(Printf.sprintf "timeline/round-%d" round_index)
+          ~size:round_size ~spam_fraction:0.5
       in
       if List.mem round_index attack_rounds then begin
         let attack_count = max 2 (round_size / 20) in
@@ -46,7 +48,8 @@ let run lab =
       (Attack.make ~name:"usenet" ~words:(Lab.usenet_top lab ~size:19_000))
   in
   let initial_training =
-    Lab.corpus lab rng ~size:initial_size ~spam_fraction:0.5
+    Lab.corpus lab ~name:"timeline/initial" ~size:initial_size
+      ~spam_fraction:0.5
   in
   let rounds_with_counts =
     build_rounds lab rng ~round_size ~attack_payload:payload

@@ -30,16 +30,20 @@ let select_scored (options : Options.t) candidates =
   in
   take options.max_discriminators (List.sort by_strength_desc scored)
 
+(* Candidate accumulation iterates the token array directly: scoring
+   allocates nothing per rejected token, which matters because most
+   tokens fall inside the strength band.  Accumulation order is
+   irrelevant — [select_scored] sorts by a total order on distinct
+   tokens. *)
 let select_discriminators (options : Options.t) db tokens =
-  let candidates =
-    Array.to_list tokens
-    |> List.filter_map (fun token ->
-           let score = Score.smoothed options db token in
-           if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
-             Some { token; score }
-           else None)
-  in
-  select_scored options candidates
+  let candidates = ref [] in
+  Array.iter
+    (fun token ->
+      let score = Score.smoothed options db token in
+      if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
+        candidates := { token; score } :: !candidates)
+    tokens;
+  select_scored options !candidates
 
 let indicator_of_clues = function
   | [] -> 0.5
@@ -61,15 +65,14 @@ let verdict_of_indicator (options : Options.t) indicator =
    sort tie-break — String.compare on the token — is byte-for-byte the
    same as the string path's. *)
 let select_discriminators_ids (options : Options.t) db ids =
-  let candidates =
-    Array.to_list ids
-    |> List.filter_map (fun id ->
-           let score = Score.smoothed_id options db id in
-           if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
-             Some { token = Intern.to_string id; score }
-           else None)
-  in
-  select_scored options candidates
+  let candidates = ref [] in
+  Array.iter
+    (fun id ->
+      let score = Score.smoothed_id options db id in
+      if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
+        candidates := { token = Intern.to_string id; score } :: !candidates)
+    ids;
+  select_scored options !candidates
 
 let score_ids options db ids =
   let clues = select_discriminators_ids options db ids in

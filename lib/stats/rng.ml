@@ -32,6 +32,15 @@ let split_named t name =
   let base = mix64 (Int64.add (Int64.of_int t.seed) golden_gamma) in
   { state = mix64 (Int64.logxor base !h); seed = t.seed }
 
+(* Child keyed by the parent's current position and an index, without
+   advancing the parent.  Used to pre-split one independent stream per
+   array element (corpus messages) so element construction can fan over
+   domains while remaining a pure function of the parent's state. *)
+let split_indexed t i =
+  let base = mix64 (Int64.add t.state golden_gamma) in
+  let ih = mix64 (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  { state = mix64 (Int64.logxor base ih); seed = t.seed }
+
 let float t =
   (* 53 high bits -> [0,1) *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in

@@ -29,6 +29,14 @@ val split_named : t -> string -> t
     experiment components reproducible even when siblings change how much
     randomness they consume. *)
 
+val split_indexed : t -> int -> t
+(** [split_indexed t i] derives an independent generator keyed by the
+    parent's {e current} position and the index [i], without advancing
+    the parent.  Splitting every index of an array up front gives each
+    element an independent stream that is a pure function of the
+    parent's state — the contract that lets element construction fan
+    over domains with results identical at every jobs count. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

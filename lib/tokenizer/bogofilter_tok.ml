@@ -7,18 +7,19 @@ let keep w =
   let n = String.length w in
   n >= min_word_length && n <= max_word_length
 
-let tokenize msg =
+(* Emit form; [tokenize] is derived from it.  This also removes the old
+   quadratic [acc @ toks] accumulation over header fields. *)
+let iter_tokens msg f =
   let open Spamlab_email in
-  let header_tokens =
-    Header.fold
-      (fun acc name value ->
-        let prefix = String.lowercase_ascii name ^ ":" in
-        let toks =
-          Text.words value |> List.filter keep
-          |> List.map (fun w -> prefix ^ w)
-        in
-        acc @ toks)
-      []
-      (Message.headers msg)
-  in
-  header_tokens @ (Text.words (Message.body msg) |> List.filter keep)
+  Header.fold
+    (fun () name value ->
+      let prefix = String.lowercase_ascii name ^ ":" in
+      List.iter (fun w -> if keep w then f (prefix ^ w)) (Text.words value))
+    ()
+    (Message.headers msg);
+  List.iter (fun w -> if keep w then f w) (Text.words (Message.body msg))
+
+let tokenize msg =
+  let acc = ref [] in
+  iter_tokens msg (fun t -> acc := t :: !acc);
+  List.rev !acc

@@ -6,3 +6,4 @@
 
 val name : string
 val tokenize : Spamlab_email.Message.t -> string list
+val iter_tokens : Spamlab_email.Message.t -> (string -> unit) -> unit

@@ -17,19 +17,24 @@ let body_word w =
   else if String.length w < 3 then []
   else [ stem w ]
 
-let tokenize msg =
+(* Emit form; [tokenize] is derived from it. *)
+let iter_tokens msg f =
   let open Spamlab_email in
-  let header_tokens =
-    List.concat_map
-      (fun field ->
-        match Header.find (Message.headers msg) field with
-        | None -> []
-        | Some value ->
-            let prefix = "h" ^ field ^ ":" in
-            Text.words value
-            |> List.filter (fun w -> String.length w >= 3)
-            |> List.map (fun w -> prefix ^ stem w))
-      scanned_headers
-  in
-  header_tokens
-  @ List.concat_map body_word (Text.words (Message.body msg))
+  List.iter
+    (fun field ->
+      match Header.find (Message.headers msg) field with
+      | None -> ()
+      | Some value ->
+          let prefix = "h" ^ field ^ ":" in
+          List.iter
+            (fun w -> if String.length w >= 3 then f (prefix ^ stem w))
+            (Text.words value))
+    scanned_headers;
+  List.iter
+    (fun w -> List.iter f (body_word w))
+    (Text.words (Message.body msg))
+
+let tokenize msg =
+  let acc = ref [] in
+  iter_tokens msg (fun t -> acc := t :: !acc);
+  List.rev !acc

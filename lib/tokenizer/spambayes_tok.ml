@@ -30,8 +30,21 @@ let word_tokens w =
         else if len > max_word_length then [ skip_token w ]
         else [ w ]
 
+let iter_body_text f text =
+  List.iter (fun w -> List.iter f (word_tokens w)) (Text.words text)
+
 let tokenize_body_text text =
-  List.concat_map word_tokens (Text.words text)
+  let acc = ref [] in
+  iter_body_text (fun t -> acc := t :: !acc) text;
+  List.rev !acc
+
+let iter_text_with_prefix f prefix text =
+  List.iter
+    (fun w ->
+      let len = String.length w in
+      if len >= min_word_length && len <= max_word_length then
+        f (prefix ^ w))
+    (Text.words text)
 
 let tokenize_text_with_prefix prefix text =
   List.concat_map
@@ -74,14 +87,14 @@ let eight_bit_token body =
    chunks are deconstructed: their prose tokenizes normally, markup
    yields html: meta tokens, and link targets go through the URL
    cracker (spam hides its infrastructure in href attributes). *)
-let tokenize_chunk (kind, text) =
+let iter_chunk f (kind, text) =
   match kind with
-  | Spamlab_email.Mime.Plain -> tokenize_body_text text
+  | Spamlab_email.Mime.Plain -> iter_body_text f text
   | Spamlab_email.Mime.Html ->
       let html = Html.deconstruct text in
-      html.Html.meta_tokens
-      @ List.concat_map Url.crack html.Html.urls
-      @ tokenize_body_text html.Html.visible_text
+      List.iter f html.Html.meta_tokens;
+      List.iter (fun u -> List.iter f (Url.crack u)) html.Html.urls;
+      iter_body_text f html.Html.visible_text
 
 let structure_tokens headers =
   let open Spamlab_email in
@@ -133,28 +146,34 @@ let received_tokens headers =
   List.concat_map line_tokens
     (Spamlab_email.Header.find_all headers "received")
 
-let tokenize msg =
+(* Emit form: tokens are pushed through [f] in document order without
+   materializing the concatenated stream.  [tokenize] is derived from
+   this, so the two can never disagree on order or content. *)
+let iter_tokens msg f =
   let open Spamlab_email in
   let headers = Message.headers msg in
-  let subject_tokens =
-    match Header.find headers "subject" with
-    | None -> []
-    | Some s ->
-        (* SpamBayes emits subject words both prefixed and bare. *)
-        tokenize_text_with_prefix "subject:" s @ tokenize_body_text s
-  in
+  (match Header.find headers "subject" with
+  | None -> ()
+  | Some s ->
+      (* SpamBayes emits subject words both prefixed and bare. *)
+      iter_text_with_prefix f "subject:" s;
+      iter_body_text f s);
   let addr_field prefix field =
     match Header.find headers field with
-    | None -> []
-    | Some v -> address_tokens prefix v
+    | None -> ()
+    | Some v -> List.iter f (address_tokens prefix v)
   in
+  addr_field "from" "from";
+  addr_field "to" "to";
+  addr_field "reply-to" "reply-to";
+  List.iter f (received_tokens headers);
+  List.iter f (structure_tokens headers);
   let chunks = Mime.text_content msg in
   let decoded_text = String.concat "\n" (List.map snd chunks) in
-  subject_tokens
-  @ addr_field "from" "from"
-  @ addr_field "to" "to"
-  @ addr_field "reply-to" "reply-to"
-  @ received_tokens headers
-  @ structure_tokens headers
-  @ eight_bit_token decoded_text
-  @ List.concat_map tokenize_chunk chunks
+  List.iter f (eight_bit_token decoded_text);
+  List.iter (iter_chunk f) chunks
+
+let tokenize msg =
+  let acc = ref [] in
+  iter_tokens msg (fun t -> acc := t :: !acc);
+  List.rev !acc

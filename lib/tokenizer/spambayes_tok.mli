@@ -23,6 +23,7 @@
 
 val name : string
 val tokenize : Spamlab_email.Message.t -> string list
+val iter_tokens : Spamlab_email.Message.t -> (string -> unit) -> unit
 
 val tokenize_body_text : string -> string list
 (** Body tokenization only (used by attack construction to predict which

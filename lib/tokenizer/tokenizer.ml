@@ -1,11 +1,14 @@
 module type S = sig
   val name : string
   val tokenize : Spamlab_email.Message.t -> string list
+  val iter_tokens : Spamlab_email.Message.t -> (string -> unit) -> unit
 end
 
 type t = (module S)
 
+let name (module T : S) = T.name
 let tokenize (module T : S) msg = T.tokenize msg
+let iter_tokens (module T : S) msg f = T.iter_tokens msg f
 
 let unique_of_list tokens =
   let sorted = List.sort_uniq String.compare tokens in
@@ -30,7 +33,42 @@ let unique_counted tokens =
     ((if !w = n then arr else Array.sub arr 0 !w), n)
   end
 
-let unique_tokens t msg = unique_of_list (tokenize t msg)
+(* Per-domain scratch for the fused path: the token stream is pushed
+   into a reusable growable buffer, then sorted and deduplicated in
+   place — no intermediate list cells.  One buffer per domain keeps the
+   path safe under the parallel pool without locking. *)
+let scratch : string array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Array.make 1024 ""))
+
+let unique_counted_tokens (module T : S) msg =
+  let buf = Domain.DLS.get scratch in
+  let n = ref 0 in
+  T.iter_tokens msg (fun tok ->
+      let arr = !buf in
+      let cap = Array.length arr in
+      if !n = cap then begin
+        let bigger = Array.make (2 * cap) "" in
+        Array.blit arr 0 bigger 0 cap;
+        buf := bigger
+      end;
+      !buf.(!n) <- tok;
+      incr n);
+  let raw = !n in
+  if raw = 0 then ([||], 0)
+  else begin
+    let arr = Array.sub !buf 0 raw in
+    Array.sort String.compare arr;
+    let w = ref 1 in
+    for i = 1 to raw - 1 do
+      if not (String.equal arr.(i) arr.(!w - 1)) then begin
+        arr.(!w) <- arr.(i);
+        incr w
+      end
+    done;
+    ((if !w = raw then arr else Array.sub arr 0 !w), raw)
+  end
+
+let unique_tokens t msg = fst (unique_counted_tokens t msg)
 
 let spambayes : t = (module Spambayes_tok)
 let bogofilter : t = (module Bogofilter_tok)

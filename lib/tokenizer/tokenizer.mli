@@ -11,11 +11,19 @@ module type S = sig
 
   val tokenize : Spamlab_email.Message.t -> string list
   (** Token stream in document order, possibly with repeats. *)
+
+  val iter_tokens : Spamlab_email.Message.t -> (string -> unit) -> unit
+  (** Push the same stream, in the same order, through a callback
+      without materializing the list.  Implementations derive
+      [tokenize] from this, so the two cannot disagree. *)
 end
 
 type t = (module S)
 
+val name : t -> string
 val tokenize : t -> Spamlab_email.Message.t -> string list
+
+val iter_tokens : t -> Spamlab_email.Message.t -> (string -> unit) -> unit
 
 val unique_tokens : t -> Spamlab_email.Message.t -> string array
 (** Distinct tokens of a message, sorted.  SpamBayes both trains and
@@ -29,6 +37,13 @@ val unique_counted : string list -> string array * int
 (** [unique_counted stream] is [(unique_of_list stream, List.length
     stream)] in a single traversal of the list — the token-volume
     accounting path (§4.2) runs this per generated message. *)
+
+val unique_counted_tokens : t -> Spamlab_email.Message.t -> string array * int
+(** [unique_counted_tokens t msg] is
+    [unique_counted (tokenize t msg)] without building the token list:
+    {!S.iter_tokens} streams into a per-domain reusable buffer which is
+    sorted and deduplicated in place.  The fused-ingest fast path —
+    safe to call from pool workers. *)
 
 val spambayes : t
 val bogofilter : t

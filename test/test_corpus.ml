@@ -533,6 +533,105 @@ let dataset_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Substrate pipeline: jobs-invariant generation and the fused path    *)
+
+let substrate_tests =
+  let corpus_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2
+         (fun (l1, m1) (l2, m2) -> l1 = l2 && Message.equal m1 m2)
+         a b
+  in
+  [
+    test_case "generation is identical at jobs 1/4/8" (fun () ->
+        let seq =
+          Trec.generate config (Rng.create 77) ~size:120 ~spam_fraction:0.5
+        in
+        List.iter
+          (fun jobs ->
+            let pool = Spamlab_parallel.Pool.create ~jobs in
+            Fun.protect
+              ~finally:(fun () -> Spamlab_parallel.Pool.shutdown pool)
+              (fun () ->
+                let par =
+                  Trec.generate ~pool config (Rng.create 77) ~size:120
+                    ~spam_fraction:0.5
+                in
+                check_bool
+                  (Printf.sprintf "same corpus at jobs %d" jobs)
+                  true (corpus_equal seq par)))
+          [ 1; 4; 8 ]);
+    test_case "generate advances the caller's rng" (fun () ->
+        (* Per-index children are keyed on the parent's current
+           position, so two draws from one rng give different
+           corpora (train/test splits stay distinct). *)
+        let rng = Rng.create 123 in
+        let a = Trec.generate config rng ~size:30 ~spam_fraction:0.5 in
+        let b = Trec.generate config rng ~size:30 ~spam_fraction:0.5 in
+        check_bool "sequential corpora differ" false (corpus_equal a b));
+    test_case "tokenize_ids agrees with the list pipeline" (fun () ->
+        let rng = Rng.create 88 in
+        let messages =
+          List.init 25 (fun _ -> Generator.ham config rng)
+          @ List.init 50 (fun _ -> Generator.spam config rng)
+          (* Force the HTML and base64 decode paths regardless of what
+             the generator happened to sample. *)
+          @ [
+              Spamlab_email.Mime.make_html
+                "<html><body><p>Visit <a \
+                 href=\"http://example.test/offer\">now</a> for great \
+                 savings</p></body></html>";
+              Spamlab_email.Mime.with_base64_transfer
+                (Generator.spam config rng);
+            ]
+        in
+        List.iteri
+          (fun i msg ->
+            let ids, raw = Dataset.tokenize_ids Tokenizer.spambayes msg in
+            let tokens, raw_ref =
+              Tokenizer.unique_counted
+                (Tokenizer.tokenize Tokenizer.spambayes msg)
+            in
+            let ids_ref = Spamlab_spambayes.Intern.intern_array tokens in
+            check_int (Printf.sprintf "raw count %d" i) raw_ref raw;
+            Alcotest.(check (array int))
+              (Printf.sprintf "ids %d" i)
+              ids_ref ids)
+          messages);
+    qtest "unique_counted_tokens = unique_counted o tokenize" ~count:60
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun n ->
+        let rng = Rng.create n in
+        let msg =
+          if n mod 2 = 0 then Generator.ham config rng
+          else Generator.spam config rng
+        in
+        let fused, raw = Tokenizer.unique_counted_tokens Tokenizer.spambayes msg in
+        let listed, raw_ref =
+          Tokenizer.unique_counted (Tokenizer.tokenize Tokenizer.spambayes msg)
+        in
+        raw = raw_ref && fused = listed);
+    test_case "word_prob is safe and consistent under domains" (fun () ->
+        (* Regression for the unsynchronized prob_index memoization:
+           four domains racing the first build must all see the same
+           fully-built table. *)
+        let model = Language_model.ham vocab in
+        let words = vocab.Vocabulary.shared in
+        let sum () =
+          Array.fold_left
+            (fun acc w -> acc +. Language_model.word_prob model w)
+            0.0 words
+        in
+        let domains = List.init 4 (fun _ -> Domain.spawn sum) in
+        let results = List.map Domain.join domains in
+        let expected = sum () in
+        List.iter
+          (fun r ->
+            check_bool "same mass" true (Float.abs (r -. expected) < 1e-12))
+          results);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Corpus statistics                                                   *)
 
 let stats_tests =
@@ -615,5 +714,6 @@ let () =
       ("generator", generator_tests);
       ("trec", trec_tests);
       ("dataset", dataset_tests);
+      ("substrate", substrate_tests);
       ("stats", stats_tests);
     ]

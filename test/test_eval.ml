@@ -272,8 +272,8 @@ let lab_tests =
     test_case "lab is deterministic in its seed" (fun () ->
         let a = Lab.create ~seed:5 ~scale:0.05 () in
         let b = Lab.create ~seed:5 ~scale:0.05 () in
-        let ca = Lab.corpus a (Lab.rng a "x") ~size:20 ~spam_fraction:0.5 in
-        let cb = Lab.corpus b (Lab.rng b "x") ~size:20 ~spam_fraction:0.5 in
+        let ca = Lab.corpus a ~name:"x" ~size:20 ~spam_fraction:0.5 in
+        let cb = Lab.corpus b ~name:"x" ~size:20 ~spam_fraction:0.5 in
         check_bool "same tokens" true
           (Array.for_all2
              (fun (e1 : Dataset.example) (e2 : Dataset.example) ->
@@ -289,6 +289,58 @@ let lab_tests =
         let lab = Lab.create ~seed:9 ~scale:0.3 () in
         check_int "seed" 9 (Lab.seed lab);
         Alcotest.(check (float 1e-12)) "scale" 0.3 (Lab.scale lab));
+    test_case "corpus cache hit returns the same examples" (fun () ->
+        let module Obs = Spamlab_obs.Obs in
+        let lab = Lab.create ~seed:11 ~scale:0.05 () in
+        Obs.enable_metrics ();
+        Obs.reset ();
+        Fun.protect ~finally:Obs.stop (fun () ->
+            let c1 = Lab.corpus lab ~name:"cache" ~size:30 ~spam_fraction:0.5 in
+            let c2 = Lab.corpus lab ~name:"cache" ~size:30 ~spam_fraction:0.5 in
+            (* Fresh copies of one cached array: callers may shuffle
+               independently, but the examples themselves are shared. *)
+            check_bool "distinct arrays" false (c1 == c2);
+            Array.iteri
+              (fun i e1 -> check_bool "shared example" true (e1 == c2.(i)))
+              c1;
+            (* First call misses both the message and example caches;
+               the second hits the example cache only. *)
+            check_int "misses" 2 (Obs.counter_value "lab.corpus_cache.miss");
+            check_int "hits" 1 (Obs.counter_value "lab.corpus_cache.hit")));
+    test_case "corpus streams are independent per name" (fun () ->
+        let lab = Lab.create ~seed:11 ~scale:0.05 () in
+        let a = Lab.corpus lab ~name:"left" ~size:30 ~spam_fraction:0.5 in
+        let b = Lab.corpus lab ~name:"right" ~size:30 ~spam_fraction:0.5 in
+        check_bool "different worlds" false
+          (Array.for_all2
+             (fun (e1 : Dataset.example) (e2 : Dataset.example) ->
+               e1.Dataset.tokens = e2.Dataset.tokens)
+             a b));
+    test_case "corpus and corpus_messages share the message cache" (fun () ->
+        let module Obs = Spamlab_obs.Obs in
+        let lab = Lab.create ~seed:11 ~scale:0.05 () in
+        Obs.enable_metrics ();
+        Obs.reset ();
+        Fun.protect ~finally:Obs.stop (fun () ->
+            let _ = Lab.corpus lab ~name:"shared" ~size:30 ~spam_fraction:0.5 in
+            let _ =
+              Lab.corpus_messages lab ~name:"shared" ~size:30 ~spam_fraction:0.5
+            in
+            check_int "one generation" 2
+              (Obs.counter_value "lab.corpus_cache.miss");
+            check_int "message-cache hit" 1
+              (Obs.counter_value "lab.corpus_cache.hit")));
+    test_case "usenet_top is safe under concurrent first use" (fun () ->
+        (* Regression for the unsynchronized usenet_full memoization:
+           racing domains must agree on the ranked word list. *)
+        let lab = Lab.create ~seed:13 ~scale:0.05 () in
+        let read () = Lab.usenet_top lab ~size:500 in
+        let domains = List.init 4 (fun _ -> Domain.spawn read) in
+        let results = List.map Domain.join domains in
+        let expected = read () in
+        List.iter
+          (fun words -> check_bool "same ranking" true (words = expected))
+          results);
   ]
 
 let registry_tests =

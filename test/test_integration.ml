@@ -34,8 +34,7 @@ let tokenizer = Lab.tokenizer lab
 (* One shared train/test split for the attack tests. *)
 let train_examples, test_examples =
   let examples =
-    Lab.corpus lab (Lab.rng lab "integration-corpus") ~size:600
-      ~spam_fraction:0.5
+    Lab.corpus lab ~name:"integration-corpus" ~size:600 ~spam_fraction:0.5
   in
   (Array.sub examples 0 500, Array.sub examples 500 100)
 
@@ -118,7 +117,8 @@ let focused_attack_tests =
     test_case "focused attack flips a known target" (fun () ->
         let rng = Lab.rng lab "integration-focused" in
         let messages =
-          Lab.corpus_messages lab rng ~size:400 ~spam_fraction:0.5
+          Lab.corpus_messages lab ~name:"integration-focused" ~size:400
+            ~spam_fraction:0.5
         in
         let examples = Dataset.of_labeled tokenizer messages in
         let filter = Poison.base_filter tokenizer examples in
@@ -135,7 +135,8 @@ let focused_attack_tests =
     test_case "attack strength grows with guess probability" (fun () ->
         let rng = Lab.rng lab "integration-focused-p" in
         let messages =
-          Lab.corpus_messages lab rng ~size:400 ~spam_fraction:0.5
+          Lab.corpus_messages lab ~name:"integration-focused-p" ~size:400
+            ~spam_fraction:0.5
         in
         let examples = Dataset.of_labeled tokenizer messages in
         let base = Poison.base_filter tokenizer examples in
@@ -164,7 +165,7 @@ let defense_tests =
     test_case "RONI separates attack emails from ordinary spam" (fun () ->
         let rng = Lab.rng lab "integration-roni" in
         let pool =
-          Lab.corpus lab rng ~size:200 ~spam_fraction:0.5
+          Lab.corpus lab ~name:"integration-roni" ~size:200 ~spam_fraction:0.5
         in
         let attack_payload =
           Attack.payload tokenizer
@@ -249,8 +250,10 @@ let persistence_tests =
                     Alcotest.(check (float 1e-12)) "same score" a b)
                   test_examples));
     test_case "corpus mbox round-trip preserves classification" (fun () ->
-        let rng = Lab.rng lab "integration-mbox" in
-        let corpus = Lab.corpus_messages lab rng ~size:30 ~spam_fraction:0.5 in
+        let corpus =
+          Lab.corpus_messages lab ~name:"integration-mbox" ~size:30
+            ~spam_fraction:0.5
+        in
         let ham_path = Filename.temp_file "spamlab" ".ham" in
         let spam_path = Filename.temp_file "spamlab" ".spam" in
         Fun.protect
