@@ -11,7 +11,8 @@
      evade       good-word evasion against a trained filter
      roni        RONI-screen a candidate training message
      thresholds  derive dynamic thresholds from a training corpus
-     experiment  reproduce a table/figure from the paper *)
+     experiment  reproduce a table/figure from the paper
+     db          inspect and verify trained filter databases *)
 
 open Cmdliner
 module Corpus = Spamlab_corpus
@@ -25,6 +26,8 @@ module Mbox = Spamlab_email.Mbox
 module Rng = Spamlab_stats.Rng
 module Eval = Spamlab_eval
 module Obs = Spamlab_obs.Obs
+module Fault = Spamlab_fault
+module Token_db = Spamlab_spambayes.Token_db
 
 let setup_logs () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -67,11 +70,21 @@ let db_arg =
 
 let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
 
+(* Graceful degradation: a missing file, an unwritable path or an
+   injected fatal fault becomes one error line and a nonzero exit,
+   never an exception backtrace. *)
+let guard f =
+  try f () with
+  | Sys_error e -> fail "%s" e
+  | Fault.Injected _ as exn -> fail "%s" (Printexc.to_string exn)
+
 let read_message_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> Spamlab_email.Rfc2822.parse (In_channel.input_all ic))
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Spamlab_email.Rfc2822.parse (In_channel.input_all ic))
 
 let load_labeled ~ham ~spam =
   Corpus.Trec.of_mbox_files ~ham_path:ham ~spam_path:spam
@@ -88,6 +101,7 @@ let corpus_cmd =
   in
   let run seed size spam_fraction ham spam =
     setup_logs ();
+    guard @@ fun () ->
     if spam_fraction < 0.0 || spam_fraction > 1.0 then
       fail "spam-fraction must lie in [0,1]"
     else begin
@@ -114,11 +128,19 @@ let corpus_cmd =
 (* train                                                            *)
 
 let train_cmd =
+  let quarantined_counter = Obs.counter "train.quarantined" in
   let run ham spam db tokenizer =
     setup_logs ();
-    match load_labeled ~ham ~spam with
+    guard @@ fun () ->
+    match Corpus.Trec.of_mbox_files_lenient ~ham_path:ham ~spam_path:spam with
     | Error e -> fail "%s" e
-    | Ok corpus ->
+    | Ok (corpus, quarantined) ->
+        if quarantined > 0 then begin
+          Obs.add quarantined_counter quarantined;
+          Logs.warn (fun m ->
+              m "quarantined %d unparseable message(s); training on the rest"
+                quarantined)
+        end;
         let filter = Filter.create ~tokenizer () in
         Array.iter (fun (label, msg) -> Filter.train filter label msg) corpus;
         Filter.save_file filter db;
@@ -152,6 +174,7 @@ let classify_cmd =
     Arg.(value & flag & info [ "clues" ] ~doc:"Print the discriminator tokens.")
   in
   let run db message verbose tokenizer =
+    guard @@ fun () ->
     match Filter.load_file ~tokenizer db with
     | Error e -> fail "cannot load %s: %s" db e
     | Ok filter -> (
@@ -188,6 +211,7 @@ let tokenize_cmd =
       & info [] ~docv:"MESSAGE" ~doc:"RFC 2822 message file.")
   in
   let run message tokenizer =
+    guard @@ fun () ->
     match read_message_file message with
     | Error e -> fail "cannot parse %s: %s" message e
     | Ok msg ->
@@ -224,6 +248,7 @@ let attack_dictionary_cmd =
   in
   let run seed scale variant words count out =
     setup_logs ();
+    guard @@ fun () ->
     let lab = Eval.Lab.create ~seed ~scale () in
     let word_list =
       match variant with
@@ -279,6 +304,7 @@ let attack_focused_cmd =
   in
   let run seed target p count headers out =
     setup_logs ();
+    guard @@ fun () ->
     match (read_message_file target, Mbox.read_file headers) with
     | Error e, _ -> fail "cannot parse target: %s" e
     | _, Error e -> fail "cannot read header mbox: %s" e
@@ -335,6 +361,7 @@ let attack_pseudospam_cmd =
   in
   let run seed scale campaign camouflage_fraction count out =
     setup_logs ();
+    guard @@ fun () ->
     match read_message_file campaign with
     | Error e -> fail "cannot parse campaign sample: %s" e
     | Ok sample ->
@@ -402,6 +429,7 @@ let evade_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Write the padded message here.")
   in
   let run db message max_words out tokenizer =
+    guard @@ fun () ->
     match Filter.load_file ~tokenizer db with
     | Error e -> fail "cannot load %s: %s" db e
     | Ok filter -> (
@@ -458,6 +486,7 @@ let roni_cmd =
   in
   let run seed ham spam candidate threshold tokenizer =
     setup_logs ();
+    guard @@ fun () ->
     match (load_labeled ~ham ~spam, read_message_file candidate) with
     | Error e, _ -> fail "%s" e
     | _, Error e -> fail "cannot parse candidate: %s" e
@@ -498,6 +527,7 @@ let thresholds_cmd =
   in
   let run seed ham spam quantile tokenizer =
     setup_logs ();
+    guard @@ fun () ->
     match load_labeled ~ham ~spam with
     | Error e -> fail "%s" e
     | Ok corpus ->
@@ -527,6 +557,7 @@ let thresholds_cmd =
 let stats_cmd =
   let run ham spam tokenizer =
     setup_logs ();
+    guard @@ fun () ->
     match load_labeled ~ham ~spam with
     | Error e -> fail "%s" e
     | Ok corpus ->
@@ -584,41 +615,144 @@ let experiment_cmd =
     in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let run seed scale jobs trace metrics id =
-    setup_logs ();
-    (match trace with Some path -> Obs.start_trace ~path | None -> ());
-    if metrics then Obs.enable_metrics ();
-    Obs.configure_from_env ();
-    let lab = Eval.Lab.create ~seed ~scale ?jobs () in
-    let finish result =
-      Eval.Lab.shutdown lab;
-      Obs.stop ();
-      if metrics then Obs.dump_metrics stderr;
-      result
+  let fault_spec_arg =
+    let doc =
+      "Deterministic fault injection spec (also read from SPAMLAB_FAULTS): \
+       comma-separated $(i,site:kind@occ+occ...) or \
+       $(i,site:kind~prob) clauses, e.g. 'pool.task:transient\\@3+97'. \
+       Kinds: transient, fatal, crash."
     in
-    match id with
-    | "all" ->
-        List.iter
-          (fun (id, report) -> Printf.printf "==== %s ====\n%s\n" id report)
-          (Eval.Registry.run_all lab);
-        finish (`Ok ())
-    | id -> (
-        match Eval.Registry.find id with
-        | None -> finish (fail "unknown experiment %S" id)
-        | Some e ->
-            print_string (e.Eval.Registry.run lab);
-            finish (`Ok ()))
+    Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Record completed grid points to $(docv) (JSONL, appended and \
+       flushed as the sweep progresses) so an interrupted run can be \
+       resumed with $(b,--resume)."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Restore completed grid points from the $(b,--checkpoint) file \
+       instead of recomputing them.  Output is byte-identical to an \
+       uninterrupted run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let run seed scale jobs trace metrics fault_spec checkpoint resume id =
+    setup_logs ();
+    guard @@ fun () ->
+    let fault_configured =
+      match fault_spec with
+      | Some spec -> Fault.configure ~seed spec
+      | None -> Fault.configure_env ~seed ()
+    in
+    let checkpoint_opened =
+      match (checkpoint, resume) with
+      | None, true -> Error "--resume requires --checkpoint FILE"
+      | None, false -> Ok None
+      | Some path, resume ->
+          Result.map Option.some
+            (Eval.Checkpoint.open_ ~path
+               ~params:(Printf.sprintf "seed=%d scale=%h" seed scale)
+               ~resume)
+    in
+    match (fault_configured, checkpoint_opened) with
+    | Error e, _ -> fail "%s" e
+    | _, Error e -> fail "%s" e
+    | Ok (), Ok ck ->
+        (match trace with Some path -> Obs.start_trace ~path | None -> ());
+        if metrics then Obs.enable_metrics ();
+        Obs.configure_from_env ();
+        let lab = Eval.Lab.create ~seed ~scale ?jobs ?checkpoint:ck () in
+        let finish result =
+          Eval.Lab.shutdown lab;
+          Option.iter Eval.Checkpoint.close ck;
+          Obs.stop ();
+          if metrics then Obs.dump_metrics stderr;
+          result
+        in
+        (match
+           match id with
+           | "all" ->
+               List.iter
+                 (fun (id, report) ->
+                   Printf.printf "==== %s ====\n%s\n" id report)
+                 (Eval.Registry.run_all lab);
+               `Ok ()
+           | id -> (
+               match Eval.Registry.find id with
+               | None -> fail "unknown experiment %S" id
+               | Some e ->
+                   print_string (e.Eval.Registry.run lab);
+                   `Ok ())
+         with
+        | result -> finish result
+        | exception exn -> ignore (finish (`Ok ())); raise exn)
   in
   let term =
     Term.(
       ret
         (const run $ seed_arg $ scale_arg $ jobs_arg $ trace_arg $ metrics_arg
-       $ id_arg))
+       $ fault_spec_arg $ checkpoint_arg $ resume_arg $ id_arg))
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Reproduce a table or figure from the paper's evaluation.")
     term
+
+(* --------------------------------------------------------------- *)
+(* db                                                               *)
+
+let db_verify_cmd =
+  let db_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trained filter database to verify.")
+  in
+  let run path =
+    setup_logs ();
+    guard @@ fun () ->
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error e -> fail "%s" e
+    | contents -> (
+        match Token_db.verify_string contents with
+        | Ok r ->
+            Printf.printf
+              "%s: ok\n\
+              \  format version: %d\n\
+              \  checksum:       %s\n\
+              \  counts:         %d spam + %d ham messages\n\
+              \  entries:        %d tokens\n"
+              path r.Token_db.version
+              (match r.Token_db.checksum with
+              | `Ok -> "ok (crc32)"
+              | `Absent -> "absent (pre-v3 format)")
+              r.Token_db.nspam r.Token_db.nham r.Token_db.entries;
+            `Ok ()
+        | Error e ->
+            let salvage =
+              match Token_db.salvage_string contents with
+              | Ok s ->
+                  Printf.sprintf " (salvageable: %d entries kept, %d lost)"
+                    s.Token_db.kept s.Token_db.dropped
+              | Error _ -> ""
+            in
+            fail "%s: corrupt token database: %s%s" path e salvage)
+  in
+  let term = Term.(ret (const run $ db_pos)) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check a database's format version, checksum and count \
+             invariants; nonzero exit on corruption.")
+    term
+
+let db_cmd =
+  Cmd.group
+    (Cmd.info "db" ~doc:"Inspect and verify trained filter databases.")
+    [ db_verify_cmd ]
 
 (* --------------------------------------------------------------- *)
 
@@ -632,6 +766,7 @@ let main_cmd =
     [
       corpus_cmd; train_cmd; classify_cmd; tokenize_cmd; stats_cmd;
       attack_cmd; evade_cmd; roni_cmd; thresholds_cmd; experiment_cmd;
+      db_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

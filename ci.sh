@@ -82,4 +82,38 @@ for exp in fig2 roni; do
   echo "$exp: jobs 1 == jobs 4"
 done
 
+say "fault-injected determinism"
+# Transient faults are retried to success by the pool's supervision,
+# so a faulted run must be byte-identical to the fault-free one.  The
+# occurrences are spaced widely so no element eats all three of its
+# retry attempts.
+faulted=$(mktemp /tmp/spamlab-ci-faulted.XXXXXX.txt)
+trap 'rm -f "$trace" "$timings" "$j1" "$j4" "$faulted"' EXIT
+./_build/default/bin/spamlab.exe experiment fig2 \
+  --scale 0.05 > "$j1"
+./_build/default/bin/spamlab.exe experiment fig2 \
+  --scale 0.05 --fault-spec 'pool.task:transient@3+97+401' > "$faulted"
+diff -u "$j1" "$faulted" \
+  || { echo "FAIL: fig2 output differs under transient faults"; exit 1; }
+echo "fig2: fault-free == transient-faulted"
+
+say "kill and resume"
+# An injected crash kills the run mid-sweep (exit 70); resuming from
+# the checkpoint must reproduce the uninterrupted output exactly.
+ckpt=$(mktemp /tmp/spamlab-ci-ckpt.XXXXXX.jsonl)
+resumed=$(mktemp /tmp/spamlab-ci-resumed.XXXXXX.txt)
+trap 'rm -f "$trace" "$timings" "$j1" "$j4" "$faulted" "$ckpt" "$resumed"' EXIT
+status=0
+./_build/default/bin/spamlab.exe experiment fig2 \
+  --scale 0.05 --checkpoint "$ckpt" \
+  --fault-spec 'checkpoint.record:crash@3' > /dev/null 2>&1 || status=$?
+test "$status" -eq 70 \
+  || { echo "FAIL: injected crash should exit 70, got $status"; exit 1; }
+test -s "$ckpt" || { echo "FAIL: checkpoint is empty after the kill"; exit 1; }
+./_build/default/bin/spamlab.exe experiment fig2 \
+  --scale 0.05 --checkpoint "$ckpt" --resume > "$resumed"
+diff -u "$j1" "$resumed" \
+  || { echo "FAIL: resumed fig2 output differs from the baseline"; exit 1; }
+echo "fig2: killed at record 3, resumed, byte-identical"
+
 say "ci.sh: all checks passed"

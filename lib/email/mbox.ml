@@ -35,40 +35,40 @@ let print messages =
     messages;
   Buffer.contents buffer
 
-let parse text =
-  if String.trim text = "" then Ok []
-  else
-    let lines = String.split_on_char '\n' text in
-    (* Group lines into chunks delimited by separator lines. *)
-    let rec group current chunks = function
-      | [] ->
+(* Group lines into chunks delimited by separator lines. *)
+let chunks_of text =
+  let lines = String.split_on_char '\n' text in
+  let rec group current chunks = function
+    | [] ->
+        let chunks =
+          if current = [] then chunks else List.rev current :: chunks
+        in
+        List.rev chunks
+    | line :: rest ->
+        if is_separator line then
           let chunks =
             if current = [] then chunks else List.rev current :: chunks
           in
-          List.rev chunks
-      | line :: rest ->
-          if is_separator line then
-            let chunks =
-              if current = [] then chunks else List.rev current :: chunks
-            in
-            group [] chunks rest
-          else group (line :: current) chunks rest
-    in
-    match group [] [] lines with
+          group [] chunks rest
+        else group (line :: current) chunks rest
+  in
+  group [] [] lines
+
+let parse_chunk chunk =
+  (* Drop the trailing blank line print added after each body. *)
+  let chunk =
+    match List.rev chunk with "" :: rest -> List.rev rest | _ -> chunk
+  in
+  Result.map
+    (fun msg -> Message.with_body msg (unquote_body (Message.body msg)))
+    (Rfc2822.parse (String.concat "\n" chunk))
+
+let parse text =
+  if String.trim text = "" then Ok []
+  else
+    match chunks_of text with
     | [] -> Error "mbox: no message separator found"
     | chunks ->
-        let parse_chunk chunk =
-          (* Drop the trailing blank line print added after each body. *)
-          let chunk =
-            match List.rev chunk with
-            | "" :: rest -> List.rev rest
-            | _ -> chunk
-          in
-          Result.map
-            (fun msg ->
-              Message.with_body msg (unquote_body (Message.body msg)))
-            (Rfc2822.parse (String.concat "\n" chunk))
-        in
         let rec all acc = function
           | [] -> Ok (List.rev acc)
           | chunk :: rest -> (
@@ -78,14 +78,30 @@ let parse text =
         in
         all [] chunks
 
+let parse_lenient text =
+  if String.trim text = "" then ([], 0)
+  else
+    List.fold_left
+      (fun (acc, dropped) chunk ->
+        match parse_chunk chunk with
+        | Ok m -> (m :: acc, dropped)
+        | Error _ -> (acc, dropped + 1))
+      ([], 0) (chunks_of text)
+    |> fun (acc, dropped) -> (List.rev acc, dropped)
+
 let write_file path messages =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (print messages))
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> parse (In_channel.input_all ic))
+let with_contents path f =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> f (In_channel.input_all ic))
+
+let read_file path = with_contents path parse
+let read_file_lenient path = with_contents path (fun s -> Ok (parse_lenient s))

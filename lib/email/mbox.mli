@@ -15,3 +15,13 @@ val write_file : string -> Message.t list -> unit
 (** @raise Sys_error on I/O failure. *)
 
 val read_file : string -> (Message.t list, string) result
+(** A missing or unreadable file is [Error], not [Sys_error]. *)
+
+val parse_lenient : string -> Message.t list * int
+(** Like {!parse}, but a chunk that fails RFC 2822 parsing is dropped
+    instead of failing the whole mailbox.  Returns the surviving
+    messages and the number of dropped (quarantined) chunks. *)
+
+val read_file_lenient : string -> (Message.t list * int, string) result
+(** {!parse_lenient} over a file's contents; [Error] only on I/O
+    failure. *)

@@ -1,0 +1,204 @@
+module Json = Spamlab_obs.Json
+
+type t = {
+  mutable oc : out_channel option;
+  table : (string, string) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let header_format = "spamlab-checkpoint"
+let header_version = "1"
+
+(* Minimal parser for the flat string-valued objects [Spamlab_obs.Json]
+   emits — the exact inverse of its escaping (backslash-escaped quote,
+   backslash, n, r, t, and u00XX control bytes).  Returns [None] on
+   anything else, which the loader treats as a torn or foreign line to
+   skip, never an error. *)
+let parse_object line =
+  let exception Bad in
+  let n = String.length line in
+  let i = ref 0 in
+  let skip_ws () =
+    while !i < n && line.[!i] = ' ' do
+      incr i
+    done
+  in
+  let expect c = if !i < n && line.[!i] = c then incr i else raise Bad in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then raise Bad;
+      match line.[!i] with
+      | '"' ->
+          incr i;
+          Buffer.contents buf
+      | '\\' ->
+          if !i + 1 >= n then raise Bad;
+          (match line.[!i + 1] with
+          | '"' ->
+              Buffer.add_char buf '"';
+              i := !i + 2
+          | '\\' ->
+              Buffer.add_char buf '\\';
+              i := !i + 2
+          | 'n' ->
+              Buffer.add_char buf '\n';
+              i := !i + 2
+          | 'r' ->
+              Buffer.add_char buf '\r';
+              i := !i + 2
+          | 't' ->
+              Buffer.add_char buf '\t';
+              i := !i + 2
+          | 'u' ->
+              if !i + 5 >= n then raise Bad;
+              (match int_of_string_opt ("0x" ^ String.sub line (!i + 2) 4) with
+              | Some code when code <= 0xff -> Buffer.add_char buf (Char.chr code)
+              | _ -> raise Bad);
+              i := !i + 6
+          | _ -> raise Bad);
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr i;
+          go ()
+    in
+    go ()
+  in
+  match
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    (if !i < n && line.[!i] = '}' then incr i
+     else
+       let rec field () =
+         let key = parse_string () in
+         skip_ws ();
+         expect ':';
+         skip_ws ();
+         let value = parse_string () in
+         fields := (key, value) :: !fields;
+         skip_ws ();
+         if !i < n && line.[!i] = ',' then begin
+           incr i;
+           skip_ws ();
+           field ()
+         end
+         else expect '}'
+       in
+       field ());
+    skip_ws ();
+    if !i <> n then raise Bad;
+    List.rev !fields
+  with
+  | fields -> Some fields
+  | exception Bad -> None
+  | exception _ -> None
+
+let header_line params =
+  Json.line
+    [
+      Json.str "format" header_format;
+      Json.str "version" header_version;
+      Json.str "params" params;
+    ]
+
+let entry_line key value = Json.line [ Json.str "k" key; Json.str "v" value ]
+
+let make oc table = { oc = Some oc; table; mutex = Mutex.create () }
+
+let fresh ~path ~params table =
+  match open_out path with
+  | exception Sys_error e -> Error e
+  | oc ->
+      output_string oc (header_line params);
+      output_char oc '\n';
+      flush oc;
+      Ok (make oc table)
+
+let open_ ~path ~params ~resume =
+  let table = Hashtbl.create 64 in
+  if (not resume) || not (Sys.file_exists path) then fresh ~path ~params table
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error e -> Error e
+    | contents -> (
+        let header, rest =
+          match String.split_on_char '\n' contents with
+          | header :: rest -> (header, rest)
+          | [] -> ("", [])
+        in
+        match parse_object header with
+        | None ->
+            Error (Printf.sprintf "%s: not a spamlab checkpoint file" path)
+        | Some fields -> (
+            let field k = List.assoc_opt k fields in
+            if field "format" <> Some header_format then
+              Error (Printf.sprintf "%s: not a spamlab checkpoint file" path)
+            else if field "version" <> Some header_version then
+              Error
+                (Printf.sprintf "%s: unsupported checkpoint version %s" path
+                   (Option.value ~default:"(none)" (field "version")))
+            else
+              match field "params" with
+              | Some p when p = params -> (
+                  List.iter
+                    (fun line ->
+                      if line <> "" then
+                        match parse_object line with
+                        | Some fields -> (
+                            match
+                              (List.assoc_opt "k" fields,
+                               List.assoc_opt "v" fields)
+                            with
+                            | Some k, Some v -> Hashtbl.replace table k v
+                            | _ -> ())
+                        | None -> () (* torn trailing write: recompute *))
+                    rest;
+                  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+                  | exception Sys_error e -> Error e
+                  | oc ->
+                      (* A file torn mid-line lacks its final newline;
+                         terminate it so the next record starts clean. *)
+                      if
+                        String.length contents > 0
+                        && contents.[String.length contents - 1] <> '\n'
+                      then begin
+                        output_char oc '\n';
+                        flush oc
+                      end;
+                      Ok (make oc table))
+              | Some p ->
+                  Error
+                    (Printf.sprintf
+                       "%s: checkpoint params mismatch (file has %S, run has \
+                        %S) — refusing to mix worlds"
+                       path p params)
+              | None ->
+                  Error (Printf.sprintf "%s: checkpoint header missing params"
+                           path)))
+
+let find t key = Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.table key)
+
+let record t ~key ~value =
+  Mutex.protect t.mutex (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          output_string oc (entry_line key value);
+          output_char oc '\n';
+          flush oc;
+          Hashtbl.replace t.table key value);
+  Spamlab_fault.check "checkpoint.record"
+
+let entries t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.table)
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          t.oc <- None;
+          close_out oc)

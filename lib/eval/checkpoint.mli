@@ -1,0 +1,40 @@
+(** Append-only JSONL checkpoint for resumable experiment sweeps.
+
+    A sweep records each completed grid point as one
+    [{"k":"<stage>/<index>","v":"<encoded result>"}] line; a resumed
+    run ([--resume]) loads the surviving lines and skips every cell it
+    already has (see {!Lab.checkpointed_map}).  The first line is a
+    header carrying a params string (seed and scale): resuming against
+    a checkpoint written under different params is refused rather than
+    silently mixing two different worlds.
+
+    Crash tolerance: every record is flushed before the experiment
+    proceeds, lines are self-delimiting, and the loader skips anything
+    unparseable — so a file torn mid-line by a kill loses at most the
+    final record, never the file.  Duplicate keys are legal (a retried
+    task records twice); the last occurrence wins.
+
+    Fault site: [checkpoint.record] fires after a record lands,
+    simulating a kill between one grid point and the next. *)
+
+type t
+
+val open_ : path:string -> params:string -> resume:bool -> (t, string) result
+(** Open a checkpoint at [path].  With [resume = false] the file is
+    truncated and a fresh header written.  With [resume = true] an
+    existing file is validated (format, version, params — mismatch is
+    [Error]) and its entries loaded; a missing file starts fresh.
+    [params] is free-form but must match exactly on resume. *)
+
+val find : t -> string -> string option
+(** The recorded value for a key, if any. *)
+
+val record : t -> key:string -> value:string -> unit
+(** Append one entry and flush.  Safe to call from pool workers. *)
+
+val entries : t -> int
+(** Number of distinct keys currently held (loaded + recorded). *)
+
+val close : t -> unit
+(** Flush and close the underlying channel.  Idempotent; {!record}
+    after close is a silent no-op. *)

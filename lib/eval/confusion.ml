@@ -18,6 +18,24 @@ let add t gold verdict =
   let v = verdict_index verdict in
   t.counts.(g).(v) <- t.counts.(g).(v) + 1
 
+let cells t =
+  [|
+    t.counts.(0).(0); t.counts.(0).(1); t.counts.(0).(2);
+    t.counts.(1).(0); t.counts.(1).(1); t.counts.(1).(2);
+  |]
+
+let of_cells cells =
+  if Array.length cells <> 6 || Array.exists (fun c -> c < 0) cells then None
+  else begin
+    let t = create () in
+    for g = 0 to 1 do
+      for v = 0 to 2 do
+        t.counts.(g).(v) <- cells.((g * 3) + v)
+      done
+    done;
+    Some t
+  end
+
 let merge a b =
   let out = create () in
   for g = 0 to 1 do

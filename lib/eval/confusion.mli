@@ -14,6 +14,15 @@ val add : t -> Spamlab_spambayes.Label.gold -> Spamlab_spambayes.Label.verdict -
 val merge : t -> t -> t
 (** Sum of two matrices (neither input is modified). *)
 
+val cells : t -> int array
+(** The six counts in row-major order
+    [[|ham->ham; ham->unsure; ham->spam; spam->ham; spam->unsure;
+    spam->spam|]] — the checkpoint wire encoding. *)
+
+val of_cells : int array -> t option
+(** Inverse of {!cells}; [None] unless exactly six non-negative
+    counts. *)
+
 val count :
   t -> Spamlab_spambayes.Label.gold -> Spamlab_spambayes.Label.verdict -> int
 

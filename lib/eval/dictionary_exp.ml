@@ -49,12 +49,51 @@ let run lab (params : Params.dictionary) =
   (* Corpus and payloads are fully interned by now; freezing makes the
      in-task id lookups lock-free. *)
   Spamlab_spambayes.Intern.freeze ();
+  (* Checkpoint wire encoding of one fold's confusion matrices:
+     payloads joined by '|', fractions by ';', the six cells by ','. *)
+  let encode per_payload =
+    String.concat "|"
+      (List.map
+         (fun per_fraction ->
+           String.concat ";"
+             (List.map
+                (fun c ->
+                  String.concat ","
+                    (List.map string_of_int
+                       (Array.to_list (Confusion.cells c))))
+                per_fraction))
+         per_payload)
+  in
+  let decode _fold s =
+    let ( let* ) = Option.bind in
+    let map_opt f l =
+      List.fold_right
+        (fun x acc ->
+          let* acc = acc in
+          let* y = f x in
+          Some (y :: acc))
+        l (Some [])
+    in
+    let confusion s =
+      let* ints = map_opt int_of_string_opt (String.split_on_char ',' s) in
+      Confusion.of_cells (Array.of_list ints)
+    in
+    let fraction_list s =
+      let parts = String.split_on_char ';' s in
+      if List.length parts <> List.length params.attack_fractions then None
+      else map_opt confusion parts
+    in
+    let parts = String.split_on_char '|' s in
+    if List.length parts <> List.length payloads then None
+    else map_opt fraction_list parts
+  in
   (* Folds are independent (no randomness is consumed past corpus
      generation), so they fan across the domain pool; each fold sweeps
      every (variant, fraction) incrementally and returns its confusion
-     matrices, which are merged in fold order after the join. *)
+     matrices, which are merged in fold order after the join.  Under a
+     checkpoint, completed folds are restored instead of recomputed. *)
   let fold_results =
-    Spamlab_parallel.Pool.map_array (Lab.pool lab)
+    Lab.checkpointed_map lab ~stage:"dictionary/fold" ~encode ~decode
       (fun (train, test) ->
         Spamlab_obs.Obs.span "dictionary.fold" @@ fun () ->
         let base = Poison.base_filter tokenizer train in

@@ -54,29 +54,69 @@ let outcome_of_counts ham unsure spam =
    after the join — are identical at any jobs setting. *)
 let sweep lab (params : Params.focused) ~stream_name ~xs ~attack_of =
   let pool = Lab.pool lab in
-  let setups =
-    Spamlab_parallel.Pool.map_array pool
-      (fun rep ->
-        Spamlab_obs.Obs.span "focused.setup" @@ fun () ->
-        make_setup lab
-          ~name:(Printf.sprintf "%s/rep-%d/corpus" stream_name rep)
-          params)
-      (Array.init params.repetitions (fun rep -> rep))
+  (* Per-repetition environments are built by the [prepare] hook, which
+     under a checkpoint sees only the (rep, target) pairs that still
+     need computing — so a mostly-restored resume trains only the
+     inboxes it actually touches.  Checkpoint-free runs prepare every
+     repetition, exactly as before. *)
+  let setups = Array.make params.repetitions None in
+  let prepare pairs =
+    let needed =
+      Array.to_list (Array.map fst pairs)
+      |> List.sort_uniq compare
+      |> List.filter (fun rep -> setups.(rep) = None)
+      |> Array.of_list
+    in
+    let built =
+      Spamlab_parallel.Pool.map_array pool
+        (fun rep ->
+          Spamlab_obs.Obs.span "focused.setup" @@ fun () ->
+          make_setup lab
+            ~name:(Printf.sprintf "%s/rep-%d/corpus" stream_name rep)
+            params)
+        needed
+    in
+    Array.iteri (fun j rep -> setups.(rep) <- Some built.(j)) needed
   in
   let pairs =
     Array.init
       (params.repetitions * params.targets)
       (fun i -> (i / params.targets, i mod params.targets))
   in
+  (* One checkpoint value per pair: the verdict at each x, one
+     character each. *)
+  let encode verdicts =
+    String.concat ""
+      (List.map
+         (function
+           | Label.Ham_v -> "h" | Label.Unsure_v -> "u" | Label.Spam_v -> "s")
+         verdicts)
+  in
+  let nxs = List.length xs in
+  let decode _pair s =
+    if String.length s <> nxs then None
+    else
+      String.fold_right
+        (fun c acc ->
+          Option.bind acc (fun vs ->
+              match c with
+              | 'h' -> Some (Label.Ham_v :: vs)
+              | 'u' -> Some (Label.Unsure_v :: vs)
+              | 's' -> Some (Label.Spam_v :: vs)
+              | _ -> None))
+        s (Some [])
+  in
   let verdicts =
-    Spamlab_parallel.Pool.map_array pool
+    Lab.checkpointed_map lab ~stage:stream_name ~prepare ~encode ~decode
       (fun (rep, target_index) ->
         Spamlab_obs.Obs.span "focused.cell" @@ fun () ->
         let rng =
           Lab.rng lab
             (Printf.sprintf "%s/rep-%d/target-%d" stream_name rep target_index)
         in
-        let setup = setups.(rep) in
+        let setup =
+          match setups.(rep) with Some s -> s | None -> assert false
+        in
         let target = Generator.ham (Lab.config lab) rng in
         List.map
           (fun x ->

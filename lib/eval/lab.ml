@@ -18,12 +18,15 @@ type t = {
   messages_cache : (corpus_key, Corpus.Trec.labeled array) Hashtbl.t;
   examples_cache :
     (corpus_key * string, Corpus.Dataset.example array) Hashtbl.t;
+  checkpoint : Checkpoint.t option;
 }
 
 let cache_hit = Obs.counter "lab.corpus_cache.hit"
 let cache_miss = Obs.counter "lab.corpus_cache.miss"
+let checkpoint_hit = Obs.counter "checkpoint.hit"
+let checkpoint_miss = Obs.counter "checkpoint.miss"
 
-let create ?(seed = 42) ?(scale = 1.0) ?jobs () =
+let create ?(seed = 42) ?(scale = 1.0) ?jobs ?checkpoint () =
   let jobs =
     match jobs with
     | Some j -> (
@@ -45,11 +48,13 @@ let create ?(seed = 42) ?(scale = 1.0) ?jobs () =
     cache_lock = Mutex.create ();
     messages_cache = Hashtbl.create 16;
     examples_cache = Hashtbl.create 16;
+    checkpoint;
   }
 
 let seed t = t.seed
 let scale t = t.scale
 let jobs t = t.jobs
+let checkpoint t = t.checkpoint
 let config t = t.config
 let tokenizer t = t.tokenizer
 
@@ -144,3 +149,62 @@ let corpus t ~name ~size ~spam_fraction =
     (cached t.cache_lock t.examples_cache key (fun () ->
          Corpus.Dataset.of_labeled ~pool:(pool t) t.tokenizer
            (cached_messages t ~name ~size ~spam_fraction)))
+
+(* Checkpointed fan-out.  Without a checkpoint this is exactly
+   [Pool.map_array] (after the optional [prepare] over the full input),
+   so checkpoint-free runs stay byte-identical to pre-checkpoint
+   behavior.  With one, each index is first looked up under
+   "<stage>/<index>"; hits are decoded and skipped, misses go through
+   [prepare] (which sees only the missed items — the hook exists so
+   expensive shared setup can be scoped to what actually needs
+   computing) and then through the pool, each completed cell recording
+   its encoded result before the map returns.  A decode failure — a
+   corrupt value, or an encoding change — counts as a miss and is
+   recomputed, never trusted.
+
+   Correctness rests on the same contract as the pool itself: [f] is
+   pure per element with named-stream randomness, so computing only a
+   subset yields the same values the full map would have produced. *)
+let checkpointed_map (type a b) t ~stage ?prepare ~(encode : b -> string)
+    ~(decode : a -> string -> b option) (f : a -> b) (arr : a array) : b array
+    =
+  let run_prepare items =
+    match prepare with Some p -> p items | None -> ()
+  in
+  match t.checkpoint with
+  | None ->
+      run_prepare arr;
+      Spamlab_parallel.Pool.map_array (pool t) f arr
+  | Some ck ->
+      let n = Array.length arr in
+      let key i = Printf.sprintf "%s/%d" stage i in
+      let results = Array.make n None in
+      let misses = ref [] in
+      for i = n - 1 downto 0 do
+        match Checkpoint.find ck (key i) with
+        | Some v -> (
+            match decode arr.(i) v with
+            | Some r ->
+                Obs.incr checkpoint_hit;
+                results.(i) <- Some r
+            | None ->
+                Obs.incr checkpoint_miss;
+                misses := i :: !misses)
+        | None ->
+            Obs.incr checkpoint_miss;
+            misses := i :: !misses
+      done;
+      let miss_idx = Array.of_list !misses in
+      if Array.length miss_idx > 0 then begin
+        run_prepare (Array.map (fun i -> arr.(i)) miss_idx);
+        let computed =
+          Spamlab_parallel.Pool.map_array (pool t)
+            (fun i ->
+              let r = f arr.(i) in
+              Checkpoint.record ck ~key:(key i) ~value:(encode r);
+              r)
+            miss_idx
+        in
+        Array.iteri (fun j i -> results.(i) <- Some computed.(j)) miss_idx
+      end;
+      Array.map (function Some r -> r | None -> assert false) results

@@ -6,15 +6,21 @@
 
 type t
 
-val create : ?seed:int -> ?scale:float -> ?jobs:int -> unit -> t
+val create :
+  ?seed:int -> ?scale:float -> ?jobs:int -> ?checkpoint:Checkpoint.t ->
+  unit -> t
 (** Default seed 42, scale 1.0 (paper sizes — see {!Params}), jobs
     {!Spamlab_parallel.default_jobs} (the [SPAMLAB_JOBS] environment
     variable, else the machine's recommended domain count).  Results
-    are identical at every [jobs] value. *)
+    are identical at every [jobs] value.  [checkpoint] (default none)
+    makes {!checkpointed_map} fan-outs resumable; a lab without one
+    behaves exactly as before. *)
 
 val seed : t -> int
 val scale : t -> float
 val jobs : t -> int
+
+val checkpoint : t -> Checkpoint.t option
 val config : t -> Spamlab_corpus.Generator.config
 val tokenizer : t -> Spamlab_tokenizer.Tokenizer.t
 
@@ -52,3 +58,26 @@ val corpus_messages :
 (** Untokenized variant of {!corpus}; shares its message-level cache
     entry (so [corpus] then [corpus_messages] of one world generates
     once). *)
+
+val checkpointed_map :
+  t ->
+  stage:string ->
+  ?prepare:('a array -> unit) ->
+  encode:('b -> string) ->
+  decode:('a -> string -> 'b option) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** {!Spamlab_parallel.Pool.map_array} over the lab pool, made
+    resumable when the lab has a checkpoint.  Each element's result is
+    recorded under key ["<stage>/<index>"] as [encode result]; on a
+    later run, recorded cells are restored via [decode item value]
+    (bumping [checkpoint.hit]) and only the rest are computed
+    ([checkpoint.miss]).  [decode] returning [None] — corrupt or
+    stale value — falls back to recomputation.  [prepare] runs once
+    before any computation with exactly the items that will be
+    computed (the full array when there is no checkpoint): hang
+    expensive shared setup there so a fully-restored sweep skips it.
+    Requires [f] pure per element with named-stream randomness, like
+    every pool map; given that, a resumed run returns byte-identical
+    results to an uninterrupted one. *)

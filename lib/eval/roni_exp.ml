@@ -66,21 +66,27 @@ let run lab (params : Params.roni) =
   Spamlab_spambayes.Intern.freeze ();
   (* Every RONI query (train/validate resampling trials over the shared
      pool) is independent; each derives its own named randomness stream
-     and the whole query population fans across the domain pool. *)
+     and the whole query population fans across the domain pool.  Only
+     the two group-level facts survive per query — mean ham impact and
+     whether it crossed the rejection threshold — so that pair is also
+     the checkpoint wire value (hex float for exact round-trip). *)
   let assess_tokens stream tokens =
-    Roni.assess ~config (Lab.rng lab stream) ~pool ~candidate:tokens
+    let a = Roni.assess ~config (Lab.rng lab stream) ~pool ~candidate:tokens in
+    (a.Roni.mean_ham_impact, a.Roni.rejected)
   in
-  let impacts_of assessments =
-    Array.map (fun a -> a.Roni.mean_ham_impact) assessments
+  let encode (impact, rejected) = Printf.sprintf "%h %B" impact rejected in
+  let decode _item s =
+    Scanf.sscanf_opt s "%h %B%!" (fun impact rejected -> (impact, rejected))
   in
+  let impacts_of assessments = Array.map fst assessments in
   let rejections_of assessments =
     Array.fold_left
-      (fun acc a -> if a.Roni.rejected then acc + 1 else acc)
+      (fun acc (_, rejected) -> if rejected then acc + 1 else acc)
       0 assessments
   in
   (* Non-attack queries: fresh ordinary spam messages. *)
   let non_attack_assessments =
-    Spamlab_parallel.Pool.map_array (Lab.pool lab)
+    Lab.checkpointed_map lab ~stage:"roni/non-attack" ~encode ~decode
       (fun i ->
         Spamlab_obs.Obs.span "roni.non_attack" @@ fun () ->
         let stream = Printf.sprintf "roni/non-attack-%d" i in
@@ -98,27 +104,32 @@ let run lab (params : Params.roni) =
       (rejections_of non_attack_assessments)
   in
   (* Attack queries: attack_repetitions assessments per variant, flattened
-     into one fan-out.  Payloads are built before the fan-out (the lab's
-     word-source caches are not domain-safe). *)
+     into one fan-out.  Payloads are built by the [prepare] hook, before
+     any fan-out but only when some query actually needs computing (the
+     lab's word-source caches are not domain-safe, and a fully-restored
+     resume should not tokenize seven dictionaries). *)
   let variants = attack_variants lab in
-  let payloads =
-    Array.of_list
-      (List.map
-         (fun attack -> (Attack.name attack, Attack.payload tokenizer attack))
-         variants)
+  let payloads = ref [||] in
+  let prepare _queries =
+    payloads :=
+      Array.of_list
+        (List.map
+           (fun attack ->
+             (Attack.name attack, Attack.payload tokenizer attack))
+           variants);
+    Spamlab_spambayes.Intern.freeze ()
   in
-  Spamlab_spambayes.Intern.freeze ();
   let queries =
     Array.init
-      (Array.length payloads * params.attack_repetitions)
+      (List.length variants * params.attack_repetitions)
       (fun i ->
         (i / params.attack_repetitions, i mod params.attack_repetitions))
   in
   let attack_assessments =
-    Spamlab_parallel.Pool.map_array (Lab.pool lab)
+    Lab.checkpointed_map lab ~stage:"roni/attack" ~prepare ~encode ~decode
       (fun (variant, repetition) ->
         Spamlab_obs.Obs.span "roni.attack" @@ fun () ->
-        let name, payload = payloads.(variant) in
+        let name, payload = !payloads.(variant) in
         assess_tokens
           (Printf.sprintf "roni/attack-%s/rep-%d" name repetition)
           payload)

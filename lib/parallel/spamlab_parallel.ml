@@ -12,6 +12,7 @@
 
 module Obs = Spamlab_obs.Obs
 module Clock = Spamlab_obs.Clock
+module Fault = Spamlab_fault
 
 (* Every entry point that accepts a jobs count — [--jobs] in bin/spamlab
    and bench/main, the [SPAMLAB_JOBS] environment variable, and
@@ -37,8 +38,56 @@ let default_jobs () =
       | Error msg -> invalid_arg msg)
   | None -> Domain.recommended_domain_count ()
 
+exception Task_failed of { site : string; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { site; attempts } ->
+        Some
+          (Printf.sprintf
+             "Spamlab_parallel.Task_failed(site %s, %d attempts)" site attempts)
+    | _ -> None)
+
+let max_attempts = 3
+
 module Pool = struct
   type task = unit -> unit
+
+  let retried = Obs.counter "fault.retried"
+  let drained_failures = Obs.counter "pool.drained_failures"
+
+  (* Task-level supervision: evaluate one element, retrying faults
+     classified transient up to [max_attempts] total attempts.  The
+     backoff is a deterministic [Domain.cpu_relax] spin — no clock, no
+     randomness — so supervised maps keep the pool's reproducibility
+     contract.  A transient fault that persists through every attempt
+     becomes a typed [Task_failed] carrying the site and attempt count,
+     which then propagates through the map's usual lowest-index
+     exception path; non-transient exceptions propagate unchanged on
+     the first attempt. *)
+  let eval_element f x =
+    let backoff attempt =
+      for _ = 1 to 1 lsl min attempt 10 do
+        Domain.cpu_relax ()
+      done
+    in
+    let rec attempt n =
+      match
+        Fault.check "pool.task";
+        f x
+      with
+      | v -> v
+      | exception (Fault.Injected { site; _ } as exn)
+        when Fault.is_transient exn ->
+          if n >= max_attempts then
+            raise (Task_failed { site; attempts = n })
+          else begin
+            Obs.incr retried;
+            backoff n;
+            attempt (n + 1)
+          end
+    in
+    attempt 1
 
   type t = {
     jobs : int;
@@ -92,8 +141,12 @@ module Pool = struct
       | None -> ()
       | Some task ->
           (* Tasks are wrapped by [map_array] and never raise; the guard
-             keeps a buggy direct submission from killing the worker. *)
-          (try task () with _ -> ());
+             keeps a buggy direct submission from killing the worker —
+             but resource exhaustion must never be masked, and swallowed
+             failures must at least leave a trace. *)
+          (try task () with
+          | (Out_of_memory | Stack_overflow) as exn -> raise exn
+          | _ -> Obs.incr drained_failures);
           loop ()
     in
     loop ()
@@ -155,7 +208,8 @@ module Pool = struct
   let map_array t f arr =
     let n = Array.length arr in
     if n = 0 then [||]
-    else if t.jobs = 1 || n = 1 || in_worker () then Array.map f arr
+    else if t.jobs = 1 || n = 1 || in_worker () then
+      Array.map (eval_element f) arr
     else
       Obs.span "pool.map" @@ fun () ->
       let results = Array.make n None in
@@ -188,7 +242,7 @@ module Pool = struct
           (* Per-domain claim count: the metrics dump turns these into a
              pool-utilization distribution. *)
           Obs.tick "pool.item";
-          (match f arr.(i) with
+          (match eval_element f arr.(i) with
           | v -> results.(i) <- Some v
           | exception exn ->
               record_failure i exn (Printexc.get_raw_backtrace ()));

@@ -23,6 +23,16 @@ val default_jobs : unit -> int
     @raise Invalid_argument if [SPAMLAB_JOBS] does not parse as a
     positive int. *)
 
+exception Task_failed of { site : string; attempts : int }
+(** A pool task kept failing with transient faults through every
+    supervised attempt.  Carries the fault site and the total attempt
+    count; propagates from {!Pool.map_array} via the usual
+    lowest-raising-index rule. *)
+
+val max_attempts : int
+(** Total attempts per element under supervision (first run plus
+    retries); currently 3. *)
+
 module Pool : sig
   type t
 
@@ -39,6 +49,17 @@ module Pool : sig
       backtrace); which exception propagates does not depend on
       scheduling.  Nested calls from inside a worker fall back to the
       sequential path rather than deadlocking.
+
+      Every element is evaluated under task supervision: the
+      {!Spamlab_fault} site ["pool.task"] is checked before each
+      attempt, and faults classified transient
+      ({!Spamlab_fault.is_transient}) are retried with a deterministic
+      [Domain.cpu_relax] backoff, up to {!max_attempts} total attempts
+      — each retry bumps the [fault.retried] obs counter.  An element
+      still failing transiently after the last attempt raises
+      {!Task_failed}.  Supervision applies identically on the
+      sequential fallback path, so retried runs remain
+      jobs-invariant.
 
       When {!Spamlab_obs.Obs} is enabled, parallel maps record a
       [pool.map] span, each submitted helper records [pool.queue_wait]

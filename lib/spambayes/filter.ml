@@ -51,16 +51,54 @@ let score t msg = (classify t msg).Classify.indicator
 
 let token_score t token = Score.smoothed t.options t.db token
 
+(* Crash-safe persistence: serialize, write to a sibling temp file,
+   fsync, then atomically rename over the destination.  A crash at any
+   point leaves either the old file or the new one — never a torn
+   half-write — and the fsync-before-rename ordering means the rename
+   can't land before the data it names.  The two fault sites bracket
+   the vulnerable window: [db.save.write] fires mid-write (simulating
+   a torn write to the temp file), [db.save.rename] fires after the
+   temp file is durable but before it is published. *)
 let save_file t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Token_db.save oc t.db)
+  let data = Token_db.to_string t.db in
+  let tmp = path ^ ".tmp" in
+  let write () =
+    let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let oc = Unix.out_channel_of_descr fd in
+        let half = String.length data / 2 in
+        output_substring oc data 0 half;
+        flush oc;
+        Spamlab_fault.check "db.save.write";
+        output_substring oc data half (String.length data - half);
+        flush oc;
+        Unix.fsync fd)
+  in
+  (match write () with
+  | () -> ()
+  | exception exn ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise exn);
+  Spamlab_fault.check "db.save.rename";
+  Sys.rename tmp path;
+  (* Make the rename itself durable.  Directory fsync is not portable
+     everywhere, so failure to open or sync the directory is not an
+     error — the data file itself is already synced. *)
+  match Unix.openfile (Filename.dirname path) [ O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dirfd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close dirfd)
+        (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())
 
 let load_file ?(options = Options.default)
     ?(tokenizer = Spamlab_tokenizer.Tokenizer.spambayes) path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      Result.map (fun db -> { options; tokenizer; db }) (Token_db.load ic))
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          Result.map (fun db -> { options; tokenizer; db }) (Token_db.load ic))

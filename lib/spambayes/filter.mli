@@ -58,10 +58,16 @@ val token_score : t -> string -> float
 
 val save_file : t -> string -> unit
 (** Persist the token database (options and tokenizer choice are code,
-    not data). *)
+    not data).  Crash-safe: the bytes are written to [path ^ ".tmp"],
+    fsynced, and atomically renamed over [path], so an interrupted save
+    leaves the previous file intact rather than a torn half-write.
+    Fault sites: [db.save.write] (mid-write to the temp file) and
+    [db.save.rename] (durable temp, not yet published). *)
 
 val load_file :
   ?options:Options.t ->
   ?tokenizer:Spamlab_tokenizer.Tokenizer.t ->
   string ->
   (t, string) result
+(** Strict load (see {!Token_db.of_string}).  A missing or unreadable
+    file is [Error], not an exception. *)

@@ -304,22 +304,6 @@ let unescape_token s =
     loop 0
   end
 
-let save oc t =
-  Printf.fprintf oc "spamlab-token-db 2 %d %d\n" t.nspam t.nham;
-  (* Sorted output makes the format canonical and diffable — and
-     independent of id assignment order, so saves are byte-identical
-     across runs and jobs settings. *)
-  let entries =
-    fold (fun acc token ~spam ~ham -> (token, spam, ham) :: acc) [] t
-  in
-  let entries =
-    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) entries
-  in
-  List.iter
-    (fun (token, spam, ham) ->
-      Printf.fprintf oc "%s\t%d\t%d\n" (escape_token token) spam ham)
-    entries
-
 (* Load-side write of one entry into a fresh (unshared) db.  A line with
    both counts zero is accepted but not retained: the count arrays
    cannot distinguish "present with zero counts" from "absent", and
@@ -334,59 +318,239 @@ let set_counts t token ~spam ~ham =
     t.distinct <- t.distinct + 1
   end
 
-let load ic =
-  let ( let* ) r f = Result.bind r f in
-  match In_channel.input_line ic with
-  | None -> Error "empty token-db file"
-  | Some header -> (
-      match String.split_on_char ' ' header with
-      | [ "spamlab-token-db"; ("1" | "2") as version; nspam; nham ] -> (
+(* CRC-32 (IEEE 802.3, polynomial 0xedb88320), table-driven.  The v3
+   footer checksums the header and every entry line, so a truncated or
+   bit-flipped save is detected instead of loaded as a silently wrong
+   database.  The table is built eagerly: saves can in principle happen
+   off the main domain, and [Lazy.force] is not domain-safe. *)
+let crc_table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let crc_init = 0xffffffff
+let crc_finish reg = reg lxor 0xffffffff
+
+let crc_feed reg s =
+  let reg = ref reg in
+  String.iter
+    (fun ch ->
+      reg := crc_table.((!reg lxor Char.code ch) land 0xff) lxor (!reg lsr 8))
+    s;
+  !reg
+
+let footer_prefix = "#spamlab-db-footer "
+
+let entries_sorted t =
+  (* Sorted output makes the format canonical and diffable — and
+     independent of id assignment order, so saves are byte-identical
+     across runs and jobs settings. *)
+  let entries =
+    fold (fun acc token ~spam ~ham -> (token, spam, ham) :: acc) [] t
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) entries
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "spamlab-token-db 3 %d %d\n" t.nspam t.nham);
+  let entries = entries_sorted t in
+  List.iter
+    (fun (token, spam, ham) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%d\t%d\n" (escape_token token) spam ham))
+    entries;
+  let crc = crc_finish (crc_feed crc_init (Buffer.contents buf)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%scrc32=%08x entries=%d\n" footer_prefix crc
+       (List.length entries));
+  Buffer.contents buf
+
+let save oc t = output_string oc (to_string t)
+
+type verify_report = {
+  version : int;
+  nspam : int;
+  nham : int;
+  entries : int;
+  checksum : [ `Ok | `Absent ];
+}
+
+type salvage = {
+  db : t;
+  version : int;
+  kept : int;
+  dropped : int;
+  checksum_ok : bool option;
+}
+
+let parse_header line =
+  match String.split_on_char ' ' line with
+  | [ "spamlab-token-db"; version; nspam; nham ] -> (
+      match int_of_string_opt version with
+      | Some ((1 | 2 | 3) as v) -> (
           match (int_of_string_opt nspam, int_of_string_opt nham) with
           | Some nspam, Some nham when nspam >= 0 && nham >= 0 ->
-              let t = create () in
-              t.nspam <- nspam;
-              t.nham <- nham;
-              let seen = Hashtbl.create 4096 in
-              let decode_token raw =
-                (* Version 1 wrote tokens verbatim (and could not contain
-                   the delimiters it would have corrupted on), so its
-                   tokens must not be unescaped. *)
-                if version = "1" then Ok raw else unescape_token raw
-              in
-              let entry line =
-                match String.split_on_char '\t' line with
-                | [ raw; spam; ham ] -> (
-                    let* token = decode_token raw in
-                    match (int_of_string_opt spam, int_of_string_opt ham) with
-                    | Some spam, Some ham ->
-                        if spam < 0 || ham < 0 then
-                          Error
-                            (Printf.sprintf "negative count on line %S" line)
-                        else if spam > nspam || ham > nham then
-                          Error
-                            (Printf.sprintf
-                               "count exceeds header message totals on line \
-                                %S"
-                               line)
-                        else Ok (token, spam, ham)
-                    | _ -> Error (Printf.sprintf "bad counts on line %S" line)
-                    )
-                | _ -> Error (Printf.sprintf "bad line %S" line)
-              in
-              let rec loop () =
-                match In_channel.input_line ic with
-                | None -> Ok t
-                | Some "" -> loop ()
-                | Some line ->
-                    let* token, spam, ham = entry line in
-                    if Hashtbl.mem seen token then
-                      Error (Printf.sprintf "duplicate token %S" token)
-                    else begin
-                      Hashtbl.replace seen token ();
-                      set_counts t token ~spam ~ham;
-                      loop ()
-                    end
-              in
-              loop ()
+              Ok (v, nspam, nham)
           | _ -> Error "bad message counts in header")
-      | _ -> Error "not a spamlab token-db file")
+      | Some v -> Error (Printf.sprintf "unsupported token-db version %d" v)
+      | None -> Error "not a spamlab token-db file")
+  | _ -> Error "not a spamlab token-db file"
+
+let parse_footer line =
+  Scanf.sscanf_opt line "#spamlab-db-footer crc32=%x entries=%d%!"
+    (fun crc entries -> (crc, entries))
+
+(* One entry line, validated against the header totals.  Shared by the
+   strict and salvage parsers. *)
+let parse_entry ~version ~nspam ~nham line =
+  let ( let* ) r f = Result.bind r f in
+  match String.split_on_char '\t' line with
+  | [ raw; spam; ham ] -> (
+      (* Version 1 wrote tokens verbatim (and could not contain the
+         delimiters it would have corrupted on), so its tokens must not
+         be unescaped. *)
+      let* token = if version = 1 then Ok raw else unescape_token raw in
+      match (int_of_string_opt spam, int_of_string_opt ham) with
+      | Some spam, Some ham ->
+          if spam < 0 || ham < 0 then
+            Error (Printf.sprintf "negative count on line %S" line)
+          else if spam > nspam || ham > nham then
+            Error
+              (Printf.sprintf "count exceeds header message totals on line %S"
+                 line)
+          else Ok (token, spam, ham)
+      | _ -> Error (Printf.sprintf "bad counts on line %S" line))
+  | _ -> Error (Printf.sprintf "bad line %S" line)
+
+let parse_strict s =
+  let ( let* ) r f = Result.bind r f in
+  if String.trim s = "" then Error "empty token-db file"
+  else
+    let header, rest =
+      match String.split_on_char '\n' s with
+      | header :: rest -> (header, rest)
+      | [] -> assert false
+    in
+    let* version, nspam, nham = parse_header header in
+    let t = create () in
+    t.nspam <- nspam;
+    t.nham <- nham;
+    let seen = Hashtbl.create 4096 in
+    let crc = ref (crc_feed crc_init (header ^ "\n")) in
+    let entries = ref 0 in
+    let footer = ref None in
+    let finish () =
+      match !footer with
+      | None ->
+          if version >= 3 then
+            Error "truncated file: missing checksum footer"
+          else
+            Ok { version; nspam; nham; entries = !entries; checksum = `Absent }
+      | Some (fcrc, fentries) ->
+          if fentries <> !entries then
+            Error
+              (Printf.sprintf
+                 "entry count mismatch: footer says %d, file has %d" fentries
+                 !entries)
+          else if fcrc <> crc_finish !crc then
+            Error "checksum mismatch: file is corrupted or truncated"
+          else Ok { version; nspam; nham; entries = !entries; checksum = `Ok }
+    in
+    let rec loop = function
+      | [] -> finish ()
+      | line :: rest when !footer <> None ->
+          if line = "" then loop rest
+          else Error "content after checksum footer"
+      | line :: rest when String.starts_with ~prefix:footer_prefix line -> (
+          match parse_footer line with
+          | Some f ->
+              footer := Some f;
+              loop rest
+          | None -> Error (Printf.sprintf "bad footer line %S" line))
+      | "" :: rest ->
+          (* v1/v2 tolerated blank lines; under a checksum they count as
+             bytes, and [to_string] never writes one, so a v3 file with
+             a blank line fails the CRC comparison at the footer. *)
+          crc := crc_feed !crc "\n";
+          loop rest
+      | line :: rest ->
+          crc := crc_feed !crc (line ^ "\n");
+          let* token, spam, ham = parse_entry ~version ~nspam ~nham line in
+          if Hashtbl.mem seen token then
+            Error (Printf.sprintf "duplicate token %S" token)
+          else begin
+            Hashtbl.replace seen token ();
+            set_counts t token ~spam ~ham;
+            incr entries;
+            loop rest
+          end
+    in
+    (* The final "" produced by a trailing newline is consumed by the
+       blank-line cases; it only feeds the CRC before the footer, where
+       a genuine v3 file never has it. *)
+    let rest =
+      match List.rev rest with "" :: r -> List.rev r | _ -> rest
+    in
+    Result.map (fun report -> (t, report)) (loop rest)
+
+(* The "never raises" guarantee: anything the parser throws (it should
+   not, but corrupt input earns paranoia) becomes [Error] — except
+   resource exhaustion, which must propagate. *)
+let guard f =
+  match f () with
+  | r -> r
+  | exception ((Out_of_memory | Stack_overflow) as exn) -> raise exn
+  | exception exn -> Error ("token-db parse error: " ^ Printexc.to_string exn)
+
+let of_string s = guard (fun () -> Result.map fst (parse_strict s))
+let verify_string s = guard (fun () -> Result.map snd (parse_strict s))
+
+let salvage_string s =
+  guard @@ fun () ->
+  if String.trim s = "" then Error "empty token-db file"
+  else
+    let header, rest =
+      match String.split_on_char '\n' s with
+      | header :: rest -> (header, rest)
+      | [] -> assert false
+    in
+    match parse_header header with
+    | Error e -> Error e
+    | Ok (version, nspam, nham) ->
+        let t = create () in
+        t.nspam <- nspam;
+        t.nham <- nham;
+        let seen = Hashtbl.create 4096 in
+        let kept = ref 0 and dropped = ref 0 in
+        let crc = ref (crc_feed crc_init (header ^ "\n")) in
+        let footer = ref None in
+        List.iter
+          (fun line ->
+            if line = "" then ()
+            else if String.starts_with ~prefix:footer_prefix line then
+              match parse_footer line with
+              | Some f -> footer := Some f
+              | None -> incr dropped
+            else begin
+              if !footer = None then crc := crc_feed !crc (line ^ "\n");
+              match parse_entry ~version ~nspam ~nham line with
+              | Ok (token, spam, ham) when not (Hashtbl.mem seen token) ->
+                  Hashtbl.replace seen token ();
+                  set_counts t token ~spam ~ham;
+                  incr kept
+              | Ok _ | Error _ -> incr dropped
+            end)
+          rest;
+        let checksum_ok =
+          Option.map (fun (fcrc, _) -> fcrc = crc_finish !crc) !footer
+        in
+        Ok { db = t; version; kept = !kept; dropped = !dropped; checksum_ok }
+
+let load ic =
+  match In_channel.input_all ic with
+  | s -> of_string s
+  | exception Sys_error e -> Error e

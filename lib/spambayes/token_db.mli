@@ -89,20 +89,61 @@ val iter : (string -> spam:int -> ham:int -> unit) -> t -> unit
 
 val fold : ('a -> string -> spam:int -> ham:int -> 'a) -> 'a -> t -> 'a
 
+val to_string : t -> string
+(** The saved byte representation, format version 3: a header line
+    [spamlab-token-db 3 nspam nham], one [token<TAB>spam<TAB>ham] line
+    per token sorted by token, then a footer line
+    [#spamlab-db-footer crc32=XXXXXXXX entries=N] where the CRC-32
+    (IEEE) covers every preceding byte and [N] is the entry-line count
+    — so truncation and bit flips are detectable on load.  Backslash,
+    tab, newline, and carriage return inside tokens are escaped as
+    [\\], [\t], [\n], [\r] — tokens come from attacker-controlled email
+    bodies, so they can contain the format's own delimiters.  Ids are
+    resolved back to strings and sorted, so the bytes are independent
+    of interning order. *)
+
 val save : out_channel -> t -> unit
-(** Line-oriented text format, version 2: a header line
-    [spamlab-token-db 2 nspam nham], then one [token<TAB>spam<TAB>ham]
-    line per token, sorted by token.  Backslash, tab, newline, and
-    carriage return inside tokens are escaped as [\\], [\t], [\n], [\r]
-    — tokens come from attacker-controlled email bodies, so they can
-    contain the format's own delimiters.  Ids are resolved back to
-    strings and sorted, so the bytes are independent of interning
-    order. *)
+(** [output_string oc (to_string t)].  For atomic on-disk persistence
+    use {!Filter.save_file}, which writes to a temp file, fsyncs, and
+    renames. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of versions 1 (legacy, verbatim tokens), 2 (escaped),
+    and 3 (escaped + checksum footer).  Returns [Error] — never a
+    silently-corrupt database, and never an exception (resource
+    exhaustion aside) — on a malformed header or line, a bad escape
+    sequence, a negative count, a per-token count exceeding the
+    header's message totals, a duplicate token line, and (v3) a missing
+    footer, an entry-count mismatch, or a checksum mismatch.  A line
+    with both counts zero is accepted but not retained (see the
+    representation note above). *)
 
 val load : in_channel -> (t, string) result
-(** Reads version 2 (escaped) and version 1 (legacy, verbatim tokens)
-    files.  Returns [Error] — never a silently-corrupt database — on a
-    malformed header or line, a bad escape sequence, a negative count, a
-    per-token count exceeding the header's message totals, or a
-    duplicate token line.  A line with both counts zero is accepted but
-    not retained (see the representation note above). *)
+(** {!of_string} on the channel's remaining contents.  I/O errors
+    become [Error]; this function never raises. *)
+
+type verify_report = {
+  version : int;
+  nspam : int;
+  nham : int;
+  entries : int;
+  checksum : [ `Ok | `Absent ];  (** [`Absent] for v1/v2 (no footer). *)
+}
+
+val verify_string : string -> (verify_report, string) result
+(** Strict parse (exactly {!of_string}'s validation), reporting what
+    was checked instead of the database.  Backs [spamlab db verify]. *)
+
+type salvage = {
+  db : t;  (** Everything recoverable: all well-formed entry lines. *)
+  version : int;
+  kept : int;  (** Entry lines recovered into [db]. *)
+  dropped : int;  (** Malformed or duplicate lines discarded. *)
+  checksum_ok : bool option;
+      (** [None] when no footer was found (v1/v2 or truncated v3). *)
+}
+
+val salvage_string : string -> (salvage, string) result
+(** Best-effort partial recovery from a corrupt save: keeps every
+    parseable entry line, drops the rest, and reports the damage.
+    [Error] only when the header itself is unusable.  Never raises. *)

@@ -233,4 +233,120 @@ let cli_tests =
           (counters1 = counters4));
   ]
 
-let () = Alcotest.run "cli" [ ("cli", cli_tests) ]
+(* Fault tolerance at the CLI boundary: db verify, graceful errors,
+   quarantine, fault injection and checkpoint resume. *)
+let robustness_tests =
+  let read_stderr () =
+    In_channel.with_open_text (in_tmp "stderr") In_channel.input_all
+  in
+  [
+    test_case "db verify accepts a freshly trained database" (fun () ->
+        check_int "exit" 0 (run_command [ "db"; "verify"; db_file ]);
+        let out = read_output () in
+        check_bool "ok" true (contains out ": ok");
+        check_bool "version" true (contains out "format version: 3");
+        check_bool "checksum" true (contains out "checksum:       ok"));
+    test_case "db verify detects a flipped byte, with salvage stats"
+      (fun () ->
+        let bad = in_tmp "bad.db" in
+        let contents =
+          In_channel.with_open_bin db_file In_channel.input_all
+        in
+        let b = Bytes.of_string contents in
+        let pos = Bytes.length b / 2 in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+        Out_channel.with_open_bin bad (fun oc ->
+            Out_channel.output_bytes oc b);
+        check_bool "nonzero exit" true
+          (run_command [ "db"; "verify"; bad ] <> 0);
+        let err = read_stderr () in
+        check_bool "names the problem" true
+          (contains err "corrupt token database");
+        check_bool "reports salvage" true (contains err "salvageable"));
+    test_case "db verify on a missing file fails cleanly" (fun () ->
+        check_bool "nonzero exit" true
+          (run_command [ "db"; "verify"; in_tmp "nope.db" ] <> 0);
+        check_bool "no backtrace" false
+          (contains (read_stderr ()) "Fatal error"));
+    test_case "classify against a missing database fails cleanly" (fun () ->
+        check_bool "nonzero exit" true
+          (run_command
+             [ "classify"; "--db"; in_tmp "nope.db"; in_tmp "one_ham.eml" ]
+          <> 0);
+        let err = read_stderr () in
+        check_bool "names the file" true (contains err "nope.db");
+        check_bool "no backtrace" false (contains err "Fatal error"));
+    test_case "train quarantines unparseable messages and proceeds"
+      (fun () ->
+        let bad_spam = in_tmp "bad_spam.mbox" in
+        let good =
+          In_channel.with_open_text spam_mbox In_channel.input_all
+        in
+        Out_channel.with_open_text bad_spam (fun oc ->
+            Out_channel.output_string oc good;
+            (* One mbox chunk that is not an RFC 2822 message. *)
+            Out_channel.output_string oc
+              "From intruder@example.com\nthis line is no header\n\n");
+        let quarantine_db = in_tmp "quarantine.db" in
+        check_int "exit" 0
+          (run_command
+             [ "train"; "--ham"; ham_mbox; "--spam"; bad_spam; "--db";
+               quarantine_db ]);
+        check_bool "warned" true
+          (contains (read_stderr ()) "quarantined 1 unparseable");
+        match Spamlab_spambayes.Filter.load_file quarantine_db with
+        | Ok filter ->
+            check_int "trained on the surviving 400" 400
+              (Spamlab_spambayes.Token_db.nham
+                 (Spamlab_spambayes.Filter.db filter)
+              + Spamlab_spambayes.Token_db.nspam
+                  (Spamlab_spambayes.Filter.db filter))
+        | Error e -> Alcotest.fail e);
+    test_case "experiment rejects a malformed --fault-spec" (fun () ->
+        check_bool "nonzero exit" true
+          (run_command
+             [ "experiment"; "table1"; "--fault-spec"; "pool.task:sometimes" ]
+          <> 0);
+        check_bool "cites the grammar" true
+          (contains (read_stderr ()) "fault spec"));
+    test_case "experiment rejects --resume without --checkpoint" (fun () ->
+        check_bool "nonzero exit" true
+          (run_command [ "experiment"; "table1"; "--resume" ] <> 0);
+        check_bool "explains" true
+          (contains (read_stderr ()) "--resume requires --checkpoint"));
+    test_case "transient faults leave experiment output byte-identical"
+      (fun () ->
+        check_int "exit" 0
+          (run_command [ "experiment"; "fig1"; "--scale"; "0.02" ]);
+        let clean = read_output () in
+        check_int "exit with faults" 0
+          (run_command
+             [ "experiment"; "fig1"; "--scale"; "0.02"; "--fault-spec";
+               "pool.task:transient@2+5" ]);
+        check_bool "byte-identical" true (read_output () = clean));
+    test_case "crash mid-sweep, then --resume, reproduces the output"
+      (fun () ->
+        check_int "baseline exit" 0
+          (run_command [ "experiment"; "fig1"; "--scale"; "0.02" ]);
+        let baseline = read_output () in
+        let ckpt = in_tmp "fig1.ckpt" in
+        (* The injected crash kills the process right after the second
+           grid point lands in the checkpoint. *)
+        check_int "killed with status 70" 70
+          (run_command
+             [ "experiment"; "fig1"; "--scale"; "0.02"; "--checkpoint"; ckpt;
+               "--fault-spec"; "checkpoint.record:crash@2" ]);
+        check_bool "injected crash announced" true
+          (contains (read_stderr ()) "injected crash at checkpoint.record");
+        check_bool "checkpoint survives the kill" true (Sys.file_exists ckpt);
+        check_int "resumed exit" 0
+          (run_command
+             [ "experiment"; "fig1"; "--scale"; "0.02"; "--checkpoint"; ckpt;
+               "--resume" ]);
+        check_bool "byte-identical to the uninterrupted run" true
+          (read_output () = baseline));
+  ]
+
+let () =
+  Alcotest.run "cli"
+    [ ("cli", cli_tests); ("robustness", robustness_tests) ]

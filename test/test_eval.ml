@@ -57,6 +57,27 @@ let confusion_tests =
         Confusion.add c Label.Ham Label.Ham_v;
         let s = Format.asprintf "%a" Confusion.pp c in
         check_bool "mentions gold" true (String.length s > 10));
+    test_case "cells/of_cells round-trip" (fun () ->
+        let c = Confusion.create () in
+        Confusion.add c Label.Ham Label.Ham_v;
+        Confusion.add c Label.Ham Label.Spam_v;
+        Confusion.add c Label.Spam Label.Unsure_v;
+        Confusion.add c Label.Spam Label.Spam_v;
+        match Confusion.of_cells (Confusion.cells c) with
+        | None -> Alcotest.fail "round-trip lost the matrix"
+        | Some c' ->
+            List.iter
+              (fun gold ->
+                List.iter
+                  (fun v ->
+                    check_int "cell" (Confusion.count c gold v)
+                      (Confusion.count c' gold v))
+                  [ Label.Ham_v; Label.Unsure_v; Label.Spam_v ])
+              [ Label.Ham; Label.Spam ]);
+    test_case "of_cells rejects bad shapes" (fun () ->
+        check_bool "short" true (Confusion.of_cells [| 1; 2 |] = None);
+        check_bool "negative" true
+          (Confusion.of_cells [| 0; 0; -1; 0; 0; 0 |] = None));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -479,6 +500,160 @@ let extension_tests =
           > 50));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint: the resumable-sweep substrate.                          *)
+
+let with_temp_ckpt f =
+  let path = Filename.temp_file "spamlab" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let opened ~path ~params ~resume f =
+  match Checkpoint.open_ ~path ~params ~resume with
+  | Error e -> Alcotest.fail e
+  | Ok ck -> Fun.protect ~finally:(fun () -> Checkpoint.close ck) (fun () -> f ck)
+
+let with_lab ?checkpoint f =
+  let lab = Lab.create ~seed:5 ~scale:0.05 ~jobs:2 ?checkpoint () in
+  Fun.protect ~finally:(fun () -> Lab.shutdown lab) (fun () -> f lab)
+
+let encode = string_of_int
+let decode _item s = int_of_string_opt s
+
+let checkpoint_tests =
+  [
+    test_case "record, find, last-wins, resume" (fun () ->
+        with_temp_ckpt (fun path ->
+            opened ~path ~params:"seed=1" ~resume:false (fun ck ->
+                check_bool "fresh" true (Checkpoint.find ck "a/0" = None);
+                Checkpoint.record ck ~key:"a/0" ~value:"41";
+                Checkpoint.record ck ~key:"a/1" ~value:"x y \"quoted\"\\n";
+                check_bool "found" true (Checkpoint.find ck "a/0" = Some "41");
+                (* Duplicate keys are legal; the last record wins. *)
+                Checkpoint.record ck ~key:"a/0" ~value:"42";
+                check_int "entries count distinct keys" 2
+                  (Checkpoint.entries ck);
+                check_bool "last wins" true
+                  (Checkpoint.find ck "a/0" = Some "42"));
+            opened ~path ~params:"seed=1" ~resume:true (fun ck ->
+                check_int "restored" 2 (Checkpoint.entries ck);
+                check_bool "value" true (Checkpoint.find ck "a/0" = Some "42");
+                check_bool "escapes round-trip" true
+                  (Checkpoint.find ck "a/1" = Some "x y \"quoted\"\\n"))));
+    test_case "params mismatch is refused on resume" (fun () ->
+        with_temp_ckpt (fun path ->
+            opened ~path ~params:"seed=1" ~resume:false (fun _ -> ());
+            check_bool "refused" true
+              (Result.is_error
+                 (Checkpoint.open_ ~path ~params:"seed=2" ~resume:true))));
+    test_case "resume=false truncates; missing file resumes fresh" (fun () ->
+        with_temp_ckpt (fun path ->
+            opened ~path ~params:"p" ~resume:false (fun ck ->
+                Checkpoint.record ck ~key:"k" ~value:"v");
+            opened ~path ~params:"p" ~resume:false (fun ck ->
+                check_int "truncated" 0 (Checkpoint.entries ck));
+            Sys.remove path;
+            opened ~path ~params:"p" ~resume:true (fun ck ->
+                check_int "fresh" 0 (Checkpoint.entries ck);
+                Checkpoint.record ck ~key:"k" ~value:"v")));
+    test_case "a torn trailing line is dropped, file stays appendable"
+      (fun () ->
+        with_temp_ckpt (fun path ->
+            opened ~path ~params:"p" ~resume:false (fun ck ->
+                Checkpoint.record ck ~key:"a" ~value:"1";
+                Checkpoint.record ck ~key:"b" ~value:"2");
+            (* Simulate a kill mid-write: half a record, no newline. *)
+            let oc =
+              open_out_gen [ Open_append; Open_binary ] 0o644 path
+            in
+            output_string oc "{\"k\":\"c\",\"va";
+            close_out oc;
+            opened ~path ~params:"p" ~resume:true (fun ck ->
+                check_int "torn line lost, rest kept" 2
+                  (Checkpoint.entries ck);
+                check_bool "torn key absent" true
+                  (Checkpoint.find ck "c" = None);
+                Checkpoint.record ck ~key:"c" ~value:"3");
+            opened ~path ~params:"p" ~resume:true (fun ck ->
+                check_int "record after tear survives" 3
+                  (Checkpoint.entries ck);
+                check_bool "c" true (Checkpoint.find ck "c" = Some "3"))));
+    test_case "checkpointed_map equals the plain map" (fun () ->
+        let input = Array.init 12 (fun i -> i) in
+        let plain =
+          with_lab (fun lab ->
+              Lab.checkpointed_map lab ~stage:"sq" ~encode ~decode
+                (fun i -> i * i)
+                input)
+        in
+        with_temp_ckpt (fun path ->
+            let fresh =
+              opened ~path ~params:"p" ~resume:false (fun ck ->
+                  with_lab ~checkpoint:ck (fun lab ->
+                      Lab.checkpointed_map lab ~stage:"sq" ~encode ~decode
+                        (fun i -> i * i)
+                        input))
+            in
+            check_bool "fresh checkpoint run" true (fresh = plain);
+            (* A full resume restores every cell: nothing recomputes. *)
+            let computed = Atomic.make 0 in
+            let resumed =
+              opened ~path ~params:"p" ~resume:true (fun ck ->
+                  with_lab ~checkpoint:ck (fun lab ->
+                      Lab.checkpointed_map lab ~stage:"sq" ~encode ~decode
+                        (fun i ->
+                          Atomic.incr computed;
+                          i * i)
+                        input))
+            in
+            check_bool "resumed run" true (resumed = plain);
+            check_int "no cell recomputed" 0 (Atomic.get computed)));
+    test_case "partial resume recomputes exactly the missing cells"
+      (fun () ->
+        let full = Array.init 10 (fun i -> i) in
+        let prefix = Array.sub full 0 4 in
+        with_temp_ckpt (fun path ->
+            (* A "killed" sweep: only the first four cells landed. *)
+            opened ~path ~params:"p" ~resume:false (fun ck ->
+                with_lab ~checkpoint:ck (fun lab ->
+                    ignore
+                      (Lab.checkpointed_map lab ~stage:"sq" ~encode ~decode
+                         (fun i -> i * i)
+                         prefix)));
+            let computed = Atomic.make 0 in
+            let prepared = ref [||] in
+            let resumed =
+              opened ~path ~params:"p" ~resume:true (fun ck ->
+                  with_lab ~checkpoint:ck (fun lab ->
+                      Lab.checkpointed_map lab ~stage:"sq"
+                        ~prepare:(fun misses -> prepared := misses)
+                        ~encode ~decode
+                        (fun i ->
+                          Atomic.incr computed;
+                          i * i)
+                        full))
+            in
+            check_bool "identical to an uninterrupted run" true
+              (resumed = Array.map (fun i -> i * i) full);
+            check_int "only the six missing cells ran" 6
+              (Atomic.get computed);
+            check_bool "prepare saw only the misses" true
+              (!prepared = Array.sub full 4 6)));
+    test_case "an undecodable record is treated as a miss" (fun () ->
+        with_temp_ckpt (fun path ->
+            let results =
+              opened ~path ~params:"p" ~resume:false (fun ck ->
+                  Checkpoint.record ck ~key:"sq/2" ~value:"rot";
+                  with_lab ~checkpoint:ck (fun lab ->
+                      Lab.checkpointed_map lab ~stage:"sq" ~encode ~decode
+                        (fun i -> i * i)
+                        [| 0; 1; 2 |]))
+            in
+            check_bool "recomputed over the rot" true
+              (results = [| 0; 1; 4 |])));
+  ]
+
 let () =
   Alcotest.run "eval"
     [
@@ -488,6 +663,7 @@ let () =
       ("params", params_tests);
       ("poison", poison_tests);
       ("lab", lab_tests);
+      ("checkpoint", checkpoint_tests);
       ("registry", registry_tests);
       ("extensions", extension_tests);
     ]

@@ -179,15 +179,31 @@ module Ref_db = struct
       token;
     Buffer.contents buf
 
-  (* An independent rendering of the v2 text format, for byte-level
+  (* Bitwise (non-table) CRC-32, deliberately a different algorithmic
+     shape from the table-driven one in [Token_db]. *)
+  let crc32 s =
+    let c = ref 0xffffffff in
+    String.iter
+      (fun ch ->
+        c := !c lxor Char.code ch;
+        for _ = 0 to 7 do
+          c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+        done)
+      s;
+    !c lxor 0xffffffff
+
+  (* An independent rendering of the v3 text format, for byte-level
      comparison against [Token_db.save]. *)
   let save_string t =
     let buf = Buffer.create 256 in
-    Printf.bprintf buf "spamlab-token-db 2 %d %d\n" t.nspam t.nham;
+    Printf.bprintf buf "spamlab-token-db 3 %d %d\n" t.nspam t.nham;
     Hashtbl.fold (fun tok c acc -> (tok, c) :: acc) t.counts []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     |> List.iter (fun (tok, (s, h)) ->
            Printf.bprintf buf "%s\t%d\t%d\n" (escape tok) s h);
+    Printf.bprintf buf "#spamlab-db-footer crc32=%08x entries=%d\n"
+      (crc32 (Buffer.contents buf))
+      (Hashtbl.length t.counts);
     Buffer.contents buf
 
   (* Classification from reference counts: strength-filter every token's

@@ -83,6 +83,83 @@ let pool_tests =
         check_int "result" 3 n);
   ]
 
+(* Task supervision: transient injected faults are retried up to
+   max_attempts deterministically; fatal ones surface unmasked. *)
+let supervision_tests =
+  let module Fault = Spamlab_fault in
+  let with_faults ?seed spec f =
+    match Fault.configure ?seed spec with
+    | Error e -> Alcotest.fail e
+    | Ok () -> Fun.protect ~finally:Fault.disable f
+  in
+  [
+    test_case "transient faults are retried to the same result" (fun () ->
+        let input = Array.init 64 (fun i -> i) in
+        let expected = Array.map (fun i -> i * i) input in
+        with_faults "pool.task:transient@2+7+40" (fun () ->
+            with_pool ~jobs:4 (fun pool ->
+                check_bool "identical despite faults" true
+                  (Pool.map_array pool (fun i -> i * i) input = expected))));
+    test_case "jobs-invariant under transient faults" (fun () ->
+        let input = Array.init 48 (fun i -> i) in
+        let run jobs =
+          with_faults "pool.task:transient@3+11" (fun () ->
+              with_pool ~jobs (fun pool ->
+                  Pool.map_array pool (fun i -> (2 * i) + 1) input))
+        in
+        check_bool "jobs 1 = jobs 4" true (run 1 = run 4));
+    test_case "retries are counted" (fun () ->
+        Spamlab_obs.Obs.enable_metrics ();
+        Spamlab_obs.Obs.reset ();
+        with_faults "pool.task:transient@2" (fun () ->
+            with_pool ~jobs:2 (fun pool ->
+                ignore
+                  (Pool.map_array pool succ (Array.init 16 (fun i -> i)))));
+        check_int "one retry recorded" 1
+          (Spamlab_obs.Obs.counter_value "fault.retried"));
+    test_case "persistent transient fault becomes Task_failed" (fun () ->
+        (* ~1 fires on every attempt, so supervision exhausts its
+           budget and surfaces a typed failure naming the site. *)
+        with_faults "pool.task:transient~1" (fun () ->
+            with_pool ~jobs:2 (fun pool ->
+                Alcotest.check_raises "typed failure"
+                  (Task_failed
+                     { site = "pool.task"; attempts = max_attempts })
+                  (fun () ->
+                    ignore (Pool.map_array pool succ [| 1; 2; 3 |])))));
+    test_case "fatal faults are not retried" (fun () ->
+        with_faults "pool.task:fatal@1" (fun () ->
+            with_pool ~jobs:2 (fun pool ->
+                check_bool "Injected surfaces" true
+                  (try
+                     ignore (Pool.map_array pool succ [| 1; 2; 3 |]);
+                     false
+                   with
+                  | Fault.Injected { kind = Fault.Fatal; _ } -> true
+                  | Task_failed _ -> false))));
+    test_case "sequential fallback retries too" (fun () ->
+        (* Nested maps run on the caller; supervision must behave the
+           same there as on workers. *)
+        with_faults "pool.task:transient@2" (fun () ->
+            with_pool ~jobs:2 (fun pool ->
+                let got =
+                  Pool.map_array pool
+                    (fun i ->
+                      Array.fold_left ( + ) 0
+                        (Pool.map_array pool succ [| i; i + 1 |]))
+                    [| 0; 4 |]
+                in
+                check_bool "values correct" true (got = [| 3; 11 |]))));
+    test_case "pool survives an exhausted retry budget" (fun () ->
+        with_faults "pool.task:transient~1" (fun () ->
+            with_pool ~jobs:2 (fun pool ->
+                (try ignore (Pool.map_array pool succ [| 1 |])
+                 with Task_failed _ -> ());
+                Fault.disable ();
+                check_bool "next map fine" true
+                  (Pool.map_array pool succ [| 1; 2 |] = [| 2; 3 |]))));
+  ]
+
 (* The one shared jobs-validation path behind --jobs, SPAMLAB_JOBS and
    Lab.create. *)
 let jobs_validation_tests =
@@ -177,6 +254,7 @@ let determinism_tests =
 let () =
   Alcotest.run "spamlab_parallel"
     [
-      ("pool", pool_tests); ("jobs-validation", jobs_validation_tests);
+      ("pool", pool_tests); ("supervision", supervision_tests);
+      ("jobs-validation", jobs_validation_tests);
       ("determinism", determinism_tests);
     ]

@@ -276,6 +276,175 @@ let token_db_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Persistence robustness: the v3 checksummed format, corruption
+   detection, salvage, and crash-safe atomic saves.                    *)
+
+let sample_db () =
+  db_with
+    [
+      (Label.Spam, [ "alpha"; "beta"; "cheap" ]);
+      (Label.Spam, [ "beta" ]);
+      (Label.Ham, [ "alpha"; "meeting" ]);
+      (Label.Ham, [ "gamma" ]);
+    ]
+
+let persistence_tests =
+  [
+    test_case "to_string carries a v3 checksum footer" (fun () ->
+        let s = Token_db.to_string (sample_db ()) in
+        check_bool "v3 header" true
+          (String.length s > 18 && String.sub s 0 18 = "spamlab-token-db 3");
+        check_bool "footer present" true
+          (let sub = "#spamlab-db-footer crc32=" in
+           let n = String.length s and m = String.length sub in
+           let rec scan i =
+             i + m <= n && (String.sub s i m = sub || scan (i + 1))
+           in
+           scan 0));
+    test_case "verify reports a clean v3 save" (fun () ->
+        let db = sample_db () in
+        match Token_db.verify_string (Token_db.to_string db) with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check_int "version" 3 r.Token_db.version;
+            check_int "nspam" 2 r.Token_db.nspam;
+            check_int "nham" 2 r.Token_db.nham;
+            check_int "entries" (Token_db.distinct_tokens db)
+              r.Token_db.entries;
+            check_bool "checksum ok" true (r.Token_db.checksum = `Ok));
+    test_case "verify accepts pre-v3 saves without a checksum" (fun () ->
+        match
+          Token_db.verify_string "spamlab-token-db 2 1 1\ntok\t1\t1\n"
+        with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check_int "version" 2 r.Token_db.version;
+            check_bool "checksum absent" true (r.Token_db.checksum = `Absent));
+    test_case "v3 without its footer is rejected" (fun () ->
+        let s = Token_db.to_string (sample_db ()) in
+        let footer_start =
+          let rec find i =
+            if String.sub s i 1 = "#" then i else find (i + 1)
+          in
+          find 0
+        in
+        let r = Token_db.of_string (String.sub s 0 footer_start) in
+        check_bool "error" true (Result.is_error r));
+    test_case "footer entry-count mismatch is rejected" (fun () ->
+        (* A correct CRC over a wrong count cannot happen by accident;
+           build it deliberately to pin the entry-count check. *)
+        let s = Token_db.to_string (sample_db ()) in
+        match Token_db.verify_string s with
+        | Error e -> Alcotest.fail e
+        | Ok _ ->
+            let broken =
+              (* Flip one digit of "entries=N" (final char before \n). *)
+              let b = Bytes.of_string s in
+              let pos = Bytes.length b - 2 in
+              Bytes.set b pos
+                (if Bytes.get b pos = '9' then '8' else '9');
+              Bytes.to_string b
+            in
+            check_bool "error" true
+              (Result.is_error (Token_db.of_string broken)));
+    qtest "load of any truncation never raises" ~count:200
+      QCheck2.Gen.(float_range 0.0 1.0)
+      (fun fraction ->
+        let s = Token_db.to_string (sample_db ()) in
+        let len =
+          int_of_float (fraction *. float_of_int (String.length s))
+        in
+        let truncated = String.sub s 0 (min len (String.length s)) in
+        match Token_db.of_string truncated with
+        | Ok _ | Error _ -> true);
+    qtest "any single corrupted byte is detected, never raises" ~count:200
+      QCheck2.Gen.(pair (float_range 0.0 1.0) (int_range 1 255))
+      (fun (pos_frac, mask) ->
+        let s = Token_db.to_string (sample_db ()) in
+        let pos =
+          min
+            (String.length s - 1)
+            (int_of_float (pos_frac *. float_of_int (String.length s)))
+        in
+        let b = Bytes.of_string s in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+        match Token_db.of_string (Bytes.to_string b) with
+        | Ok _ -> false (* a corrupt byte must not load silently *)
+        | Error _ -> true);
+    qtest "load of arbitrary bytes never raises" ~count:200
+      QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 64))
+      (fun garbage ->
+        match Token_db.of_string garbage with Ok _ | Error _ -> true);
+    test_case "salvage recovers the intact entries" (fun () ->
+        let db = sample_db () in
+        let s = Token_db.to_string db in
+        (* Mangle one entry line: "beta\t2\t0" -> "beta\tX\t0". *)
+        let broken =
+          let b = Bytes.of_string s in
+          let rec find i =
+            if Bytes.get b i = 'b' && Bytes.get b (i + 1) = 'e' then i
+            else find (i + 1)
+          in
+          let beta = find 0 in
+          Bytes.set b (beta + 5) 'X';
+          Bytes.to_string b
+        in
+        check_bool "strict load rejects" true
+          (Result.is_error (Token_db.of_string broken));
+        match Token_db.salvage_string broken with
+        | Error e -> Alcotest.fail e
+        | Ok s ->
+            check_int "version" 3 s.Token_db.version;
+            check_int "dropped the mangled line" 1 s.Token_db.dropped;
+            check_int "kept the rest"
+              (Token_db.distinct_tokens db - 1)
+              s.Token_db.kept;
+            check_bool "checksum failed" true
+              (s.Token_db.checksum_ok = Some false);
+            check_int "alpha spam intact" 1
+              (Token_db.spam_count s.Token_db.db "alpha");
+            check_int "beta lost" 0 (Token_db.spam_count s.Token_db.db "beta"));
+    test_case "Filter.save_file is atomic: a failed write leaves nothing"
+      (fun () ->
+        let module Fault = Spamlab_fault in
+        let dir = Filename.temp_file "spamlab" ".d" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        let path = Filename.concat dir "filter.db" in
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat dir f))
+              (Sys.readdir dir);
+            Sys.rmdir dir)
+          (fun () ->
+            let filter = Filter.create () in
+            Filter.train filter Label.Spam
+              (Message.make
+                 ~headers:(Header.of_list [ ("subject", "cheap pills") ])
+                 "cheap pills now");
+            (match Fault.configure "db.save.write:fatal@1" with
+            | Error e -> Alcotest.fail e
+            | Ok () -> ());
+            Fun.protect ~finally:Fault.disable (fun () ->
+                check_bool "save raises the injected fault" true
+                  (try
+                     Filter.save_file filter path;
+                     false
+                   with Fault.Injected _ -> true));
+            check_bool "no target file" false (Sys.file_exists path);
+            check_int "no temp debris" 0 (Array.length (Sys.readdir dir));
+            (* And with the fault cleared the same save succeeds and
+               verifies. *)
+            Filter.save_file filter path;
+            let contents =
+              In_channel.with_open_bin path In_channel.input_all
+            in
+            check_bool "verifies" true
+              (Result.is_ok (Token_db.verify_string contents))));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Score                                                               *)
 
 let score_tests =
@@ -640,6 +809,7 @@ let () =
       ("label", label_tests);
       ("options", options_tests);
       ("token_db", token_db_tests);
+      ("persistence", persistence_tests);
       ("score", score_tests);
       ("classify", classify_tests);
       ("filter", filter_tests);
