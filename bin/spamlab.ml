@@ -201,6 +201,56 @@ let classify_cmd =
     term
 
 (* --------------------------------------------------------------- *)
+(* classify-mbox                                                    *)
+
+let classify_mbox_cmd =
+  let mbox_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MBOX" ~doc:"Raw mbox file of messages to classify.")
+  in
+  let run db mbox tokenizer =
+    setup_logs ();
+    guard @@ fun () ->
+    match Filter.load_file ~tokenizer db with
+    | Error e -> fail "cannot load %s: %s" db e
+    | Ok filter -> (
+        match open_in mbox with
+        | exception Sys_error e -> fail "%s" e
+        | ic ->
+            let text =
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> In_channel.input_all ic)
+            in
+            let results = Filter.classify_mbox filter text in
+            let malformed = ref 0 in
+            Array.iteri
+              (fun i result ->
+                match result with
+                | Some r ->
+                    Printf.printf "%d %s %.6f\n" i
+                      (Label.verdict_to_string r.Classify.verdict)
+                      r.Classify.indicator
+                | None ->
+                    incr malformed;
+                    Printf.printf "%d malformed\n" i)
+              results;
+            if !malformed > 0 then
+              Logs.warn (fun m ->
+                  m "%d malformed message(s) could not be classified" !malformed);
+            `Ok ())
+  in
+  let term = Term.(ret (const run $ db_arg $ mbox_arg $ tokenizer_arg)) in
+  Cmd.v
+    (Cmd.info "classify-mbox"
+       ~doc:
+         "Batch-classify every message of a raw mbox through the zero-copy \
+          ingest path.")
+    term
+
+(* --------------------------------------------------------------- *)
 (* tokenize                                                         *)
 
 let tokenize_cmd =
@@ -764,7 +814,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "spamlab" ~version:"1.0.0" ~doc)
     [
-      corpus_cmd; train_cmd; classify_cmd; tokenize_cmd; stats_cmd;
+      corpus_cmd; train_cmd; classify_cmd; classify_mbox_cmd; tokenize_cmd;
+      stats_cmd;
       attack_cmd; evade_cmd; roni_cmd; thresholds_cmd; experiment_cmd;
       db_cmd;
     ]

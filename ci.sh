@@ -44,7 +44,7 @@ echo "trace OK: $opens spans, balanced"
 say "bench --timings smoke"
 timings=$(mktemp /tmp/spamlab-ci-timings.XXXXXX.json)
 trap 'rm -f "$trace" "$timings"' EXIT
-./_build/default/bench/main.exe fig2 \
+./_build/default/bench/main.exe fig2 ingest \
   --scale 0.02 --jobs 2 --timings "$timings" > /dev/null
 
 say "timings validation"
@@ -56,6 +56,13 @@ grep -q '"experiments":\[' "$timings" \
   || { echo "FAIL: missing experiments array"; exit 1; }
 grep -q '"id":"fig2"' "$timings" \
   || { echo "FAIL: missing fig2 experiment entry"; exit 1; }
+# The ingest throughput bench must record all three paths per tokenizer.
+for tok in spambayes bogofilter spamassassin; do
+  for path in legacy zerocopy pool; do
+    grep -q "\"id\":\"ingest-$tok-$path\"" "$timings" \
+      || { echo "FAIL: missing ingest-$tok-$path bench entry"; exit 1; }
+  done
+done
 # Every recorded wall time must be positive (a 0.000000 would mean the
 # experiment never actually ran).
 if grep -q '"seconds":0\.000000' "$timings" \
@@ -67,12 +74,13 @@ echo "timings OK: $(cat "$timings")"
 say "cross-jobs determinism"
 # Experiment stdout must be byte-identical at every --jobs value: the
 # corpus substrate splits one rng child per message index, so the
-# domain count can never leak into results.  fig2 exercises the
-# focused-attack path, roni the defense path.
+# domain count can never leak into results.  fig1 exercises the
+# dictionary-attack path through the zero-copy ingest pipeline, fig2
+# the focused-attack path, roni the defense path.
 j1=$(mktemp /tmp/spamlab-ci-jobs1.XXXXXX.txt)
 j4=$(mktemp /tmp/spamlab-ci-jobs4.XXXXXX.txt)
 trap 'rm -f "$trace" "$timings" "$j1" "$j4"' EXIT
-for exp in fig2 roni; do
+for exp in fig1 fig2 roni; do
   ./_build/default/bin/spamlab.exe experiment "$exp" \
     --scale 0.05 --jobs 1 > "$j1"
   ./_build/default/bin/spamlab.exe experiment "$exp" \
@@ -96,6 +104,14 @@ trap 'rm -f "$trace" "$timings" "$j1" "$j4" "$faulted"' EXIT
 diff -u "$j1" "$faulted" \
   || { echo "FAIL: fig2 output differs under transient faults"; exit 1; }
 echo "fig2: fault-free == transient-faulted"
+# The intern table grows inside pool-supervised tokenize tasks; a
+# transient fault at the grow site (fired before any mutation) must be
+# retried to the same bytes.
+./_build/default/bin/spamlab.exe experiment fig2 \
+  --scale 0.05 --fault-spec 'intern.grow:transient@2+5+11' > "$faulted"
+diff -u "$j1" "$faulted" \
+  || { echo "FAIL: fig2 output differs under intern.grow faults"; exit 1; }
+echo "fig2: fault-free == intern.grow-faulted"
 
 say "kill and resume"
 # An injected crash kills the run mid-sweep (exit 70); resuming from

@@ -14,22 +14,59 @@ type example = {
 let of_tokens label tokens ~raw_token_count =
   { label; tokens; ids = Intern.intern_array tokens; raw_token_count }
 
-(* Fused path: stream tokens into a per-domain buffer, dedup in place,
-   intern the whole message in one batch — no token-string list. *)
+module Ingest = Spamlab_spambayes.Ingest
+
+(* Zero-copy path: tokenizers push byte slices which intern in place
+   (Ingest.with_unique_ids); only the distinct tokens are ever
+   materialized as strings — shared with the intern table, not
+   allocated per message.  The string-sorted [tokens]/[ids] order of
+   the legacy pipeline is preserved: attack construction and the roni
+   defense iterate [tokens] and rely on it.
+
+   The sort runs over an int permutation, never over boxed pairs: a
+   per-message (string * id) array is large enough to be allocated
+   directly in the major heap, and filling and sorting it floods the
+   remembered set with old-to-young pointers — each message then
+   forces minor collections, which at --jobs > 1 are stop-the-world
+   rendezvous across every domain.  An int array takes no write
+   barrier at all. *)
+let sorted_perm ids n =
+  let perm = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      String.compare (Intern.to_string ids.(a)) (Intern.to_string ids.(b)))
+    perm;
+  perm
+
 let of_message tokenizer label msg =
-  let tokens, raw_token_count =
-    Tokenizer.unique_counted_tokens tokenizer msg
-  in
-  of_tokens label tokens ~raw_token_count
+  Ingest.with_unique_ids tokenizer msg (fun ids n raw ->
+      let perm = sorted_perm ids n in
+      {
+        label;
+        tokens = Array.init n (fun k -> Intern.to_string ids.(perm.(k)));
+        ids = Array.init n (fun k -> ids.(perm.(k)));
+        raw_token_count = raw;
+      })
 
 let tokenize_ids tokenizer msg =
-  let tokens, raw_token_count =
-    Tokenizer.unique_counted_tokens tokenizer msg
-  in
-  (Intern.intern_array tokens, raw_token_count)
+  Ingest.with_unique_ids tokenizer msg (fun ids n raw ->
+      let perm = sorted_perm ids n in
+      (Array.init n (fun k -> ids.(perm.(k))), raw))
 
 let of_labeled ?pool tokenizer corpus =
   let build (label, msg) = of_message tokenizer label msg in
+  match pool with
+  | Some p -> Spamlab_parallel.Pool.map_array p build corpus
+  | None -> Array.map build corpus
+
+(* Id-set examples for callers that never look at token strings
+   (benches, the daemon-style classify path): distinct ids in
+   ascending id order plus the raw stream length, no string array. *)
+let of_messages_ids ?pool tokenizer corpus =
+  let build (label, msg) =
+    Ingest.with_unique_ids tokenizer msg (fun ids n raw ->
+        (label, Array.sub ids 0 n, raw))
+  in
   match pool with
   | Some p -> Spamlab_parallel.Pool.map_array p build corpus
   | None -> Array.map build corpus

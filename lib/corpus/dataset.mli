@@ -29,16 +29,30 @@ val of_message :
   Spamlab_spambayes.Label.gold ->
   Spamlab_email.Message.t ->
   example
-(** Fused message → example: tokens stream into a reusable per-domain
-    buffer ({!Spamlab_tokenizer.Tokenizer.unique_counted_tokens}), are
-    deduplicated in place and interned in one batch — the intermediate
-    token-string list of the pre-fusion pipeline is never built. *)
+(** Zero-copy message → example: tokenizers push byte slices which
+    intern in place ({!Spamlab_spambayes.Ingest.with_unique_ids}); the
+    distinct tokens are materialized as strings shared with the intern
+    table, sorted, and paired with their ids — same [tokens]/[ids]
+    arrays as the legacy string pipeline, without per-token
+    allocation. *)
 
 val tokenize_ids :
   Spamlab_tokenizer.Tokenizer.t -> Spamlab_email.Message.t -> int array * int
 (** [tokenize_ids t msg] is the id half of {!of_message}: the sorted
     deduplicated interned ids plus the raw stream length, for callers
     that never need the strings. *)
+
+val of_messages_ids :
+  ?pool:Spamlab_parallel.Pool.t ->
+  Spamlab_tokenizer.Tokenizer.t ->
+  Trec.labeled array ->
+  (Spamlab_spambayes.Label.gold * int array * int) array
+(** Batched id-set extraction for callers that never look at token
+    strings: per message, [(label, distinct ids in ascending id order,
+    raw stream length)].  Rides the zero-copy span path with one
+    per-domain scratch buffer across the batch (see
+    {!Spamlab_spambayes.Ingest}); with [?pool] messages fan over the
+    domain pool. *)
 
 val of_tokens :
   Spamlab_spambayes.Label.gold ->

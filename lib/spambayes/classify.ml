@@ -79,6 +79,21 @@ let score_ids options db ids =
   let indicator = indicator_of_clues clues in
   { indicator; verdict = verdict_of_indicator options indicator; clues }
 
+(* Length-limited form for callers that reuse one scratch id buffer
+   across messages (Ingest.classify_many): scores ids.(0..n-1) without
+   slicing the array. *)
+let score_ids_sub (options : Options.t) db ids n =
+  let candidates = ref [] in
+  for i = 0 to n - 1 do
+    let id = Array.unsafe_get ids i in
+    let score = Score.smoothed_id options db id in
+    if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
+      candidates := { token = Intern.to_string id; score } :: !candidates
+  done;
+  let clues = select_scored options !candidates in
+  let indicator = indicator_of_clues clues in
+  { indicator; verdict = verdict_of_indicator options indicator; clues }
+
 let score_tokens options db tokens =
   score_ids options db (Intern.intern_array tokens)
 

@@ -39,6 +39,12 @@ val score_ids : Options.t -> Token_db.t -> int array -> result
 (** Full pipeline on pre-interned distinct-token ids — the hot path for
     datasets that carry id arrays ([Dataset.example]). *)
 
+val score_ids_sub : Options.t -> Token_db.t -> int array -> int -> result
+(** [score_ids_sub options db ids n] is [score_ids] on
+    [Array.sub ids 0 n] without the copy — the batched-classify path
+    ({!Ingest.classify_many}) reuses one per-domain scratch buffer
+    across messages. *)
+
 val score_clues : Options.t -> clue list -> result
 (** The scoring pipeline on candidate clues whose f(w) was computed by
     the caller (e.g. from cached counts via {!Score.smoothed_counts}):

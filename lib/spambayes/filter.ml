@@ -47,6 +47,14 @@ let classify_ids t ids =
 
 let classify t msg = classify_tokens t (features t msg)
 
+(* Batched/raw entry points ride the zero-copy ingest path. *)
+let classify_many t msgs = Ingest.classify_many t.options t.db t.tokenizer msgs
+
+let classify_raw t buf ~off ~len =
+  Ingest.classify_raw t.options t.db t.tokenizer buf ~off ~len
+
+let classify_mbox t buf = Ingest.classify_mbox t.options t.db t.tokenizer buf
+
 let score t msg = (classify t msg).Classify.indicator
 
 let token_score t token = Score.smoothed t.options t.db token

@@ -1,0 +1,468 @@
+module Tok = Spamlab_tokenizer.Tokenizer
+module Message = Spamlab_email.Message
+module Header = Spamlab_email.Header
+module Obs = Spamlab_obs.Obs
+
+let ingest_msgs = Obs.counter "ingest.msgs"
+let ingest_bytes = Obs.counter "ingest.bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain id scratch.  One growable int buffer per domain: the
+   span sink pushes every raw token id into it, then it is sorted and
+   deduplicated in place.  Nothing per-message is allocated on the
+   steady-state path — not the token strings (interned slices), not
+   the id array (reused), not the sort (in place). *)
+
+type scratch = {
+  mutable ids : int array;
+  (* Tokens the frozen intern snapshot did not know, waiting for one
+     batched [Intern.intern_batch] at end of message: the string, the
+     position in [ids] holding its placeholder, and a reused output
+     buffer for the resolved ids.  Kept in lockstep. *)
+  mutable miss : string array;
+  mutable miss_pos : int array;
+  mutable miss_ids : int array;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        ids = Array.make 4_096 0;
+        miss = Array.make 256 "";
+        miss_pos = Array.make 256 0;
+        miss_ids = Array.make 256 0;
+      })
+
+(* In-place quicksort over ids.(lo..hi), insertion sort for short
+   runs.  [Array.sort] would need a [Array.sub] copy to sort a prefix;
+   this avoids the per-message allocation. *)
+let rec sort_range (a : int array) lo hi =
+  if hi - lo < 16 then
+    for i = lo + 1 to hi do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  else begin
+    (* Median-of-three pivot, guards against sorted/duplicate runs. *)
+    let mid = lo + ((hi - lo) / 2) in
+    let swap i j =
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi) < a.(lo) then swap hi lo;
+    if a.(hi) < a.(mid) then swap hi mid;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range a lo !j;
+    sort_range a !i hi
+  end
+
+(* Sort ids.(0..n-1) and compact out duplicates; returns the distinct
+   count.  Distinct ids end up in ascending id order — a set
+   representation, deliberately not the string-sorted order of
+   [Dataset.example] (nothing downstream of this path orders by
+   token). *)
+let sort_dedup_prefix (a : int array) n =
+  if n = 0 then 0
+  else begin
+    sort_range a 0 (n - 1);
+    let w = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!w - 1) then begin
+        a.(!w) <- a.(i);
+        incr w
+      end
+    done;
+    !w
+  end
+
+let with_sink f =
+  let sc = Domain.DLS.get scratch_key in
+  let n = ref 0 in
+  let m = ref 0 in
+  let push id =
+    let arr = sc.ids in
+    let cap = Array.length arr in
+    if !n = cap then begin
+      let bigger = Array.make (2 * cap) 0 in
+      Array.blit arr 0 bigger 0 cap;
+      sc.ids <- bigger
+    end;
+    sc.ids.(!n) <- id;
+    incr n
+  in
+  (* A snapshot miss materializes the token (the first-sighting
+     contract already pays that allocation) and queues it; the whole
+     queue resolves through one lock in [Intern.intern_batch] below,
+     so fresh-token storms — corpus construction fanned over the pool
+     — cost one mutex acquisition per message, not per token. *)
+  let push_miss tok =
+    let cap = Array.length sc.miss in
+    if !m = cap then begin
+      let miss = Array.make (2 * cap) "" in
+      Array.blit sc.miss 0 miss 0 cap;
+      sc.miss <- miss;
+      let pos = Array.make (2 * cap) 0 in
+      Array.blit sc.miss_pos 0 pos 0 cap;
+      sc.miss_pos <- pos;
+      sc.miss_ids <- Array.make (2 * cap) 0
+    end;
+    sc.miss.(!m) <- tok;
+    sc.miss_pos.(!m) <- !n;
+    incr m;
+    push (-1)
+  in
+  f
+    ~span:(fun buf off len ->
+      match Intern.probe_frozen_sub buf off len with
+      | id when id >= 0 -> push id
+      | _ -> push_miss (String.sub buf off len))
+    ~token:(fun tok ->
+      match Intern.probe_frozen_sub tok 0 (String.length tok) with
+      | id when id >= 0 -> push id
+      | _ -> push_miss tok);
+  if !m > 0 then begin
+    Intern.intern_batch sc.miss !m sc.miss_ids;
+    for i = 0 to !m - 1 do
+      sc.ids.(sc.miss_pos.(i)) <- sc.miss_ids.(i);
+      sc.miss.(i) <- ""
+    done
+  end;
+  (sc, !n)
+
+let with_unique_ids tokenizer msg f =
+  let sc, raw = with_sink (fun ~span ~token ->
+      Tok.iter_spans tokenizer msg ~span ~token)
+  in
+  let distinct = sort_dedup_prefix sc.ids raw in
+  if Obs.enabled () then begin
+    Obs.incr ingest_msgs;
+    Obs.add ingest_bytes (Message.size_bytes msg)
+  end;
+  f sc.ids distinct raw
+
+let unique_ids tokenizer msg =
+  with_unique_ids tokenizer msg (fun ids n raw -> (Array.sub ids 0 n, raw))
+
+(* ------------------------------------------------------------------ *)
+(* Header-aware raw-mail ingestion.
+
+   The suppression set follows SpamAssassin's $IGNORED_HDRS (Bayes.pm):
+   headers that carry delivery bookkeeping, list-manager plumbing, or
+   the output of other spam filters are noise to the learner and are
+   dropped before tokenization.  Unlike SpamAssassin we keep the
+   headers our tokenizers mine directly (Subject, From, To, Reply-To,
+   Received, Content-Type, Content-Transfer-Encoding). *)
+
+let ignored_headers =
+  [
+    "date";
+    "message-id";
+    "in-reply-to";
+    "references";
+    "mime-version";
+    "sender";
+    "errors-to";
+    "precedence";
+    "return-path";
+    "delivered-to";
+    "delivery-date";
+    "envelope-to";
+    "status";
+    "x-status";
+    "content-length";
+    "lines";
+    "x-uid";
+    "thread-index";
+    "content-class";
+    "list-id";
+    "list-post";
+    "list-help";
+    "list-subscribe";
+    "list-unsubscribe";
+    "list-archive";
+    "list-owner";
+    "mailing-list";
+    "x-beenthere";
+    "x-mailman-version";
+    "x-mailing-list";
+    "x-loop";
+    "x-list-host";
+    "x-spam-status";
+    "x-spam-level";
+    "x-spam-flag";
+    "x-spam-report";
+    "x-spam-score";
+    "x-spam-hits";
+    "x-spam-checker-version";
+    "x-spam-prev-subject";
+    "x-antispam";
+    "x-rbl-warning";
+    "x-mailscanner";
+    "x-mailscanner-spamcheck";
+    "x-virus-scanned";
+    "x-pyzor";
+    "x-dcc";
+    "x-razor-id";
+    "x-mime-autoconverted";
+    "x-originalarrivaltime";
+    "x-mdaemon-deliver-to";
+    "x-scanned-by";
+  ]
+
+(* Case-insensitive match of a header-name slice against the ignored
+   set, no allocation: length pre-filter then byte compare with ASCII
+   folding.  Header counts per message are small (and the set is ~50
+   entries), so a linear scan is cheaper than building a probing
+   structure for slices. *)
+let fold_lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let name_eq_sub s off len lit =
+  String.length lit = len
+  &&
+  let rec go i =
+    i >= len || (fold_lower s.[off + i] = lit.[i] && go (i + 1))
+  in
+  go 0
+
+let ignored_slice s off len =
+  List.exists (fun lit -> name_eq_sub s off len lit) ignored_headers
+
+let ignored_header name = ignored_slice name 0 (String.length name)
+
+(* ------------------------------------------------------------------ *)
+(* Raw mbox scanning by offsets: message chunks are delimited by
+   "From " separator lines, exactly as [Mbox.chunks_of] groups them,
+   without splitting the buffer into line strings. *)
+
+let is_sep_at buf pos limit =
+  pos + 5 <= limit
+  && buf.[pos] = 'F'
+  && buf.[pos + 1] = 'r'
+  && buf.[pos + 2] = 'o'
+  && buf.[pos + 3] = 'm'
+  && buf.[pos + 4] = ' '
+
+let iter_raw_messages buf f =
+  let n = String.length buf in
+  let flush start stop = if stop > start then f ~off:start ~len:(stop - start) in
+  let rec go line_start chunk_start =
+    if line_start >= n then flush chunk_start n
+    else if is_sep_at buf line_start n then begin
+      flush chunk_start line_start;
+      match String.index_from_opt buf line_start '\n' with
+      | None -> ()
+      | Some nl -> go (nl + 1) (nl + 1)
+    end
+    else
+      match String.index_from_opt buf line_start '\n' with
+      | None -> flush chunk_start n
+      | Some nl -> go (nl + 1) chunk_start
+  in
+  (* [Mbox.parse_lenient] treats an all-whitespace mbox as empty; an
+     early-exit scan avoids [String.trim]'s copy of the buffer. *)
+  let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012' in
+  let rec blank i = i >= n || (is_ws buf.[i] && blank (i + 1)) in
+  if not (blank 0) then go 0 0
+
+let raw_message_chunks buf =
+  let acc = ref [] in
+  iter_raw_messages buf (fun ~off ~len -> acc := (off, len) :: !acc);
+  Array.of_list (List.rev !acc)
+
+(* A parsed raw chunk.  [Simple] is the zero-copy case — no MIME
+   headers, no body fixups — where the body tokenizes straight from the
+   mbox buffer.  [Complex] fell back to a materialized [Message.t]
+   (still with ignored headers suppressed). *)
+type parsed =
+  | Simple of { fields : (string * string) list; body_off : int; body_len : int }
+  | Complex of Message.t
+  | Malformed
+
+let needs_unquote_at buf pos lstop =
+  let rec skip i = if i < lstop && buf.[i] = '>' then skip (i + 1) else i in
+  let i = skip pos in
+  i > pos && i + 5 <= lstop && is_sep_at buf i lstop
+
+(* Body fixups mirror [Rfc2822.parse] + [Mbox.parse_chunk]: every line
+   loses a trailing '\r', and ">+From " lines lose one '>'. *)
+let body_needs_fixup buf bstart bend =
+  let rec scan pos =
+    pos < bend
+    &&
+    let lend =
+      match String.index_from_opt buf pos '\n' with
+      | Some nl when nl < bend -> nl
+      | _ -> bend
+    in
+    (lend > pos && buf.[lend - 1] = '\r')
+    || needs_unquote_at buf pos lend
+    || scan (lend + 1)
+  in
+  scan bstart
+
+let fixup_body buf bstart bend =
+  let out = Buffer.create (bend - bstart) in
+  let rec go pos =
+    if pos <= bend then begin
+      let lend =
+        match String.index_from_opt buf pos '\n' with
+        | Some nl when nl < bend -> nl
+        | _ -> bend
+      in
+      let lstop = if lend > pos && buf.[lend - 1] = '\r' then lend - 1 else lend in
+      let pos = if needs_unquote_at buf pos lstop then pos + 1 else pos in
+      Buffer.add_substring out buf pos (lstop - pos);
+      if lend < bend then begin
+        Buffer.add_char out '\n';
+        go (lend + 1)
+      end
+    end
+  in
+  go bstart;
+  Buffer.contents out
+
+let is_mime_header buf off len =
+  name_eq_sub buf off len "content-type"
+  || name_eq_sub buf off len "content-transfer-encoding"
+
+(* Parse the raw chunk [buf.[off .. off+len-1]] (one mbox message,
+   separator excluded) into header fields and a body region, mirroring
+   [Mbox.parse_chunk] semantics: one trailing blank line is dropped,
+   header values are trimmed and unfolded with spaces, a header line
+   without a colon (or with a malformed name) poisons the whole
+   message. *)
+let parse_raw buf ~off ~len =
+  (* Drop the trailing newline [Mbox.print] adds after each body. *)
+  let stop = if len > 0 && buf.[off + len - 1] = '\n' then off + len - 1 else off + len in
+  let fields = ref [] in
+  (* (name, value) of the field being accumulated, or None.  [keep]
+     distinguishes a suppressed field (continuations also dropped). *)
+  let current = ref None in
+  let keep_current = ref true in
+  let has_mime = ref false in
+  let flush () =
+    (match !current with
+    | Some f when !keep_current -> fields := f :: !fields
+    | _ -> ());
+    current := None;
+    keep_current := true
+  in
+  let exception Bad in
+  let rec headers pos =
+    if pos >= stop then (flush (); stop)
+    else begin
+      let lend =
+        match String.index_from_opt buf pos '\n' with
+        | Some nl when nl < stop -> nl
+        | _ -> stop
+      in
+      let lstop = if lend > pos && buf.[lend - 1] = '\r' then lend - 1 else lend in
+      if lstop = pos then (flush (); lend + 1)  (* blank line: body next *)
+      else if buf.[pos] = ' ' || buf.[pos] = '\t' then begin
+        (match !current with
+        | None -> raise Bad
+        | Some (name, value) ->
+            if !keep_current then
+              current :=
+                Some (name, value ^ " " ^ String.trim (String.sub buf pos (lstop - pos))));
+        headers (lend + 1)
+      end
+      else begin
+        flush ();
+        let colon =
+          let rec find i = if i >= lstop then -1 else if buf.[i] = ':' then i else find (i + 1) in
+          find pos
+        in
+        if colon <= pos then raise Bad;
+        let nlen = colon - pos in
+        let rec bad_name i =
+          i < colon && (buf.[i] = ' ' || buf.[i] = '\t' || bad_name (i + 1))
+        in
+        if bad_name pos then raise Bad;
+        if is_mime_header buf pos nlen then has_mime := true;
+        if ignored_slice buf pos nlen then keep_current := false
+        else begin
+          let name = String.sub buf pos nlen in
+          let value = String.trim (String.sub buf (colon + 1) (lstop - colon - 1)) in
+          current := Some (name, value)
+        end;
+        headers (lend + 1)
+      end
+    end
+  in
+  match headers off with
+  | exception Bad -> Malformed
+  | bstart ->
+      let bstart = min bstart stop in
+      let fields = List.rev !fields in
+      if (not !has_mime) && not (body_needs_fixup buf bstart stop) then
+        Simple { fields; body_off = bstart; body_len = stop - bstart }
+      else
+        Complex
+          (Message.make
+             ~headers:(Header.of_list fields)
+             (fixup_body buf bstart stop))
+
+let with_unique_ids_raw tokenizer buf ~off ~len f =
+  match parse_raw buf ~off ~len with
+  | Malformed -> None
+  | Complex msg ->
+      Some
+        (with_unique_ids tokenizer msg (fun ids n raw -> f ids n raw))
+  | Simple { fields; body_off; body_len } ->
+      let hdr_msg = Message.make ~headers:(Header.of_list fields) "" in
+      let sc, raw = with_sink (fun ~span ~token ->
+          Tok.iter_spans tokenizer hdr_msg ~span ~token;
+          Tok.iter_body_spans tokenizer buf body_off body_len ~span ~token)
+      in
+      let distinct = sort_dedup_prefix sc.ids raw in
+      if Obs.enabled () then begin
+        Obs.incr ingest_msgs;
+        Obs.add ingest_bytes len
+      end;
+      Some (f sc.ids distinct raw)
+
+let unique_ids_raw tokenizer buf ~off ~len =
+  with_unique_ids_raw tokenizer buf ~off ~len (fun ids n raw ->
+      (Array.sub ids 0 n, raw))
+
+(* ------------------------------------------------------------------ *)
+(* Batched classification: one scratch buffer per domain across the
+   whole batch, no per-message arrays. *)
+
+let classify_many options db tokenizer msgs =
+  Array.map
+    (fun msg ->
+      with_unique_ids tokenizer msg (fun ids n _raw ->
+          Classify.score_ids_sub options db ids n))
+    msgs
+
+let classify_raw options db tokenizer buf ~off ~len =
+  with_unique_ids_raw tokenizer buf ~off ~len (fun ids n _raw ->
+      Classify.score_ids_sub options db ids n)
+
+let classify_mbox options db tokenizer buf =
+  Array.map
+    (fun (off, len) -> classify_raw options db tokenizer buf ~off ~len)
+    (raw_message_chunks buf)

@@ -7,21 +7,38 @@
     stored in long-lived structures ({!Token_db} bases,
     [Dataset.example]) and shared freely between domains.
 
+    {2 Zero-copy slices}
+
+    The table is an open-addressing map hashed with FNV-1a over raw
+    bytes, so {!intern_sub} can intern a {e slice} of a message buffer
+    directly: the slice is hashed and compared in place against the
+    stored strings, and a substring is materialized only on the first
+    sighting of a brand-new token ([intern.first_sighting] counter).
+    The steady state of ingest — every token already known — allocates
+    nothing.
+
     {2 Domain safety}
 
     Interning is thread-safe: new assignments take a mutex (one lock per
     {!intern_array} call, not per token).  {!freeze} publishes a
     lock-free snapshot of the current table, so lookups of
-    already-interned strings — the entire steady state of an experiment
-    after its corpus is built — cost one hashtable probe with no lock.
-    Interning {e after} a freeze is still correct (misses fall back to
-    the mutex path); freezing again refreshes the snapshot.
+    already-interned strings or slices — the entire steady state of an
+    experiment after its corpus is built — cost one table probe with no
+    lock.  Interning {e after} a freeze is still correct (misses fall
+    back to the mutex path); freezing again refreshes the snapshot.
 
     {!to_string} is lock-free by construction: id-to-string slots are
     written exactly once, before the id is handed out, and ids only
     travel between domains along happens-before edges (the pool queue,
-    a mutex), so a reader's view of the table always covers every id it
-    can name.
+    a mutex, the frozen-snapshot atomic), so a reader's view of the
+    table always covers every id it can name.
+
+    {2 Faults}
+
+    Growing the slot table consults the {!Spamlab_fault} site
+    ["intern.grow"] {e before} any mutation, so an injected transient
+    fault leaves the table untouched and pool supervision can retry the
+    interning task.
 
     {2 Determinism}
 
@@ -35,14 +52,43 @@
 val id : string -> int
 (** Intern one string (assigning a fresh id on first sight). *)
 
+val intern_sub : string -> int -> int -> int
+(** [intern_sub buf off len] is [id (String.sub buf off len)] without
+    the substring: the slice is hashed and compared in place, and the
+    token string is materialized only when the slice has never been
+    seen before.
+    @raise Invalid_argument if [off]/[len] do not denote a slice of
+    [buf]. *)
+
 val intern_array : string array -> int array
 (** Intern a batch elementwise — at most one lock acquisition for all
     misses together. *)
+
+val probe_frozen_sub : string -> int -> int -> int
+(** Lock-free probe of the published snapshot only: the slice's id, or
+    [-1] when the snapshot does not hold it.  A miss is {e tentative} —
+    the live table may already have the string (interned since the last
+    refresh) — so callers must resolve misses through {!intern_batch}
+    (or {!intern_sub}), never treat them as "absent".
+    @raise Invalid_argument on a bad slice. *)
+
+val intern_batch : string array -> int -> int array -> unit
+(** [intern_batch strs n out] interns [strs.(0 .. n-1)] under a single
+    lock acquisition and writes the ids to [out.(0 .. n-1)].  The
+    companion of {!probe_frozen_sub}: collect snapshot misses for a
+    whole message, then resolve them all here — one lock per message,
+    not one per brand-new token.
+    @raise Invalid_argument if [n] exceeds either array's length. *)
 
 val find : string -> int option
 (** Lookup without interning — never mutates, so read-only paths
     (e.g. [Token_db.spam_count] on an arbitrary string) stay
     contention-free. *)
+
+val find_sub : string -> int -> int -> int option
+(** Slice lookup without interning; agrees with
+    [find (String.sub buf off len)] allocation-free.
+    @raise Invalid_argument on a bad slice. *)
 
 val to_string : int -> string
 (** The string for an assigned id.

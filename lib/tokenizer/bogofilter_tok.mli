@@ -7,3 +7,20 @@
 val name : string
 val tokenize : Spamlab_email.Message.t -> string list
 val iter_tokens : Spamlab_email.Message.t -> (string -> unit) -> unit
+
+val iter_spans :
+  Spamlab_email.Message.t ->
+  span:(string -> int -> int -> unit) ->
+  token:(string -> unit) ->
+  unit
+(** Zero-copy form of {!iter_tokens}: body words as byte slices through
+    [span], prefixed header tokens through [token]. *)
+
+val iter_body_spans :
+  string ->
+  int ->
+  int ->
+  span:(string -> int -> int -> unit) ->
+  token:(string -> unit) ->
+  unit
+(** Body tokens straight from a raw body slice (simple messages). *)

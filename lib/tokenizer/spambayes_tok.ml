@@ -177,3 +177,88 @@ let tokenize msg =
   let acc = ref [] in
   iter_tokens msg (fun t -> acc := t :: !acc);
   List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Zero-copy span path.  Deliberately written against
+   [Text.iter_word_spans] rather than delegating to [iter_tokens], so
+   the differential tests compare two independent implementations.
+   Meta tokens (skip:, url:, email, 8bit%) still allocate — they are
+   computed strings, not substrings of the message — but plain body
+   words, the overwhelming bulk of the stream, travel as slices. *)
+
+let contains_at s off len c =
+  let rec go i = i < len && (s.[off + i] = c || go (i + 1)) in
+  go 0
+
+let iter_body_spans' emit_span emit_tok buf off len =
+  Text.iter_word_spans buf off len (fun wbuf woff wlen ->
+      if
+        Url.looks_like_url_sub wbuf woff wlen
+        || contains_at wbuf woff wlen '@'
+      then
+        (* Rare shapes: materialize and reuse the string-path rules so
+           the two paths cannot drift on URLs or addresses. *)
+        List.iter emit_tok (word_tokens (String.sub wbuf woff wlen))
+      else if wlen < min_word_length then ()
+      else if wlen > max_word_length then
+        emit_tok (Printf.sprintf "skip:%c %d" wbuf.[woff] (wlen / 10 * 10))
+      else emit_span wbuf woff wlen)
+
+(* 8bit% meta token over decoded chunks without concatenating them:
+   [String.concat "\n"] in the legacy path contributes one low byte per
+   separator, accounted for here. *)
+let eight_bit_of_chunks emit_tok chunks =
+  let bytes, high, _ =
+    List.fold_left
+      (fun (b, h, first) (_, text) ->
+        let len = String.length text in
+        ( (if first then len else b + 1 + len),
+          h + Text.count_high_sub text 0 len,
+          false ))
+      (0, 0, true) chunks
+  in
+  if bytes > 0 && high > 0 then
+    emit_tok (Printf.sprintf "8bit%%:%d" (100 * high / bytes / 5 * 5))
+
+let iter_chunk_spans emit_span emit_tok (kind, text) =
+  match kind with
+  | Spamlab_email.Mime.Plain ->
+      iter_body_spans' emit_span emit_tok text 0 (String.length text)
+  | Spamlab_email.Mime.Html ->
+      let html = Html.deconstruct text in
+      List.iter emit_tok html.Html.meta_tokens;
+      List.iter (fun u -> List.iter emit_tok (Url.crack u)) html.Html.urls;
+      iter_body_spans' emit_span emit_tok html.Html.visible_text 0
+        (String.length html.Html.visible_text)
+
+let iter_spans msg ~span ~token =
+  let open Spamlab_email in
+  let headers = Message.headers msg in
+  (match Header.find headers "subject" with
+  | None -> ()
+  | Some s ->
+      iter_text_with_prefix token "subject:" s;
+      iter_body_spans' span token s 0 (String.length s));
+  let addr_field prefix field =
+    match Header.find headers field with
+    | None -> ()
+    | Some v -> List.iter token (address_tokens prefix v)
+  in
+  addr_field "from" "from";
+  addr_field "to" "to";
+  addr_field "reply-to" "reply-to";
+  List.iter token (received_tokens headers);
+  List.iter token (structure_tokens headers);
+  let chunks = Mime.text_content msg in
+  eight_bit_of_chunks token chunks;
+  List.iter (iter_chunk_spans span token) chunks
+
+(* The body tokens of a simple message (single part, no transfer
+   encoding) straight from a raw slice — the path raw-mbox ingest takes
+   when no MIME processing is needed.  Matches what [iter_spans] emits
+   for the body of such a message: the 8bit% meta token, then words. *)
+let iter_body_spans buf off len ~span ~token =
+  let high = Text.count_high_sub buf off len in
+  if len > 0 && high > 0 then
+    token (Printf.sprintf "8bit%%:%d" (100 * high / len / 5 * 5));
+  iter_body_spans' span token buf off len

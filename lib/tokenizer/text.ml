@@ -34,7 +34,77 @@ let words s =
          let w = strip_punctuation (String.lowercase_ascii w) in
          if w = "" then None else Some w)
 
+let is_upper c = c >= 'A' && c <= 'Z'
+
+(* Scratch buffer for lowercasing a word slice in place; one per domain
+   so pool workers never contend.  Grown geometrically, reused for every
+   word of every message the domain ingests. *)
+let lower_scratch : Bytes.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Bytes.create 256))
+
+(* Span form of [words]: every canonical word (lowercased, punctuation
+   stripped, non-empty) of [s.[off .. off+len-1]] is delivered as a
+   slice [(buf, woff, wlen)] instead of an allocated string.  Lowercasing
+   cannot change whether a byte is a word character, so punctuation can
+   be stripped on the raw buffer by offsets; only a word that actually
+   contains an uppercase byte is copied (into the per-domain scratch,
+   valid just for the duration of the callback). *)
+let iter_word_spans s off len f =
+  let limit = off + len in
+  let scratch = Domain.DLS.get lower_scratch in
+  let emit lo hi =
+    (* [lo..hi] inclusive, non-empty, all word chars at the ends. *)
+    let wlen = hi - lo + 1 in
+    let rec has_up i = i <= hi && (is_upper s.[i] || has_up (i + 1)) in
+    if not (has_up lo) then f s lo wlen
+    else begin
+      if Bytes.length !scratch < wlen then begin
+        let cap = ref (2 * Bytes.length !scratch) in
+        while !cap < wlen do
+          cap := 2 * !cap
+        done;
+        scratch := Bytes.create !cap
+      end;
+      let b = !scratch in
+      for i = 0 to wlen - 1 do
+        let c = String.unsafe_get s (lo + i) in
+        Bytes.unsafe_set b i
+          (if is_upper c then Char.unsafe_chr (Char.code c + 32) else c)
+      done;
+      (* The scratch is only ever read through this slice before the
+         next word overwrites it, so exposing it as a string is safe. *)
+      f (Bytes.unsafe_to_string b) 0 wlen
+    end
+  in
+  let rec skip_space i = if i < limit && is_space s.[i] then skip_space (i + 1) else i in
+  let rec word_end i = if i < limit && not (is_space s.[i]) then word_end (i + 1) else i in
+  let rec go i =
+    let start = skip_space i in
+    if start < limit then begin
+      let stop = word_end start in
+      let rec first i = if i < stop && not (is_word_char s.[i]) then first (i + 1) else i in
+      let rec last i = if i >= start && not (is_word_char s.[i]) then last (i - 1) else i in
+      let lo = first start in
+      let hi = last (stop - 1) in
+      if hi >= lo then emit lo hi;
+      go stop
+    end
+  in
+  if off < 0 || len < 0 || limit > String.length s then
+    invalid_arg "Text.iter_word_spans";
+  go off
+
 let has_high_bit s = String.exists (fun c -> Char.code c >= 0x80) s
+
+(* [eight_bit_stats_sub s off len] counts high bytes in a slice without
+   touching anything else — the span path's replacement for scanning a
+   materialized body string. *)
+let count_high_sub s off len =
+  let acc = ref 0 in
+  for i = off to off + len - 1 do
+    if Char.code (String.unsafe_get s i) >= 0x80 then incr acc
+  done;
+  !acc
 
 let count_occurrences c s =
   String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 s

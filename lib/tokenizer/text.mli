@@ -16,8 +16,24 @@ val words : string -> string list
 val is_ascii_alpha : char -> bool
 val is_digit : char -> bool
 
+val iter_word_spans :
+  string -> int -> int -> (string -> int -> int -> unit) -> unit
+(** [iter_word_spans s off len f] delivers every word {!words} would
+    produce for [String.sub s off len] as a byte slice
+    [f buf woff wlen] instead of an allocated string: punctuation is
+    stripped by offsets on the raw buffer, and a word is copied (into a
+    per-domain scratch, lowercased) only when it actually contains an
+    uppercase byte.  The slice is valid only for the duration of the
+    callback — intern it or copy it before returning.
+    @raise Invalid_argument if [off]/[len] do not denote a slice of
+    [s]. *)
+
 val has_high_bit : string -> bool
 (** True if any byte is >= 0x80 (8-bit character heuristic used by
     SpamBayes to flag likely non-English/binary content). *)
 
 val count_occurrences : char -> string -> int
+
+val count_high_sub : string -> int -> int -> int
+(** Number of bytes >= 0x80 in the slice — the span path's 8-bit
+    accounting without materializing the body. *)

@@ -2,6 +2,20 @@ module type S = sig
   val name : string
   val tokenize : Spamlab_email.Message.t -> string list
   val iter_tokens : Spamlab_email.Message.t -> (string -> unit) -> unit
+
+  val iter_spans :
+    Spamlab_email.Message.t ->
+    span:(string -> int -> int -> unit) ->
+    token:(string -> unit) ->
+    unit
+
+  val iter_body_spans :
+    string ->
+    int ->
+    int ->
+    span:(string -> int -> int -> unit) ->
+    token:(string -> unit) ->
+    unit
 end
 
 type t = (module S)
@@ -9,6 +23,10 @@ type t = (module S)
 let name (module T : S) = T.name
 let tokenize (module T : S) msg = T.tokenize msg
 let iter_tokens (module T : S) msg f = T.iter_tokens msg f
+let iter_spans (module T : S) msg ~span ~token = T.iter_spans msg ~span ~token
+
+let iter_body_spans (module T : S) buf off len ~span ~token =
+  T.iter_body_spans buf off len ~span ~token
 
 let unique_of_list tokens =
   let sorted = List.sort_uniq String.compare tokens in

@@ -16,6 +16,33 @@ module type S = sig
   (** Push the same stream, in the same order, through a callback
       without materializing the list.  Implementations derive
       [tokenize] from this, so the two cannot disagree. *)
+
+  val iter_spans :
+    Spamlab_email.Message.t ->
+    span:(string -> int -> int -> unit) ->
+    token:(string -> unit) ->
+    unit
+  (** Zero-copy pass: plain words are delivered as [span buf off len]
+      byte slices (valid only for the duration of the callback), while
+      computed meta tokens (prefixes, skip:, url:, …) arrive as
+      strings through [token].  Emits the same {e multiset} of tokens
+      as {!iter_tokens} — document order may differ in where meta
+      tokens land, which is irrelevant to the set-of-tokens model.
+      Implemented independently of {!iter_tokens}; the differential
+      test suite holds the two equal. *)
+
+  val iter_body_spans :
+    string ->
+    int ->
+    int ->
+    span:(string -> int -> int -> unit) ->
+    token:(string -> unit) ->
+    unit
+  (** [iter_body_spans buf off len] pushes the tokens the body of a
+      {e simple} message (single-part, identity transfer encoding)
+      with raw body [buf.[off..off+len-1]] would contribute to
+      {!iter_spans} — the fully zero-copy path raw-mbox ingest takes
+      when a message needs no MIME processing. *)
 end
 
 type t = (module S)
@@ -24,6 +51,22 @@ val name : t -> string
 val tokenize : t -> Spamlab_email.Message.t -> string list
 
 val iter_tokens : t -> Spamlab_email.Message.t -> (string -> unit) -> unit
+
+val iter_spans :
+  t ->
+  Spamlab_email.Message.t ->
+  span:(string -> int -> int -> unit) ->
+  token:(string -> unit) ->
+  unit
+
+val iter_body_spans :
+  t ->
+  string ->
+  int ->
+  int ->
+  span:(string -> int -> int -> unit) ->
+  token:(string -> unit) ->
+  unit
 
 val unique_tokens : t -> Spamlab_email.Message.t -> string array
 (** Distinct tokens of a message, sorted.  SpamBayes both trains and

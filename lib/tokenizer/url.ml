@@ -15,6 +15,34 @@ let looks_like_url w =
   Option.is_some (scheme_of w)
   || (String.length w > 4 && String.sub w 0 4 = "www.")
 
+(* Slice form of [looks_like_url] for the zero-copy span path.  The
+   span word iterator only hands out canonical (already lowercased)
+   slices, so no case folding is needed here. *)
+let eq_at s off lit =
+  let n = String.length lit in
+  let rec go i = i >= n || (s.[off + i] = lit.[i] && go (i + 1)) in
+  go 0
+
+let looks_like_url_sub s off len =
+  let scheme_ok =
+    (* Mirror [scheme_of]: first ':' followed by "//" and a known
+       scheme before it. *)
+    let rec colon i =
+      if i >= len then -1 else if s.[off + i] = ':' then i else colon (i + 1)
+    in
+    match colon 0 with
+    | i
+      when i >= 0
+           && i + 2 < len
+           && s.[off + i + 1] = '/'
+           && s.[off + i + 2] = '/' ->
+        List.exists
+          (fun sch -> String.length sch = i && eq_at s off sch)
+          known_schemes
+    | _ -> false
+  in
+  scheme_ok || (len > 4 && eq_at s off "www.")
+
 let split_on_chars chars s =
   let is_sep c = List.mem c chars in
   let n = String.length s in

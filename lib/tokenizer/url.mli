@@ -6,6 +6,11 @@
 val looks_like_url : string -> bool
 (** True for [scheme://...] and for bare [www.]-prefixed hosts. *)
 
+val looks_like_url_sub : string -> int -> int -> bool
+(** [looks_like_url_sub s off len] is [looks_like_url] on the slice
+    without allocating, assuming the slice is already lowercased (the
+    span word iterator guarantees this). *)
+
 val crack : string -> string list
 (** [crack w] is the token list for a URL-like word; [w] itself
     (lowercased) is not included.  Returns [[]] if [w] is not URL-like. *)
