@@ -26,7 +26,7 @@ let default_scale = 0.2
 let usage () =
   prerr_endline
     ("usage: main.exe [--scale S] [--seed N] [--jobs N] [--trace FILE] \
-      [--metrics] [--timings FILE] [all|perf|ingest|"
+      [--metrics] [--timings FILE] [all|perf|ingest|serve|"
     ^ String.concat "|" Registry.ids ^ "]...");
   exit 2
 
@@ -65,6 +65,7 @@ let parse_args () =
     | target :: rest ->
         if
           target = "all" || target = "perf" || target = "ingest"
+          || target = "serve"
           || Registry.find target <> None
         then go { acc with targets = acc.targets @ [ target ] } rest
         else usage ()
@@ -227,6 +228,135 @@ let run_ingest lab ~jobs =
     Tok.all;
   flush stdout;
   !timings
+
+(* ------------------------------------------------------------------ *)
+(* Daemon round-trip throughput: a live spamlab serve on a unix socket
+   in a temp dir, driven over a persistent connection.  Reported as
+   messages/sec with per-request p50/p99 round-trip latency; the
+   --timings entries carry seconds per message under ids
+   "serve-ping" / "serve-train-b16" / "serve-classify-b16". *)
+
+let run_serve lab ~jobs =
+  let module Serve = Spamlab_serve in
+  let module Label = Spamlab_spambayes.Label in
+  Printf.printf "%s\nserve round-trip throughput (unix socket)\n%s\n" hrule
+    hrule;
+  let size = max 200 (int_of_float (2_000.0 *. Lab.scale lab)) in
+  let labeled =
+    Lab.corpus_messages lab ~name:"serve-bench" ~size ~spam_fraction:0.5
+  in
+  let dir = Filename.temp_file "spamlab_bench" ".serve" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let addr = Serve.Daemon.Unix_sock (Filename.concat dir "bench.sock") in
+  let config =
+    {
+      (Serve.Daemon.default_config ~addr
+         ~db_path:(Filename.concat dir "db.bin") ())
+      with
+      Serve.Daemon.publish_every = 0;
+      jobs;
+    }
+  in
+  match Serve.Daemon.create config with
+  | Error e -> failwith e
+  | Ok t ->
+      let stop = Atomic.make false in
+      let up = Atomic.make false in
+      let daemon =
+        Domain.spawn (fun () ->
+            Serve.Daemon.run
+              ~ready:(fun _ -> Atomic.set up true)
+              ~stop:(fun () -> Atomic.get stop)
+              t)
+      in
+      while not (Atomic.get up) do
+        Domain.cpu_relax ()
+      done;
+      let finish () =
+        Atomic.set stop true;
+        (match Domain.join daemon with
+        | Ok () -> ()
+        | Error e -> prerr_endline ("serve bench: " ^ e));
+        Serve.Daemon.shutdown t;
+        Array.iter
+          (fun f ->
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      in
+      Fun.protect ~finally:finish @@ fun () ->
+      let conn =
+        match Serve.Client.connect addr with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      Fun.protect ~finally:(fun () -> Serve.Client.close conn) @@ fun () ->
+      (* One request over the persistent connection; round-trip µs. *)
+      let request req =
+        let t0 = Unix.gettimeofday () in
+        (match Serve.Client.request conn req with
+        | Ok (Serve.Protocol.Ok _) -> ()
+        | Ok (Serve.Protocol.Err e) -> failwith ("daemon error: " ^ e)
+        | Error e -> failwith ("serve bench transport: " ^ e));
+        (Unix.gettimeofday () -. t0) *. 1e6
+      in
+      let timings = ref [] in
+      let report name ~messages lats =
+        let lats = Array.of_list lats in
+        let total_us = Array.fold_left ( +. ) 0.0 lats in
+        let mps = float_of_int messages /. (total_us /. 1e6) in
+        Printf.printf
+          "  %-24s %10.0f msgs/sec   p50 %7.0f us   p99 %7.0f us   (%d reqs)\n"
+          name mps
+          (Spamlab_stats.Summary.quantile lats 0.5)
+          (Spamlab_stats.Summary.quantile lats 0.99)
+          (Array.length lats);
+        timings :=
+          !timings @ [ (name, total_us /. 1e6 /. float_of_int messages) ]
+      in
+      let batch = 16 in
+      let mbox_batches msgs =
+        let n = Array.length msgs in
+        List.init
+          ((n + batch - 1) / batch)
+          (fun i ->
+            Spamlab_email.Mbox.print
+              (Array.to_list (Array.sub msgs (i * batch) (min batch (n - (i * batch))))))
+      in
+      Printf.printf "%d messages, batches of %d, daemon jobs %d\n\n" size batch
+        jobs;
+      let pings =
+        List.init 200 (fun _ ->
+            request { Serve.Protocol.verb = Ping; body = "" })
+      in
+      report "serve-ping" ~messages:200 pings;
+      let train_lats =
+        List.concat_map
+          (fun wanted ->
+            let msgs =
+              Array.of_list
+                (List.filter_map
+                   (fun (l, m) -> if l = wanted then Some m else None)
+                   (Array.to_list labeled))
+            in
+            List.map
+              (fun body ->
+                request { Serve.Protocol.verb = Train wanted; body })
+              (mbox_batches msgs))
+          [ Label.Ham; Label.Spam ]
+      in
+      report "serve-train-b16" ~messages:size train_lats;
+      ignore (request { Serve.Protocol.verb = Publish; body = "" });
+      let classify_lats =
+        List.map
+          (fun body -> request { Serve.Protocol.verb = Classify; body })
+          (mbox_batches (Array.map snd labeled))
+      in
+      report "serve-classify-b16" ~messages:size classify_lats;
+      print_newline ();
+      flush stdout;
+      !timings
 
 (* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
@@ -430,6 +560,8 @@ let () =
       if target = "perf" then run_perf ~jobs:cli.jobs ()
       else if target = "ingest" then
         timings := !timings @ run_ingest lab ~jobs:cli.jobs
+      else if target = "serve" then
+        timings := !timings @ run_serve lab ~jobs:cli.jobs
       else timings := !timings @ run_experiments lab target)
     cli.targets;
   Lab.shutdown lab;

@@ -12,7 +12,9 @@
      roni        RONI-screen a candidate training message
      thresholds  derive dynamic thresholds from a training corpus
      experiment  reproduce a table/figure from the paper
-     db          inspect and verify trained filter databases *)
+     db          inspect and verify trained filter databases
+     serve       run the classification daemon on a unix/TCP socket
+     client      talk to a running daemon (ping/stats/classify/...) *)
 
 open Cmdliner
 module Corpus = Spamlab_corpus
@@ -28,6 +30,7 @@ module Eval = Spamlab_eval
 module Obs = Spamlab_obs.Obs
 module Fault = Spamlab_fault
 module Token_db = Spamlab_spambayes.Token_db
+module Serve = Spamlab_serve
 
 let setup_logs () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -70,13 +73,37 @@ let db_arg =
 
 let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
 
-(* Graceful degradation: a missing file, an unwritable path or an
-   injected fatal fault becomes one error line and a nonzero exit,
-   never an exception backtrace. *)
+(* Graceful degradation: a missing file, an unwritable path, a dead
+   socket or an injected fatal fault becomes one error line and a
+   nonzero exit, never an exception backtrace. *)
 let guard f =
   try f () with
   | Sys_error e -> fail "%s" e
+  | Unix.Unix_error (e, fn, arg) ->
+      fail "%s%s: %s" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message e)
   | Fault.Injected _ as exn -> fail "%s" (Printexc.to_string exn)
+
+(* Every leaf command is built through [guarded]: its term evaluates to
+   a thunk and the guard is the only thing that runs it, so a new
+   subcommand structurally cannot skip the degradation path. *)
+let guarded info term = Cmd.v info Term.(ret (const guard $ term))
+
+let jobs_arg =
+  let doc =
+    "Worker domains (default: SPAMLAB_JOBS if set, else the recommended \
+     domain count). Results are identical at every jobs value."
+  in
+  let jobs_conv =
+    Arg.conv
+      ( (fun s ->
+          match Spamlab_parallel.parse_jobs s with
+          | Ok n -> Ok n
+          | Error msg -> Error (`Msg msg)),
+        Format.pp_print_int )
+  in
+  Arg.(value & opt (some jobs_conv) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let read_message_file path =
   match open_in path with
@@ -99,9 +126,8 @@ let corpus_cmd =
   let spam_fraction =
     Arg.(value & opt float 0.5 & info [ "spam-fraction" ] ~docv:"F" ~doc:"Spam prevalence.")
   in
-  let run seed size spam_fraction ham spam =
+  let run seed size spam_fraction ham spam () =
     setup_logs ();
-    guard @@ fun () ->
     if spam_fraction < 0.0 || spam_fraction > 1.0 then
       fail "spam-fraction must lie in [0,1]"
     else begin
@@ -116,22 +142,17 @@ let corpus_cmd =
       `Ok ()
     end
   in
-  let term =
-    Term.(
-      ret (const run $ seed_arg $ size $ spam_fraction $ ham_mbox_arg $ spam_mbox_arg))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "corpus" ~doc:"Generate a synthetic TREC-like corpus as two mbox files.")
-    term
+    Term.(const run $ seed_arg $ size $ spam_fraction $ ham_mbox_arg $ spam_mbox_arg)
 
 (* --------------------------------------------------------------- *)
 (* train                                                            *)
 
 let train_cmd =
   let quarantined_counter = Obs.counter "train.quarantined" in
-  let run ham spam db tokenizer =
+  let run ham spam db tokenizer () =
     setup_logs ();
-    guard @@ fun () ->
     match Corpus.Trec.of_mbox_files_lenient ~ham_path:ham ~spam_path:spam with
     | Error e -> fail "%s" e
     | Ok (corpus, quarantined) ->
@@ -153,12 +174,9 @@ let train_cmd =
               db);
         `Ok ()
   in
-  let term =
-    Term.(ret (const run $ ham_mbox_arg $ spam_mbox_arg $ db_arg $ tokenizer_arg))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "train" ~doc:"Train a SpamBayes filter from ham/spam mbox files.")
-    term
+    Term.(const run $ ham_mbox_arg $ spam_mbox_arg $ db_arg $ tokenizer_arg)
 
 (* --------------------------------------------------------------- *)
 (* classify                                                         *)
@@ -173,8 +191,7 @@ let classify_cmd =
   let verbose =
     Arg.(value & flag & info [ "clues" ] ~doc:"Print the discriminator tokens.")
   in
-  let run db message verbose tokenizer =
-    guard @@ fun () ->
+  let run db message verbose tokenizer () =
     match Filter.load_file ~tokenizer db with
     | Error e -> fail "cannot load %s: %s" db e
     | Ok filter -> (
@@ -193,12 +210,9 @@ let classify_cmd =
                 result.Classify.clues;
             `Ok ())
   in
-  let term =
-    Term.(ret (const run $ db_arg $ message_arg $ verbose $ tokenizer_arg))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "classify" ~doc:"Classify a message with a trained filter.")
-    term
+    Term.(const run $ db_arg $ message_arg $ verbose $ tokenizer_arg)
 
 (* --------------------------------------------------------------- *)
 (* classify-mbox                                                    *)
@@ -210,9 +224,8 @@ let classify_mbox_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"MBOX" ~doc:"Raw mbox file of messages to classify.")
   in
-  let run db mbox tokenizer =
+  let run db mbox tokenizer () =
     setup_logs ();
-    guard @@ fun () ->
     match Filter.load_file ~tokenizer db with
     | Error e -> fail "cannot load %s: %s" db e
     | Ok filter -> (
@@ -242,13 +255,12 @@ let classify_mbox_cmd =
                   m "%d malformed message(s) could not be classified" !malformed);
             `Ok ())
   in
-  let term = Term.(ret (const run $ db_arg $ mbox_arg $ tokenizer_arg)) in
-  Cmd.v
+  guarded
     (Cmd.info "classify-mbox"
        ~doc:
          "Batch-classify every message of a raw mbox through the zero-copy \
           ingest path.")
-    term
+    Term.(const run $ db_arg $ mbox_arg $ tokenizer_arg)
 
 (* --------------------------------------------------------------- *)
 (* tokenize                                                         *)
@@ -260,18 +272,16 @@ let tokenize_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"MESSAGE" ~doc:"RFC 2822 message file.")
   in
-  let run message tokenizer =
-    guard @@ fun () ->
+  let run message tokenizer () =
     match read_message_file message with
     | Error e -> fail "cannot parse %s: %s" message e
     | Ok msg ->
         Array.iter print_endline (Tokenizer.unique_tokens tokenizer msg);
         `Ok ()
   in
-  let term = Term.(ret (const run $ message_arg $ tokenizer_arg)) in
-  Cmd.v
+  guarded
     (Cmd.info "tokenize" ~doc:"Print the distinct tokens of a message.")
-    term
+    Term.(const run $ message_arg $ tokenizer_arg)
 
 (* --------------------------------------------------------------- *)
 (* attack                                                           *)
@@ -296,9 +306,8 @@ let attack_dictionary_cmd =
   let out =
     Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output mbox.")
   in
-  let run seed scale variant words count out =
+  let run seed scale variant words count out () =
     setup_logs ();
-    guard @@ fun () ->
     let lab = Eval.Lab.create ~seed ~scale () in
     let word_list =
       match variant with
@@ -320,13 +329,10 @@ let attack_dictionary_cmd =
           out);
     `Ok ()
   in
-  let term =
-    Term.(ret (const run $ seed_arg $ scale_arg $ variant $ words $ count $ out))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "dictionary"
        ~doc:"Craft dictionary-attack emails (Causative Availability Indiscriminate).")
-    term
+    Term.(const run $ seed_arg $ scale_arg $ variant $ words $ count $ out)
 
 let attack_focused_cmd =
   let target_arg =
@@ -352,9 +358,8 @@ let attack_focused_cmd =
   let out =
     Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output mbox.")
   in
-  let run seed target p count headers out =
+  let run seed target p count headers out () =
     setup_logs ();
-    guard @@ fun () ->
     match (read_message_file target, Mbox.read_file headers) with
     | Error e, _ -> fail "cannot parse target: %s" e
     | _, Error e -> fail "cannot read header mbox: %s" e
@@ -378,15 +383,10 @@ let attack_focused_cmd =
           `Ok ()
         end
   in
-  let term =
-    Term.(
-      ret
-        (const run $ seed_arg $ target_arg $ p_arg $ count $ headers_arg $ out))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "focused"
        ~doc:"Craft a focused attack against a specific email (Causative Availability Targeted).")
-    term
+    Term.(const run $ seed_arg $ target_arg $ p_arg $ count $ headers_arg $ out)
 
 let attack_pseudospam_cmd =
   let campaign_arg =
@@ -409,9 +409,8 @@ let attack_pseudospam_cmd =
   let out =
     Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output mbox.")
   in
-  let run seed scale campaign camouflage_fraction count out =
+  let run seed scale campaign camouflage_fraction count out () =
     setup_logs ();
-    guard @@ fun () ->
     match read_message_file campaign with
     | Error e -> fail "cannot parse campaign sample: %s" e
     | Ok sample ->
@@ -442,17 +441,13 @@ let attack_pseudospam_cmd =
           `Ok ()
         end
   in
-  let term =
-    Term.(
-      ret
-        (const run $ seed_arg $ scale_arg $ campaign_arg
-        $ camouflage_fraction_arg $ count $ out))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "pseudospam"
        ~doc:"Craft ham-labeled pseudospam emails that whitewash a future \
              campaign (Causative Integrity).")
-    term
+    Term.(
+      const run $ seed_arg $ scale_arg $ campaign_arg $ camouflage_fraction_arg
+      $ count $ out)
 
 let attack_cmd =
   Cmd.group
@@ -478,8 +473,7 @@ let evade_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Write the padded message here.")
   in
-  let run db message max_words out tokenizer =
-    guard @@ fun () ->
+  let run db message max_words out tokenizer () =
     match Filter.load_file ~tokenizer db with
     | Error e -> fail "cannot load %s: %s" db e
     | Ok filter -> (
@@ -507,16 +501,11 @@ let evade_cmd =
                 close_out oc);
             `Ok ())
   in
-  let term =
-    Term.(
-      ret (const run $ db_arg $ message_arg $ max_words_arg $ out_arg
-           $ tokenizer_arg))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "evade"
        ~doc:"Good-word evasion: pad a spam message with the filter's \
              hammiest tokens (Exploratory Integrity baseline).")
-    term
+    Term.(const run $ db_arg $ message_arg $ max_words_arg $ out_arg $ tokenizer_arg)
 
 (* --------------------------------------------------------------- *)
 (* roni                                                             *)
@@ -534,9 +523,8 @@ let roni_cmd =
       & opt float Spamlab_core.Roni.default_config.Spamlab_core.Roni.threshold
       & info [ "threshold" ] ~docv:"T" ~doc:"Rejection threshold on mean ham impact.")
   in
-  let run seed ham spam candidate threshold tokenizer =
+  let run seed ham spam candidate threshold tokenizer () =
     setup_logs ();
-    guard @@ fun () ->
     match (load_labeled ~ham ~spam, read_message_file candidate) with
     | Error e, _ -> fail "%s" e
     | _, Error e -> fail "cannot parse candidate: %s" e
@@ -557,16 +545,12 @@ let roni_cmd =
            else "admit");
         `Ok ()
   in
-  let term =
-    Term.(
-      ret
-        (const run $ seed_arg $ ham_mbox_arg $ spam_mbox_arg $ candidate_arg
-        $ threshold_arg $ tokenizer_arg))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "roni"
        ~doc:"Reject-On-Negative-Impact screening of a candidate training message.")
-    term
+    Term.(
+      const run $ seed_arg $ ham_mbox_arg $ spam_mbox_arg $ candidate_arg
+      $ threshold_arg $ tokenizer_arg)
 
 (* --------------------------------------------------------------- *)
 (* thresholds                                                       *)
@@ -575,9 +559,8 @@ let thresholds_cmd =
   let quantile_arg =
     Arg.(value & opt float 0.05 & info [ "quantile" ] ~docv:"Q" ~doc:"Utility quantile (0.05 or 0.10).")
   in
-  let run seed ham spam quantile tokenizer =
+  let run seed ham spam quantile tokenizer () =
     setup_logs ();
-    guard @@ fun () ->
     match load_labeled ~ham ~spam with
     | Error e -> fail "%s" e
     | Ok corpus ->
@@ -590,24 +573,19 @@ let thresholds_cmd =
         Printf.printf "theta0 %.6f\ntheta1 %.6f\n" theta0 theta1;
         `Ok ()
   in
-  let term =
-    Term.(
-      ret
-        (const run $ seed_arg $ ham_mbox_arg $ spam_mbox_arg $ quantile_arg
-        $ tokenizer_arg))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "thresholds"
        ~doc:"Derive dynamic ham/spam cutoffs from a training corpus.")
-    term
+    Term.(
+      const run $ seed_arg $ ham_mbox_arg $ spam_mbox_arg $ quantile_arg
+      $ tokenizer_arg)
 
 (* --------------------------------------------------------------- *)
 (* stats                                                            *)
 
 let stats_cmd =
-  let run ham spam tokenizer =
+  let run ham spam tokenizer () =
     setup_logs ();
-    guard @@ fun () ->
     match load_labeled ~ham ~spam with
     | Error e -> fail "%s" e
     | Ok corpus ->
@@ -616,14 +594,11 @@ let stats_cmd =
              (Corpus.Corpus_stats.measure tokenizer corpus));
         `Ok ()
   in
-  let term =
-    Term.(ret (const run $ ham_mbox_arg $ spam_mbox_arg $ tokenizer_arg))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "stats"
        ~doc:"Characterize a corpus: lengths, vocabulary growth, singleton \
              tail, class overlap.")
-    term
+    Term.(const run $ ham_mbox_arg $ spam_mbox_arg $ tokenizer_arg)
 
 (* --------------------------------------------------------------- *)
 (* experiment                                                       *)
@@ -635,22 +610,6 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:("Experiment id: " ^ ids ^ ", or 'all'."))
-  in
-  let jobs_arg =
-    let doc =
-      "Worker domains for the experiment harness (default: SPAMLAB_JOBS if \
-       set, else the recommended domain count). Results are identical at \
-       every jobs value."
-    in
-    let jobs_conv =
-      Arg.conv
-        ( (fun s ->
-            match Spamlab_parallel.parse_jobs s with
-            | Ok n -> Ok n
-            | Error msg -> Error (`Msg msg)),
-          Format.pp_print_int )
-    in
-    Arg.(value & opt (some jobs_conv) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
   let trace_arg =
     let doc =
@@ -690,9 +649,8 @@ let experiment_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let run seed scale jobs trace metrics fault_spec checkpoint resume id =
+  let run seed scale jobs trace metrics fault_spec checkpoint resume id () =
     setup_logs ();
-    guard @@ fun () ->
     let fault_configured =
       match fault_spec with
       | Some spec -> Fault.configure ~seed spec
@@ -741,16 +699,12 @@ let experiment_cmd =
         | result -> finish result
         | exception exn -> ignore (finish (`Ok ())); raise exn)
   in
-  let term =
-    Term.(
-      ret
-        (const run $ seed_arg $ scale_arg $ jobs_arg $ trace_arg $ metrics_arg
-       $ fault_spec_arg $ checkpoint_arg $ resume_arg $ id_arg))
-  in
-  Cmd.v
+  guarded
     (Cmd.info "experiment"
        ~doc:"Reproduce a table or figure from the paper's evaluation.")
-    term
+    Term.(
+      const run $ seed_arg $ scale_arg $ jobs_arg $ trace_arg $ metrics_arg
+      $ fault_spec_arg $ checkpoint_arg $ resume_arg $ id_arg)
 
 (* --------------------------------------------------------------- *)
 (* db                                                               *)
@@ -762,9 +716,8 @@ let db_verify_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"Trained filter database to verify.")
   in
-  let run path =
+  let run path () =
     setup_logs ();
-    guard @@ fun () ->
     match In_channel.with_open_bin path In_channel.input_all with
     | exception Sys_error e -> fail "%s" e
     | contents -> (
@@ -792,17 +745,259 @@ let db_verify_cmd =
             in
             fail "%s: corrupt token database: %s%s" path e salvage)
   in
-  let term = Term.(ret (const run $ db_pos)) in
-  Cmd.v
+  guarded
     (Cmd.info "verify"
        ~doc:"Check a database's format version, checksum and count \
              invariants; nonzero exit on corruption.")
-    term
+    Term.(const run $ db_pos)
 
 let db_cmd =
   Cmd.group
     (Cmd.info "db" ~doc:"Inspect and verify trained filter databases.")
     [ db_verify_cmd ]
+
+(* --------------------------------------------------------------- *)
+(* serve / client                                                   *)
+
+let socket_arg =
+  let doc = "Unix socket path of the daemon." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "TCP address of the daemon." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "bad address %S (want HOST:PORT)" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+      | Some port when port >= 0 && port < 65536 ->
+          Ok (Serve.Daemon.Tcp (host, port))
+      | _ -> Error (Printf.sprintf "bad port in %S" spec))
+
+let daemon_addr ?default socket tcp =
+  match (socket, tcp, default) with
+  | Some _, Some _, _ -> Error "choose one of --socket and --tcp"
+  | Some p, None, _ -> Ok (Serve.Daemon.Unix_sock p)
+  | None, Some spec, _ -> parse_tcp spec
+  | None, None, Some d -> Ok d
+  | None, None, None -> Error "need --socket PATH or --tcp HOST:PORT"
+
+let string_of_sockaddr = function
+  | Unix.ADDR_UNIX p -> p
+  | Unix.ADDR_INET (ip, port) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+
+let serve_cmd =
+  let publish_every_arg =
+    let doc =
+      "Trained messages between automatic snapshot publishes (0 disables; \
+       PUBLISH always works)."
+    in
+    Arg.(value & opt int 32 & info [ "publish-every" ] ~docv:"N" ~doc)
+  in
+  let max_body_arg =
+    let doc = "Largest accepted Content-Length in bytes." in
+    Arg.(
+      value
+      & opt int Serve.Protocol.default_max_body
+      & info [ "max-body" ] ~docv:"BYTES" ~doc)
+  in
+  let fault_spec_arg =
+    let doc =
+      "Deterministic fault injection spec (also read from SPAMLAB_FAULTS); \
+       daemon sites: serve.accept, serve.read, serve.publish, db.save.write, \
+       db.save.rename."
+    in
+    Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+  in
+  let run seed db socket tcp publish_every max_body jobs tokenizer fault_spec ()
+      =
+    setup_logs ();
+    let fault_configured =
+      match fault_spec with
+      | Some spec -> Fault.configure ~seed spec
+      | None -> Fault.configure_env ~seed ()
+    in
+    match fault_configured with
+    | Error e -> fail "%s" e
+    | Ok () -> (
+        Obs.configure_from_env ();
+        let default =
+          Serve.Daemon.Unix_sock
+            (Filename.concat (Filename.dirname db) "spamlab.sock")
+        in
+        match daemon_addr ~default socket tcp with
+        | Error e -> fail "%s" e
+        | Ok addr -> (
+            let config =
+              {
+                Serve.Daemon.addr;
+                db_path = db;
+                tokenizer;
+                options = Options.default;
+                publish_every;
+                max_body;
+                jobs =
+                  (match jobs with
+                  | Some j -> j
+                  | None -> Spamlab_parallel.default_jobs ());
+              }
+            in
+            match Serve.Daemon.create config with
+            | Error e -> fail "%s" e
+            | Ok daemon ->
+                let stop_flag = Atomic.make false in
+                List.iter
+                  (fun s ->
+                    try
+                      Sys.set_signal s
+                        (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true))
+                    with Invalid_argument _ | Sys_error _ -> ())
+                  [ Sys.sigterm; Sys.sigint ];
+                let ready sa =
+                  Logs.info (fun m -> m "listening on %s" (string_of_sockaddr sa))
+                in
+                let result =
+                  Serve.Daemon.run ~ready
+                    ~stop:(fun () -> Atomic.get stop_flag)
+                    daemon
+                in
+                Serve.Daemon.shutdown daemon;
+                (match result with Error e -> fail "%s" e | Ok () -> `Ok ())))
+  in
+  guarded
+    (Cmd.info "serve"
+       ~doc:
+         "Run the classification daemon: a spamd-style service answering \
+          PING/STATS/PUBLISH/CLASSIFY/TRAIN/UNTRAIN over a unix or TCP \
+          socket.")
+    Term.(
+      const run $ seed_arg $ db_arg $ socket_arg $ tcp_arg $ publish_every_arg
+      $ max_body_arg $ jobs_arg $ tokenizer_arg $ fault_spec_arg)
+
+let oneshot addr (req : Serve.Protocol.request) =
+  match Serve.Client.roundtrip addr req with
+  | Error e -> fail "%s" e
+  | Ok (Serve.Protocol.Err e) -> fail "daemon error: %s" e
+  | Ok (Serve.Protocol.Ok payload) ->
+      print_string payload;
+      `Ok ()
+
+let client_simple_cmd name ~doc verb =
+  let run socket tcp () =
+    match daemon_addr socket tcp with
+    | Error e -> fail "%s" e
+    | Ok addr -> oneshot addr { Serve.Protocol.verb; body = "" }
+  in
+  guarded (Cmd.info name ~doc) Term.(const run $ socket_arg $ tcp_arg)
+
+let mbox_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"MBOX" ~doc:"Raw mbox file to send as the request body.")
+
+let class_arg =
+  let doc = "Message class: ham or spam." in
+  Arg.(
+    required
+    & opt (some (enum [ ("ham", Label.Ham); ("spam", Label.Spam) ])) None
+    & info [ "class" ] ~docv:"CLASS" ~doc)
+
+let client_body_cmd name ~doc mk_verb =
+  let run socket tcp verb mbox () =
+    match daemon_addr socket tcp with
+    | Error e -> fail "%s" e
+    | Ok addr ->
+        let body = In_channel.with_open_bin mbox In_channel.input_all in
+        oneshot addr { Serve.Protocol.verb; body }
+  in
+  guarded (Cmd.info name ~doc)
+    Term.(const run $ socket_arg $ tcp_arg $ mk_verb $ mbox_pos)
+
+let client_classify_cmd =
+  client_body_cmd "classify"
+    ~doc:
+      "Classify every message of an mbox against the daemon's published \
+       snapshot; prints one 'index verdict indicator' line per message."
+    Term.(const Serve.Protocol.Classify)
+
+let client_train_cmd =
+  client_body_cmd "train"
+    ~doc:"Train the daemon's delta on an mbox of one class."
+    Term.(const (fun c -> Serve.Protocol.Train c) $ class_arg)
+
+let client_untrain_cmd =
+  client_body_cmd "untrain"
+    ~doc:"Remove an mbox of one class from the daemon's delta."
+    Term.(const (fun c -> Serve.Protocol.Untrain c) $ class_arg)
+
+let client_load_cmd =
+  let clients_arg =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N" ~doc:"Logical clients.")
+  in
+  let train_size_arg =
+    Arg.(value & opt int 96 & info [ "train-size" ] ~docv:"N" ~doc:"Messages to train.")
+  in
+  let eval_size_arg =
+    Arg.(value & opt int 48 & info [ "eval-size" ] ~docv:"N" ~doc:"Messages to classify.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N" ~doc:"Messages per request.")
+  in
+  let run seed socket tcp clients train_size eval_size batch () =
+    setup_logs ();
+    match daemon_addr socket tcp with
+    | Error e -> fail "%s" e
+    | Ok addr -> (
+        let cfg =
+          {
+            (Serve.Client.default_load ~addr ~seed) with
+            Serve.Client.clients;
+            train_size;
+            eval_size;
+            train_batch = batch;
+            classify_batch = batch;
+          }
+        in
+        match Serve.Client.load cfg with
+        | Error e -> fail "%s" e
+        | Ok report ->
+            (* Summary on stdout is deterministic (jobs- and
+               crash/replay-invariant); timing detail goes to stderr. *)
+            print_string report.Serve.Client.summary;
+            prerr_string report.Serve.Client.detail;
+            `Ok ())
+  in
+  guarded
+    (Cmd.info "load"
+       ~doc:
+         "Deterministic load generator: train a generated corpus in \
+          batches, publish, classify a held-out corpus, print a \
+          deterministic summary.")
+    Term.(
+      const run $ seed_arg $ socket_arg $ tcp_arg $ clients_arg
+      $ train_size_arg $ eval_size_arg $ batch_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running spamlab daemon.")
+    [
+      client_simple_cmd "ping" ~doc:"Liveness check." Serve.Protocol.Ping;
+      client_simple_cmd "stats"
+        ~doc:
+          "Print the daemon's request counters and latency histograms \
+           (latency.* lines are wall-clock and not deterministic)."
+        Serve.Protocol.Stats;
+      client_simple_cmd "publish"
+        ~doc:"Force a snapshot publish of the daemon's training delta."
+        Serve.Protocol.Publish;
+      client_classify_cmd; client_train_cmd; client_untrain_cmd;
+      client_load_cmd;
+    ]
 
 (* --------------------------------------------------------------- *)
 
@@ -817,7 +1012,7 @@ let main_cmd =
       corpus_cmd; train_cmd; classify_cmd; classify_mbox_cmd; tokenize_cmd;
       stats_cmd;
       attack_cmd; evade_cmd; roni_cmd; thresholds_cmd; experiment_cmd;
-      db_cmd;
+      db_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -132,4 +132,80 @@ diff -u "$j1" "$resumed" \
   || { echo "FAIL: resumed fig2 output differs from the baseline"; exit 1; }
 echo "fig2: killed at record 3, resumed, byte-identical"
 
+say "serve soak: cross-jobs determinism"
+# The daemon's CLASSIFY fan-out over the domain pool must never leak
+# the worker count: a fixed client-load seed must produce byte-identical
+# client stdout, STATS (minus the latency.* lines, which are wall-clock)
+# and published token database at every --jobs value.
+sdir=$(mktemp -d /tmp/spamlab-ci-serve.XXXXXX)
+trap 'rm -f "$trace" "$timings" "$j1" "$j4" "$faulted" "$ckpt" "$resumed"; rm -rf "$sdir"' EXIT
+spamlab=./_build/default/bin/spamlab.exe
+daemon_pid=
+
+start_daemon() { # tag jobs [extra serve args...]
+  tag=$1; dj=$2; shift 2
+  "$spamlab" serve --db "$sdir/$tag.db" --socket "$sdir/$tag.sock" \
+    --jobs "$dj" "$@" 2>> "$sdir/$tag.serve.log" &
+  daemon_pid=$!
+  i=0
+  while [ $i -lt 100 ] && ! [ -S "$sdir/$tag.sock" ]; do
+    sleep 0.1; i=$((i + 1))
+  done
+  [ -S "$sdir/$tag.sock" ] \
+    || { echo "FAIL: $tag daemon never bound"; cat "$sdir/$tag.serve.log"; exit 1; }
+}
+
+run_leg() { # tag jobs
+  start_daemon "$1" "$2"
+  "$spamlab" client load --socket "$sdir/$1.sock" --seed 7 \
+    > "$sdir/$1.client.txt" 2> "$sdir/$1.client.log" \
+    || { echo "FAIL: $1 client load failed"; cat "$sdir/$1.client.log"; exit 1; }
+  "$spamlab" client stats --socket "$sdir/$1.sock" \
+    | grep -v '^latency\.' > "$sdir/$1.stats.txt"
+  kill -TERM "$daemon_pid"
+  wait "$daemon_pid" \
+    || { echo "FAIL: $1 daemon exited nonzero on SIGTERM"; exit 1; }
+}
+
+run_leg sj1 1
+run_leg sj4 4
+cmp -s "$sdir/sj1.client.txt" "$sdir/sj4.client.txt" \
+  || { echo "FAIL: client stdout differs between daemon --jobs 1 and 4"; \
+       diff -u "$sdir/sj1.client.txt" "$sdir/sj4.client.txt" | head -20; exit 1; }
+cmp -s "$sdir/sj1.stats.txt" "$sdir/sj4.stats.txt" \
+  || { echo "FAIL: STATS differ between daemon --jobs 1 and 4"; \
+       diff -u "$sdir/sj1.stats.txt" "$sdir/sj4.stats.txt"; exit 1; }
+cmp -s "$sdir/sj1.db" "$sdir/sj4.db" \
+  || { echo "FAIL: published db differs between daemon --jobs 1 and 4"; exit 1; }
+echo "serve: daemon jobs 1 == jobs 4 (client stdout, STATS, db)"
+
+say "serve soak: crash mid-TRAIN, restart, replay"
+# The second publish crashes the daemon (exit 70) partway through the
+# TRAIN schedule.  The client reconnect-retries, replaying its
+# unpublished buffer against the restarted daemon; the final stdout and
+# the published database must match the uninterrupted sj1 leg exactly.
+start_daemon crash 1 --fault-spec 'serve.publish:crash@2'
+"$spamlab" client load --socket "$sdir/crash.sock" --seed 7 \
+  > "$sdir/crash.client.txt" 2> "$sdir/crash.client.log" &
+client_pid=$!
+status=0
+wait "$daemon_pid" || status=$?
+[ "$status" -eq 70 ] \
+  || { echo "FAIL: injected publish crash should exit 70, got $status"; exit 1; }
+start_daemon crash 1
+wait "$client_pid" \
+  || { echo "FAIL: client did not survive the daemon crash"; \
+       cat "$sdir/crash.client.log"; exit 1; }
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" \
+  || { echo "FAIL: restarted daemon exited nonzero on SIGTERM"; exit 1; }
+cmp -s "$sdir/sj1.client.txt" "$sdir/crash.client.txt" \
+  || { echo "FAIL: crash-and-replay client stdout differs from uninterrupted"; \
+       diff -u "$sdir/sj1.client.txt" "$sdir/crash.client.txt" | head -20; exit 1; }
+cmp -s "$sdir/sj1.db" "$sdir/crash.db" \
+  || { echo "FAIL: crash-and-replay db differs from uninterrupted"; exit 1; }
+grep -q 'reconnects=' "$sdir/crash.client.log" \
+  || { echo "FAIL: client log records no reconnect"; exit 1; }
+echo "serve: crashed at publish 2, restarted, replayed, byte-identical"
+
 say "ci.sh: all checks passed"

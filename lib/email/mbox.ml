@@ -40,8 +40,17 @@ let chunks_of text =
   let lines = String.split_on_char '\n' text in
   let rec group current chunks = function
     | [] ->
+        (* A text ending in '\n' splits into a final "" artifact.  When
+           the last real line was a separator, that artifact is the sole
+           accumulated element — dropping it keeps "separator at EOF"
+           consistent with the mid-file case (two adjacent separators
+           yield no empty message) and with the offset-based scanner in
+           [Ingest.iter_raw_messages], which never fabricates a chunk
+           after a final separator. *)
         let chunks =
-          if current = [] then chunks else List.rev current :: chunks
+          match current with
+          | [] | [ "" ] -> chunks
+          | _ -> List.rev current :: chunks
         in
         List.rev chunks
     | line :: rest ->

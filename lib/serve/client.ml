@@ -1,0 +1,295 @@
+module Label = Spamlab_spambayes.Label
+module Mbox = Spamlab_email.Mbox
+module Rng = Spamlab_stats.Rng
+module Trec = Spamlab_corpus.Trec
+module Generator = Spamlab_corpus.Generator
+module Clock = Spamlab_obs.Clock
+
+type conn = { fd : Unix.file_descr; reader : Spamlab_io.reader }
+
+let sockaddr_of = function
+  | Daemon.Unix_sock path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Daemon.Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+      | exception Failure _ ->
+          Error (Printf.sprintf "bad daemon address %S" host))
+
+let connect addr =
+  match sockaddr_of addr with
+  | Error e -> Error e
+  | Ok (domain, sa) -> (
+      let fd = Unix.socket ~cloexec:true domain SOCK_STREAM 0 in
+      match Unix.connect fd sa with
+      | () -> Ok { fd; reader = Spamlab_io.reader fd }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Unix.error_message e))
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let request conn req =
+  let wire = Protocol.render_request req in
+  match Spamlab_io.really_write_string conn.fd wire 0 (String.length wire) with
+  | exception (Unix.Unix_error _ | Sys_error _) -> Error "connection lost"
+  | () -> (
+      match Protocol.recv_response conn.reader with
+      | `Response r -> Ok r
+      | `Eof -> Error "connection closed before response"
+      | `Error e -> Error e)
+
+let roundtrip addr req =
+  match connect addr with
+  | Error e -> Error e
+  | Ok conn ->
+      let r = request conn req in
+      close conn;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Load generation                                                     *)
+
+type load_config = {
+  addr : Daemon.addr;
+  seed : int;
+  clients : int;
+  train_size : int;
+  train_batch : int;
+  eval_size : int;
+  classify_batch : int;
+  spam_fraction : float;
+  reconnect_attempts : int;
+  reconnect_delay_s : float;
+}
+
+let default_load ~addr ~seed =
+  {
+    addr;
+    seed;
+    clients = 2;
+    train_size = 96;
+    train_batch = 8;
+    eval_size = 48;
+    classify_batch = 8;
+    spam_fraction = 0.5;
+    reconnect_attempts = 50;
+    reconnect_delay_s = 0.2;
+  }
+
+type load_report = {
+  summary : string;
+  detail : string;
+  trained : int;
+  classified : int;
+  reconnects : int;
+  wall_s : float;
+}
+
+(* "pending=0" style fields out of an ack payload. *)
+let ack_field payload key =
+  let key = key ^ "=" in
+  String.split_on_char '\n' payload
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.find_map (fun tok ->
+         if
+           String.length tok > String.length key
+           && String.sub tok 0 (String.length key) = key
+         then
+           int_of_string_opt
+             (String.sub tok (String.length key)
+                (String.length tok - String.length key))
+         else None)
+
+type load_state = {
+  cfg : load_config;
+  mutable unpublished : Protocol.request list;  (* send order *)
+  mutable reconnects : int;
+  mutable seq : int;
+}
+
+(* After a TRAIN/UNTRAIN/PUBLISH ack: pending = 0 means a publish has
+   incorporated every unpublished request (including this one). *)
+let note_ack st (req : Protocol.request) (resp : Protocol.response) =
+  match (req.verb, resp) with
+  | (Protocol.Train _ | Protocol.Untrain _), Protocol.Ok payload -> (
+      (match ack_field payload "seq" with Some s -> st.seq <- s | None -> ());
+      match ack_field payload "pending" with
+      | Some 0 -> st.unpublished <- []
+      | _ -> st.unpublished <- st.unpublished @ [ req ])
+  | (Protocol.Train _ | Protocol.Untrain _), Protocol.Err _ ->
+      (* Applied to the delta but publish (or the ack) failed: still
+         unpublished from our point of view. *)
+      st.unpublished <- st.unpublished @ [ req ]
+  | Protocol.Publish, Protocol.Ok payload ->
+      (match ack_field payload "seq" with Some s -> st.seq <- s | None -> ());
+      st.unpublished <- []
+  | _ -> ()
+
+(* One logical request with transport-failure recovery: on failure,
+   wait, replay the unpublished buffer in order, then retry.  [tries]
+   bounds the total reconnect budget across the recovery tree. *)
+let rec send st tries (req : Protocol.request) =
+  match roundtrip st.cfg.addr req with
+  | Ok resp ->
+      note_ack st req resp;
+      Ok resp
+  | Error e ->
+      if tries >= st.cfg.reconnect_attempts then
+        Error (Printf.sprintf "%s (after %d reconnect attempts)" e tries)
+      else begin
+        st.reconnects <- st.reconnects + 1;
+        Unix.sleepf st.cfg.reconnect_delay_s;
+        let buffered = st.unpublished in
+        st.unpublished <- [];
+        let rec replay = function
+          | [] -> send st (tries + 1) req
+          | r :: rest -> (
+              match send st (tries + 1) r with
+              | Ok _ -> replay rest
+              | Error _ as err ->
+                  (* Keep what was not replayed for the next attempt. *)
+                  st.unpublished <- st.unpublished @ (r :: rest);
+                  err)
+        in
+        replay buffered
+      end
+
+let send st req = send st 0 req
+
+(* Single-label TRAIN batches over a shuffled corpus, in encounter
+   order: a batch flushes when it reaches [train_batch] messages. *)
+let train_requests cfg (corpus : Trec.labeled array) =
+  let reqs = ref [] in
+  let ham = ref [] and spam = ref [] in
+  let flush cls bucket =
+    if !bucket <> [] then begin
+      let body = Mbox.print (List.rev !bucket) in
+      bucket := [];
+      reqs := { Protocol.verb = Protocol.Train cls; body } :: !reqs
+    end
+  in
+  Array.iter
+    (fun (label, msg) ->
+      let bucket = match label with Label.Ham -> ham | Label.Spam -> spam in
+      bucket := msg :: !bucket;
+      if List.length !bucket >= cfg.train_batch then
+        flush label (match label with Label.Ham -> ham | Label.Spam -> spam))
+    corpus;
+  flush Label.Ham ham;
+  flush Label.Spam spam;
+  List.rev !reqs
+
+let classify_requests cfg (eval : Trec.labeled array) =
+  let msgs = Array.to_list (Array.map snd eval) in
+  let rec batches acc = function
+    | [] -> List.rev acc
+    | l ->
+        let rec take n acc = function
+          | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let batch, rest = take cfg.classify_batch [] l in
+        batches ({ Protocol.verb = Protocol.Classify; body = Mbox.print batch } :: acc) rest
+  in
+  batches [] msgs
+
+let load cfg =
+  let t0 = Clock.now_ns () in
+  let rng = Rng.create cfg.seed in
+  let gen = Generator.default_config ~seed:cfg.seed () in
+  let corpus =
+    Trec.generate gen (Rng.split_named rng "serve.train") ~size:cfg.train_size
+      ~spam_fraction:cfg.spam_fraction
+  in
+  let eval =
+    Trec.generate gen (Rng.split_named rng "serve.eval") ~size:cfg.eval_size
+      ~spam_fraction:cfg.spam_fraction
+  in
+  let st = { cfg; unpublished = []; reconnects = 0; seq = 0 } in
+  let summary = Buffer.create 1024 in
+  let exception Fail of string in
+  let must req =
+    match send st req with
+    | Ok resp -> resp
+    | Error e -> raise (Fail e)
+  in
+  try
+    (* Opening PING per logical client. *)
+    let pings = ref 0 in
+    for _ = 1 to max 1 cfg.clients do
+      match must { Protocol.verb = Protocol.Ping; body = "" } with
+      | Protocol.Ok _ -> incr pings
+      | Protocol.Err e -> raise (Fail ("ping: " ^ e))
+    done;
+    Buffer.add_string summary (Printf.sprintf "ping ok=%d\n" !pings);
+    (* Train. *)
+    let train_reqs = train_requests cfg corpus in
+    let trained = ref 0 and train_malformed = ref 0 in
+    List.iter
+      (fun req ->
+        match must req with
+        | Protocol.Ok payload ->
+            trained := !trained + Option.value ~default:0 (ack_field payload "trained");
+            train_malformed :=
+              !train_malformed + Option.value ~default:0 (ack_field payload "malformed")
+        | Protocol.Err e -> raise (Fail ("train: " ^ e)))
+      train_reqs;
+    Buffer.add_string summary
+      (Printf.sprintf "train requests=%d messages=%d malformed=%d\n"
+         (List.length train_reqs) !trained !train_malformed);
+    (* Publish everything before evaluating. *)
+    (match must { Protocol.verb = Protocol.Publish; body = "" } with
+    | Protocol.Ok _ -> ()
+    | Protocol.Err e -> raise (Fail ("publish: " ^ e)));
+    (* Classify the held-out corpus. *)
+    let classify_reqs = classify_requests cfg eval in
+    let verdicts = Buffer.create 1024 in
+    let classified = ref 0 and cls_malformed = ref 0 in
+    let ham = ref 0 and unsure = ref 0 and spam = ref 0 in
+    List.iteri
+      (fun bi req ->
+        match must req with
+        | Protocol.Err e -> raise (Fail ("classify: " ^ e))
+        | Protocol.Ok payload ->
+            String.split_on_char '\n' payload
+            |> List.iter (fun line ->
+                   if line <> "" then begin
+                     Buffer.add_string verdicts
+                       (Printf.sprintf "batch=%d %s\n" bi line);
+                     match String.split_on_char ' ' line with
+                     | [ _; "malformed" ] -> incr cls_malformed
+                     | _ :: v :: _ ->
+                         incr classified;
+                         if v = "ham" then incr ham
+                         else if v = "unsure" then incr unsure
+                         else if v = "spam" then incr spam
+                     | _ -> ()
+                   end))
+      classify_reqs;
+    Buffer.add_string summary
+      (Printf.sprintf
+         "classify requests=%d messages=%d ham=%d unsure=%d spam=%d malformed=%d\n"
+         (List.length classify_reqs) !classified !ham !unsure !spam !cls_malformed);
+    Buffer.add_buffer summary verdicts;
+    let stats_detail =
+      match must { Protocol.verb = Protocol.Stats; body = "" } with
+      | Protocol.Ok payload -> payload
+      | Protocol.Err e -> "stats error: " ^ e ^ "\n"
+    in
+    let wall_s =
+      Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e9
+    in
+    let detail =
+      Printf.sprintf "reconnects=%d publish.seq=%d wall_s=%.3f\n--- stats ---\n%s"
+        st.reconnects st.seq wall_s stats_detail
+    in
+    Ok
+      {
+        summary = Buffer.contents summary;
+        detail;
+        trained = !trained;
+        classified = !classified;
+        reconnects = st.reconnects;
+        wall_s;
+      }
+  with Fail e -> Error e

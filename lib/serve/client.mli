@@ -1,0 +1,72 @@
+(** Client side of the spamlab daemon protocol: single-request
+    round-trips (spamc style, one connection per request) and a
+    deterministic load generator for the soak/bench harness.
+
+    {2 Crash recovery}
+
+    The daemon only persists state at a publish; a crash loses the
+    training delta since the last one.  The load generator therefore
+    keeps every [TRAIN] request whose acknowledgement showed
+    [pending > 0] in an {e unpublished buffer}, cleared when an ack
+    shows [pending = 0] (a publish incorporated everything so far).
+    When a request fails at the transport level (daemon killed), the
+    generator reconnect-retries and first {e replays} the buffer in
+    original order, then the failed request — so the multiset and
+    order of effective training is identical to an uninterrupted run,
+    and the final published database is byte-identical. *)
+
+type conn
+
+val connect : Daemon.addr -> (conn, string) result
+val close : conn -> unit
+
+val request : conn -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and read its response.  [Error] is a transport or
+    framing failure (daemon gone, torn response) — the connection is
+    dead; a protocol-level [Err] arrives as [Ok (Err _)]. *)
+
+val roundtrip : Daemon.addr -> Protocol.request -> (Protocol.response, string) result
+(** Connect, {!request}, close. *)
+
+(** {1 Deterministic load generation} *)
+
+type load_config = {
+  addr : Daemon.addr;
+  seed : int;  (** Sole source of corpus and schedule randomness. *)
+  clients : int;  (** Logical clients; each sends an opening PING. *)
+  train_size : int;  (** Total messages trained. *)
+  train_batch : int;  (** Messages per TRAIN request (single-label). *)
+  eval_size : int;  (** Messages classified after the final publish. *)
+  classify_batch : int;
+  spam_fraction : float;
+  reconnect_attempts : int;
+      (** Transport-failure retries per logical request; each retry
+          waits [reconnect_delay_s] and replays the unpublished
+          buffer first. *)
+  reconnect_delay_s : float;
+}
+
+val default_load : addr:Daemon.addr -> seed:int -> load_config
+(** 2 clients, 96 train / 48 eval messages, batches of 8, 50% spam,
+    50 × 0.2 s reconnect budget. *)
+
+type load_report = {
+  summary : string;
+      (** Deterministic: request/message tallies and every CLASSIFY
+          verdict line.  Byte-identical across daemon [--jobs] values
+          and across crash-and-replay vs uninterrupted runs. *)
+  detail : string;
+      (** Not deterministic: reconnects, publish seq, wall time. *)
+  trained : int;
+  classified : int;
+  reconnects : int;
+  wall_s : float;
+}
+
+val load : load_config -> (load_report, string) result
+(** Run the schedule: per-client PING, single-label TRAIN batches over
+    a generated corpus, PUBLISH, CLASSIFY batches over a held-out
+    corpus, STATS.  [Error] when the daemon stays unreachable through
+    the reconnect budget or answers a protocol [Err] to a request the
+    schedule needs ([Ok] acks with [malformed > 0] are reported, not
+    fatal). *)

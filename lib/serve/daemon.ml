@@ -1,0 +1,448 @@
+module Filter = Spamlab_spambayes.Filter
+module Options = Spamlab_spambayes.Options
+module Label = Spamlab_spambayes.Label
+module Classify = Spamlab_spambayes.Classify
+module Ingest = Spamlab_spambayes.Ingest
+module Intern = Spamlab_spambayes.Intern
+module Token_db = Spamlab_spambayes.Token_db
+module Tokenizer = Spamlab_tokenizer.Tokenizer
+module Mbox = Spamlab_email.Mbox
+module Fault = Spamlab_fault
+module Obs = Spamlab_obs.Obs
+module Clock = Spamlab_obs.Clock
+module Pool = Spamlab_parallel.Pool
+
+type config = {
+  addr : addr;
+  db_path : string;
+  tokenizer : Tokenizer.t;
+  options : Options.t;
+  publish_every : int;
+  max_body : int;
+  jobs : int;
+}
+
+and addr = Unix_sock of string | Tcp of string * int
+
+let default_config ?addr ~db_path () =
+  let addr =
+    match addr with
+    | Some a -> a
+    | None ->
+        Unix_sock (Filename.concat (Filename.dirname db_path) "spamlab.sock")
+  in
+  {
+    addr;
+    db_path;
+    tokenizer = Tokenizer.spambayes;
+    options = Options.default;
+    publish_every = 32;
+    max_body = Protocol.default_max_body;
+    jobs = 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+
+(* Per-verb latency: log2-of-microseconds buckets.  Bucket [i] holds
+   samples with [2^(i-1) <= us < 2^i] (bucket 0 holds us = 0), so the
+   quantile render reports an upper bound, never a fabricated exact
+   value. *)
+type lat = { mutable count : int; mutable max_us : int; buckets : int array }
+
+let lat () = { count = 0; max_us = 0; buckets = Array.make 63 0 }
+
+let bucket_of_us us =
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  bits us 0
+
+let lat_record l us =
+  let us = max 0 us in
+  l.count <- l.count + 1;
+  if us > l.max_us then l.max_us <- us;
+  let b = bucket_of_us us in
+  l.buckets.(b) <- l.buckets.(b) + 1
+
+(* Upper bound of the bucket holding the q-quantile sample. *)
+let lat_quantile l q =
+  if l.count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int l.count))) in
+    let rec go i seen =
+      if i >= Array.length l.buckets then l.max_us
+      else
+        let seen = seen + l.buckets.(i) in
+        if seen >= rank then (if i = 0 then 0 else (1 lsl i) - 1) else go (i + 1) seen
+    in
+    min (go 0 0) l.max_us
+  end
+
+let n_verbs = 6
+
+let verb_index : Protocol.verb -> int = function
+  | Ping -> 0
+  | Stats -> 1
+  | Publish -> 2
+  | Classify -> 3
+  | Train _ -> 4
+  | Untrain _ -> 5
+
+let verb_stat_name = [| "ping"; "stats"; "publish"; "classify"; "train"; "untrain" |]
+
+type stats = {
+  mutable connections : int;
+  mutable protocol_errors : int;
+  mutable io_errors : int;
+  requests : int array;  (* per verb_index *)
+  mutable body_bytes : int;
+  mutable classify_msgs : int;
+  mutable classify_malformed : int;
+  mutable verdict_ham : int;
+  mutable verdict_unsure : int;
+  mutable verdict_spam : int;
+  mutable train_msgs : int;
+  mutable train_malformed : int;
+  mutable untrain_msgs : int;
+  mutable untrain_malformed : int;
+  latencies : lat array;  (* per verb_index *)
+}
+
+let make_stats () =
+  {
+    connections = 0;
+    protocol_errors = 0;
+    io_errors = 0;
+    requests = Array.make n_verbs 0;
+    body_bytes = 0;
+    classify_msgs = 0;
+    classify_malformed = 0;
+    verdict_ham = 0;
+    verdict_unsure = 0;
+    verdict_spam = 0;
+    train_msgs = 0;
+    train_malformed = 0;
+    untrain_msgs = 0;
+    untrain_malformed = 0;
+    latencies = Array.init n_verbs (fun _ -> lat ());
+  }
+
+type t = {
+  config : config;
+  pool : Pool.t;
+  mutable baseline : Token_db.t;  (* published state; classify reads this *)
+  delta : Filter.t;  (* live training state, becomes baseline on publish *)
+  mutable pending : int;
+  mutable seq : int;
+  stats : stats;
+}
+
+let publish_seq t = t.seq
+
+(* Obs counters (cheap handles; no-ops while obs is disabled). *)
+let c_requests = Obs.counter "serve.requests"
+let c_connections = Obs.counter "serve.connections"
+let c_protocol_errors = Obs.counter "serve.protocol_errors"
+let c_publishes = Obs.counter "serve.publishes"
+
+let obs_span_name = Array.map (fun v -> "serve.request." ^ v) verb_stat_name
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+
+let create config =
+  match Spamlab_parallel.validate_jobs config.jobs with
+  | Error e -> Error e
+  | Ok jobs -> (
+      let filter =
+        if Sys.file_exists config.db_path then
+          Filter.load_file ~options:config.options ~tokenizer:config.tokenizer
+            config.db_path
+        else
+          Ok (Filter.create ~options:config.options ~tokenizer:config.tokenizer ())
+      in
+      match filter with
+      | Error e -> Error e
+      | Ok delta ->
+          (* Capture the loaded vocabulary in the frozen intern snapshot
+             so first-request classification probes lock-free. *)
+          Intern.freeze ();
+          Ok
+            {
+              config;
+              pool = Pool.create ~jobs;
+              baseline = Token_db.copy (Filter.db delta);
+              delta;
+              pending = 0;
+              seq = 0;
+              stats = make_stats ();
+            })
+
+let shutdown t = Pool.shutdown t.pool
+
+(* Publish: persist the delta via the crash-safe store, then promote it
+   to the classification baseline.  The fault site sits at the head —
+   a crash here loses only unacknowledged training, and the on-disk
+   state is the previous publish (the client replay contract). *)
+let publish t =
+  Fault.check "serve.publish";
+  Filter.save_file t.delta t.config.db_path;
+  t.baseline <- Token_db.copy (Filter.db t.delta);
+  t.seq <- t.seq + 1;
+  t.pending <- 0;
+  Intern.freeze ();
+  Obs.incr c_publishes
+
+(* ------------------------------------------------------------------ *)
+(* Verb execution                                                      *)
+
+let render_classify t results =
+  let b = Buffer.create 256 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None ->
+          t.stats.classify_malformed <- t.stats.classify_malformed + 1;
+          Buffer.add_string b (Printf.sprintf "%d malformed\n" i)
+      | Some (r : Classify.result) ->
+          t.stats.classify_msgs <- t.stats.classify_msgs + 1;
+          (match r.verdict with
+          | Label.Ham_v -> t.stats.verdict_ham <- t.stats.verdict_ham + 1
+          | Label.Unsure_v -> t.stats.verdict_unsure <- t.stats.verdict_unsure + 1
+          | Label.Spam_v -> t.stats.verdict_spam <- t.stats.verdict_spam + 1);
+          Buffer.add_string b
+            (Printf.sprintf "%d %s %.6f\n" i
+               (Label.verdict_to_string r.verdict)
+               r.indicator))
+    results;
+  Buffer.contents b
+
+let classify t body =
+  let chunks = Ingest.raw_message_chunks body in
+  let results =
+    Pool.map_array t.pool
+      (fun (off, len) ->
+        Ingest.classify_raw t.config.options t.baseline t.config.tokenizer body
+          ~off ~len)
+      chunks
+  in
+  Protocol.Ok (render_classify t results)
+
+let train t cls body =
+  let msgs, dropped = Mbox.parse_lenient body in
+  List.iter (Filter.train t.delta cls) msgs;
+  let n = List.length msgs in
+  t.stats.train_msgs <- t.stats.train_msgs + n;
+  t.stats.train_malformed <- t.stats.train_malformed + dropped;
+  t.pending <- t.pending + n;
+  if t.config.publish_every > 0 && t.pending >= t.config.publish_every then
+    publish t;
+  Protocol.Ok
+    (Printf.sprintf "trained=%d malformed=%d pending=%d seq=%d\n" n dropped
+       t.pending t.seq)
+
+let untrain t cls body =
+  let msgs, dropped = Mbox.parse_lenient body in
+  (* Token_db.untrain validates before mutating, so each message is
+     all-or-nothing; an impossible untrain aborts the rest of the
+     batch with the already-valid prefix applied. *)
+  List.iter (Filter.untrain t.delta cls) msgs;
+  let n = List.length msgs in
+  t.stats.untrain_msgs <- t.stats.untrain_msgs + n;
+  t.stats.untrain_malformed <- t.stats.untrain_malformed + dropped;
+  t.pending <- t.pending + n;
+  if t.config.publish_every > 0 && t.pending >= t.config.publish_every then
+    publish t;
+  Protocol.Ok
+    (Printf.sprintf "untrained=%d malformed=%d pending=%d seq=%d\n" n dropped
+       t.pending t.seq)
+
+let stats_payload t =
+  let s = t.stats in
+  let b = Buffer.create 512 in
+  let line name v = Buffer.add_string b (Printf.sprintf "%s %d\n" name v) in
+  (* Deterministic counters, sorted by name. *)
+  line "body.bytes" s.body_bytes;
+  line "classify.malformed" s.classify_malformed;
+  line "classify.messages" s.classify_msgs;
+  line "connections" s.connections;
+  line "io.errors" s.io_errors;
+  line "protocol.errors" s.protocol_errors;
+  line "publish.seq" t.seq;
+  let sorted_verbs =
+    (* verb indices in lexicographic order of their stat names *)
+    [| 3; 0; 2; 1; 4; 5 |]
+  in
+  Array.iter
+    (fun i -> line ("requests." ^ verb_stat_name.(i)) s.requests.(i))
+    sorted_verbs;
+  line "train.malformed" s.train_malformed;
+  line "train.messages" s.train_msgs;
+  line "train.pending" t.pending;
+  line "untrain.malformed" s.untrain_malformed;
+  line "untrain.messages" s.untrain_msgs;
+  line "verdicts.ham" s.verdict_ham;
+  line "verdicts.spam" s.verdict_spam;
+  line "verdicts.unsure" s.verdict_unsure;
+  (* Wall-clock lines: real time, not jobs-invariant; the "latency."
+     prefix is the filtering contract for deterministic consumers. *)
+  Array.iter
+    (fun i ->
+      let l = s.latencies.(i) in
+      if l.count > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "latency.%s count=%d p50us<=%d p99us<=%d maxus=%d\n"
+             verb_stat_name.(i) l.count (lat_quantile l 0.50)
+             (lat_quantile l 0.99) l.max_us))
+    sorted_verbs;
+  Buffer.contents b
+
+let exec t (req : Protocol.request) =
+  match req.verb with
+  | Protocol.Ping -> Protocol.Ok "pong\n"
+  | Protocol.Stats -> Protocol.Ok (stats_payload t)
+  | Protocol.Publish ->
+      publish t;
+      Protocol.Ok (Printf.sprintf "published seq=%d\n" t.seq)
+  | Protocol.Classify -> classify t req.body
+  | Protocol.Train cls -> train t cls req.body
+  | Protocol.Untrain cls -> untrain t cls req.body
+
+let handle_request t (req : Protocol.request) =
+  let vi = verb_index req.verb in
+  t.stats.requests.(vi) <- t.stats.requests.(vi) + 1;
+  t.stats.body_bytes <- t.stats.body_bytes + String.length req.body;
+  Obs.incr c_requests;
+  let start_ns = Clock.now_ns () in
+  let resp =
+    try exec t req with
+    (* Crash faults exit inside [Fault.check]; anything raised is a
+       degradable failure answered on this connection. *)
+    | Fault.Injected _ as e -> Protocol.Err (Printexc.to_string e)
+    | Spamlab_parallel.Task_failed { site; attempts } ->
+        Protocol.Err
+          (Printf.sprintf "task failed at %s after %d attempts" site attempts)
+    | Sys_error e -> Protocol.Err e
+    | Invalid_argument e -> Protocol.Err e
+    | Unix.Unix_error (e, fn, _) ->
+        Protocol.Err (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  in
+  let stop_ns = Clock.now_ns () in
+  lat_record t.stats.latencies.(vi)
+    (Int64.to_int (Int64.div (Int64.sub stop_ns start_ns) 1000L));
+  if Obs.enabled () then Obs.record_span obs_span_name.(vi) ~start_ns ~stop_ns;
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop                                                     *)
+
+let send_response fd resp =
+  let s = Protocol.render_response resp in
+  Spamlab_io.really_write_string fd s 0 (String.length s)
+
+let send_best_effort fd resp = try send_response fd resp with _ -> ()
+
+let serve_connection t fd =
+  let reader = Spamlab_io.reader ~site:"serve.read" fd in
+  let rec loop () =
+    match Protocol.recv_request ~max_body:t.config.max_body reader with
+    | `Eof -> ()
+    | `Error e ->
+        (* Framing is gone; answer once and drop the connection. *)
+        t.stats.protocol_errors <- t.stats.protocol_errors + 1;
+        Obs.incr c_protocol_errors;
+        send_best_effort fd (Protocol.Err e)
+    | `Request req -> (
+        let resp = handle_request t req in
+        match send_response fd resp with
+        | () -> loop ()
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+            t.stats.io_errors <- t.stats.io_errors + 1)
+  in
+  try loop () with
+  | End_of_file | Unix.Unix_error _ | Sys_error _ ->
+      t.stats.io_errors <- t.stats.io_errors + 1
+  | Fault.Injected _ as e ->
+      (* A fatal injected read fault (transients were already retried
+         by Spamlab_io): degrade to one ERR, drop the connection. *)
+      t.stats.io_errors <- t.stats.io_errors + 1;
+      send_best_effort fd (Protocol.Err (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+
+let bind_listen = function
+  | Unix_sock path -> (
+      try
+        (match Unix.lstat path with
+        | { st_kind = S_SOCK; _ } -> Unix.unlink path
+        | _ -> failwith (path ^ ": exists and is not a socket")
+        | exception Unix.Unix_error (ENOENT, _, _) -> ());
+        let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+        Unix.bind fd (ADDR_UNIX path);
+        Unix.listen fd 64;
+        Ok (fd, fun () -> try Unix.unlink path with _ -> ())
+      with
+      | Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+      | Failure m -> Error m)
+  | Tcp (host, port) -> (
+      try
+        let ip = Unix.inet_addr_of_string host in
+        let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+        Unix.setsockopt fd SO_REUSEADDR true;
+        Unix.bind fd (ADDR_INET (ip, port));
+        Unix.listen fd 64;
+        Ok (fd, fun () -> ())
+      with
+      | Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))
+      | Failure _ -> Error (Printf.sprintf "bad listen address %S" host))
+
+let accept_one t lfd =
+  match Fault.check "serve.accept" with
+  | exception e when Fault.is_transient e ->
+      (* The connection stays queued in the listen backlog; the next
+         select round retries the accept. *)
+      ()
+  | () -> (
+      match Unix.accept ~cloexec:true lfd with
+      | exception
+          Unix.Unix_error ((EINTR | ECONNABORTED | EAGAIN | EWOULDBLOCK), _, _)
+        ->
+          ()
+      | fd, _ ->
+          t.stats.connections <- t.stats.connections + 1;
+          Obs.incr c_connections;
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> serve_connection t fd))
+
+let run ?(ready = fun _ -> ()) ?(stop = fun () -> false) t =
+  (* A peer closing mid-response must surface as EPIPE, not kill us. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match bind_listen t.config.addr with
+  | Error e -> Error e
+  | Ok (lfd, cleanup) ->
+      let finish () =
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        cleanup ()
+      in
+      ready (Unix.getsockname lfd);
+      let rec loop () =
+        if stop () then ()
+        else
+          match Unix.select [ lfd ] [] [] 0.2 with
+          | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+          | [], _, _ -> loop ()
+          | _ ->
+              accept_one t lfd;
+              loop ()
+      in
+      (match loop () with
+      | () -> ()
+      | exception e ->
+          finish ();
+          raise e);
+      finish ();
+      Ok ()

@@ -1,0 +1,96 @@
+(** The spamlab classification daemon — a spamd-shaped long-running
+    service speaking {!Protocol} over a unix or TCP socket.
+
+    {2 Data plane}
+
+    Classification reads an {e immutable baseline} token DB — the
+    state as of the last publish — through the zero-copy ingest path,
+    fanned across the shared domain pool ({!Spamlab_parallel}) over
+    the process-global frozen intern snapshot.  [TRAIN]/[UNTRAIN]
+    mutate a separate {e delta} filter (a copy-on-write
+    [Token_db.copy] of the baseline's lineage, so deltas cost
+    O(|changes|)).  Every [publish_every] trained messages — or on an
+    explicit [PUBLISH] — the delta is persisted to the crash-safe v3
+    store ([Filter.save_file]: temp + fsync + atomic rename) and then
+    becomes the new baseline, and the intern snapshot is refreshed.
+    Classification therefore always sees a consistent published state,
+    and a crash at any point restarts from the last publish.
+
+    {2 Fault sites}
+
+    - ["serve.accept"] — before accepting a ready connection
+      (transient: the accept round is retried);
+    - ["serve.read"] — before every protocol-read syscall (transient:
+      retried by {!Spamlab_io});
+    - ["serve.publish"] — at the head of a publish, before any
+      mutation (crash: the process dies with the baseline on disk
+      intact; the delta since the last publish is lost, which is the
+      recovery contract clients replay against);
+
+    plus the ["db.save.write"] / ["db.save.rename"] sites inside the
+    save itself.
+
+    {2 Statistics}
+
+    The [STATS] verb renders request/verdict/train counters followed
+    by per-verb latency histogram lines (prefixed ["latency."]).  The
+    counters are a pure function of the request stream — identical at
+    every [--jobs] — while latency lines describe real time and are
+    not; deterministic consumers filter the ["latency."] prefix. *)
+
+type config = {
+  addr : addr;
+  db_path : string;  (** Loaded if present, created on first publish. *)
+  tokenizer : Spamlab_tokenizer.Tokenizer.t;
+  options : Spamlab_spambayes.Options.t;
+  publish_every : int;
+      (** Trained/untrained messages between automatic publishes;
+          [0] disables automatic publishing ([PUBLISH] still works). *)
+  max_body : int;
+  jobs : int;
+}
+
+and addr = Unix_sock of string | Tcp of string * int
+
+val default_config : ?addr:addr -> db_path:string -> unit -> config
+(** spambayes tokenizer, default options, publish every 32,
+    {!Protocol.default_max_body}, jobs 1; [addr] defaults to a unix
+    socket ["spamlab.sock"] beside [db_path]. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Load (or initialize) the filter state and spawn the worker pool.
+    [Error] on an unreadable or corrupt database — a daemon must not
+    silently start from scratch over damaged state. *)
+
+val shutdown : t -> unit
+(** Join the worker pool.  The socket teardown belongs to {!run}. *)
+
+val handle_request : t -> Protocol.request -> Protocol.response
+(** Execute one request against the state (no I/O).  Never raises:
+    injected transient/fatal faults and semantic failures (impossible
+    UNTRAIN, unwritable store) become [Err]; crash faults exit. *)
+
+val serve_connection : t -> Unix.file_descr -> unit
+(** Run the request/response loop on one connected descriptor until
+    EOF or a framing error (answered with one [Err] line, then
+    close).  Never raises on protocol or peer misbehaviour; does not
+    close [fd]. *)
+
+val stats_payload : t -> string
+(** The [STATS] payload, rendered from the current counters. *)
+
+val publish_seq : t -> int
+(** Number of publishes so far (0 before the first). *)
+
+val run :
+  ?ready:(Unix.sockaddr -> unit) ->
+  ?stop:(unit -> bool) ->
+  t ->
+  (unit, string) result
+(** Bind, listen and serve until [stop] returns true (polled between
+    connections, checked at ≤0.2 s latency).  [ready] fires once with
+    the bound address — for TCP port 0, the actual port.  Stale unix
+    socket files are replaced; SIGPIPE is ignored for the process.
+    [Error] on bind/listen failure. *)

@@ -1,0 +1,162 @@
+module Fault = Spamlab_fault
+
+(* Transient injected faults are retried like EINTR, but bounded: a
+   probability selector could otherwise fire forever.  The bound is
+   generous — the pool's supervision uses 3 attempts; I/O sites see
+   more calls, so give them more room. *)
+let max_transient_retries = 16
+
+let check_site site attempts =
+  match site with
+  | None -> ()
+  | Some s -> (
+      try Fault.check s
+      with exn when Fault.is_transient exn ->
+        if !attempts >= max_transient_retries then raise exn;
+        incr attempts;
+        raise_notrace Exit)
+
+(* Run one syscall attempt under the site check and EINTR/EAGAIN
+   retry.  [Exit] is the internal "retry" signal from [check_site]. *)
+let rec syscall site attempts f =
+  match
+    check_site site attempts;
+    f ()
+  with
+  | n -> n
+  | exception Exit -> syscall site attempts f
+  | exception Unix.Unix_error ((EINTR | EAGAIN), _, _) ->
+      syscall site attempts f
+
+let bad_range buf pos len =
+  pos < 0 || len < 0 || pos > Bytes.length buf - len
+
+let read_some ?site fd buf pos len =
+  if bad_range buf pos len then invalid_arg "Spamlab_io.read_some";
+  if len = 0 then 0
+  else
+    let attempts = ref 0 in
+    syscall site attempts (fun () -> Unix.read fd buf pos len)
+
+let really_read ?site fd buf pos len =
+  if bad_range buf pos len then invalid_arg "Spamlab_io.really_read";
+  let attempts = ref 0 in
+  let rec go pos len =
+    if len > 0 then
+      match syscall site attempts (fun () -> Unix.read fd buf pos len) with
+      | 0 -> raise End_of_file
+      | n -> go (pos + n) (len - n)
+  in
+  go pos len
+
+let really_write ?site fd buf pos len =
+  if bad_range buf pos len then invalid_arg "Spamlab_io.really_write";
+  let attempts = ref 0 in
+  let rec go pos len =
+    if len > 0 then
+      let n = syscall site attempts (fun () -> Unix.write fd buf pos len) in
+      go (pos + n) (len - n)
+  in
+  go pos len
+
+let really_write_string ?site fd s pos len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Spamlab_io.really_write_string";
+  let attempts = ref 0 in
+  let rec go pos len =
+    if len > 0 then
+      let n =
+        syscall site attempts (fun () -> Unix.write_substring fd s pos len)
+      in
+      go (pos + n) (len - n)
+  in
+  go pos len
+
+(* ------------------------------------------------------------------ *)
+(* Buffered reader                                                     *)
+
+type reader = {
+  fd : Unix.file_descr;
+  site : string option;
+  buf : Bytes.t;
+  mutable lo : int;  (* first unconsumed byte *)
+  mutable hi : int;  (* one past the last valid byte *)
+  mutable eof : bool;
+}
+
+let reader ?site ?(buf_size = 65_536) fd =
+  { fd; site; buf = Bytes.create (max 1 buf_size); lo = 0; hi = 0; eof = false }
+
+(* Pull more bytes into the buffer; false at end of stream. *)
+let refill r =
+  if r.eof then false
+  else begin
+    if r.lo = r.hi then begin
+      r.lo <- 0;
+      r.hi <- 0
+    end
+    else if r.hi = Bytes.length r.buf then begin
+      Bytes.blit r.buf r.lo r.buf 0 (r.hi - r.lo);
+      r.hi <- r.hi - r.lo;
+      r.lo <- 0
+    end;
+    match read_some ?site:r.site r.fd r.buf r.hi (Bytes.length r.buf - r.hi) with
+    | 0 ->
+        r.eof <- true;
+        false
+    | n ->
+        r.hi <- r.hi + n;
+        true
+  end
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let read_line r ~max =
+  let out = Buffer.create 80 in
+  let discarding = ref false in
+  let rec go () =
+    match Bytes.index_from_opt r.buf r.lo '\n' with
+    | Some nl when nl < r.hi ->
+        let too_long =
+          !discarding || Buffer.length out + (nl - r.lo) > max
+        in
+        if not too_long then Buffer.add_subbytes out r.buf r.lo (nl - r.lo);
+        r.lo <- nl + 1;
+        if too_long then `Too_long else `Line (strip_cr (Buffer.contents out))
+    | _ ->
+        if not !discarding then
+          Buffer.add_subbytes out r.buf r.lo (r.hi - r.lo);
+        r.lo <- r.hi;
+        if Buffer.length out > max then begin
+          (* Oversized: stop accumulating, but keep consuming to the
+             terminator so the stream can resynchronize. *)
+          discarding := true;
+          Buffer.clear out
+        end;
+        if refill r then go ()
+        else if !discarding then `Too_long
+        else if Buffer.length out = 0 then `Eof
+        else `Line (strip_cr (Buffer.contents out))
+  in
+  go ()
+
+let read_exact r dst pos len =
+  if pos < 0 || len < 0 || pos > Bytes.length dst - len then
+    invalid_arg "Spamlab_io.read_exact";
+  let rec go pos len =
+    if len = 0 then true
+    else begin
+      let avail = r.hi - r.lo in
+      if avail > 0 then begin
+        let n = min avail len in
+        Bytes.blit r.buf r.lo dst pos n;
+        r.lo <- r.lo + n;
+        go (pos + n) (len - n)
+      end
+      else if refill r then go pos len
+      else false
+    end
+  in
+  go pos len

@@ -1,0 +1,64 @@
+(** EINTR- and short-transfer-safe file-descriptor I/O, shared by the
+    daemon/client wire protocol ({!Spamlab_serve}) and the crash-safe
+    token-DB save path ([Filter.save_file]).
+
+    [Unix.read] and [Unix.write] are allowed to transfer fewer bytes
+    than asked — pipes and sockets do this routinely under load — and
+    both can fail with [EINTR] when a signal lands mid-call.  Every
+    helper here loops until the full count is transferred, retrying
+    [EINTR] (and [EAGAIN], for the rare spurious wakeup on a blocking
+    descriptor) transparently.
+
+    {2 Fault injection}
+
+    Each helper takes an optional [site] (a {!Spamlab_fault} site name,
+    e.g. ["serve.read"]) consulted before every underlying syscall.  An
+    injected {e transient} fault is retried like [EINTR] — bounded by an
+    internal attempt budget so a pathological spec cannot spin forever —
+    while fatal faults propagate and crash faults kill the process at
+    exactly that point.  [?site] absent (or the site unarmed) costs one
+    atomic load per syscall, nothing more. *)
+
+val really_read : ?site:string -> Unix.file_descr -> bytes -> int -> int -> unit
+(** [really_read fd buf pos len] fills [buf.[pos .. pos+len-1]] from
+    [fd], looping over short reads.
+    @raise End_of_file if the descriptor is exhausted first.
+    @raise Invalid_argument on a bad range. *)
+
+val read_some : ?site:string -> Unix.file_descr -> bytes -> int -> int -> int
+(** One [Unix.read] with [EINTR]/transient retry: the number of bytes
+    read (at least 1), or 0 at end of stream. *)
+
+val really_write : ?site:string -> Unix.file_descr -> bytes -> int -> int -> unit
+(** [really_write fd buf pos len] writes all [len] bytes, looping over
+    short writes.  @raise Invalid_argument on a bad range. *)
+
+val really_write_string : ?site:string -> Unix.file_descr -> string -> int -> int -> unit
+
+(** {1 Buffered line/frame reading}
+
+    The wire protocol interleaves CRLF-terminated lines with
+    length-prefixed binary bodies on one descriptor, so the reader must
+    buffer: a line read may pull body bytes into the buffer, and the
+    subsequent body read must consume them before touching the
+    descriptor again. *)
+
+type reader
+
+val reader : ?site:string -> ?buf_size:int -> Unix.file_descr -> reader
+(** Wrap a descriptor.  [site] is consulted on every refill ([?site] of
+    the read helpers above).  [buf_size] defaults to 64 KiB. *)
+
+val read_line : reader -> max:int -> [ `Line of string | `Eof | `Too_long ]
+(** The next line, terminated by ["\n"] (a trailing ["\r"] is stripped,
+    so CRLF and bare-LF peers both work), without its terminator.
+    [`Eof] when the stream ends before any byte of a line; a stream
+    ending mid-line yields the partial line.  [`Too_long] once the line
+    exceeds [max] bytes — the oversized prefix is discarded up to the
+    next terminator so framing can resynchronize if the caller chooses
+    to continue. *)
+
+val read_exact : reader -> bytes -> int -> int -> bool
+(** [read_exact r buf pos len] — like {!really_read} but draining the
+    reader's buffer first; [false] if the stream ends before [len]
+    bytes arrive (a torn frame), [true] on success. *)

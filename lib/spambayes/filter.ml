@@ -75,13 +75,13 @@ let save_file t path =
     Fun.protect
       ~finally:(fun () -> Unix.close fd)
       (fun () ->
-        let oc = Unix.out_channel_of_descr fd in
+        (* Raw-descriptor writes through the shared short-write/EINTR
+           loop; the two halves keep the db.save.write fault site in
+           the middle of the byte stream. *)
         let half = String.length data / 2 in
-        output_substring oc data 0 half;
-        flush oc;
+        Spamlab_io.really_write_string fd data 0 half;
         Spamlab_fault.check "db.save.write";
-        output_substring oc data half (String.length data - half);
-        flush oc;
+        Spamlab_io.really_write_string fd data half (String.length data - half);
         Unix.fsync fd)
   in
   (match write () with

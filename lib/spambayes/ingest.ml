@@ -401,7 +401,15 @@ let parse_raw buf ~off ~len =
         in
         if bad_name pos then raise Bad;
         if is_mime_header buf pos nlen then has_mime := true;
-        if ignored_slice buf pos nlen then keep_current := false
+        if ignored_slice buf pos nlen then begin
+          (* Record that a (suppressed) field is open so its folded
+             continuation lines are swallowed with it rather than
+             mistaken for orphan continuations — [Mbox.parse_lenient]
+             parses the field first and strips it afterwards, so a
+             continuation after an ignored header is well-formed. *)
+          keep_current := false;
+          current := Some ("", "")
+        end
         else begin
           let name = String.sub buf pos nlen in
           let value = String.trim (String.sub buf (colon + 1) (lstop - colon - 1)) in

@@ -292,6 +292,87 @@ let suppression_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Edge divergence: separator and tail shapes where the raw chunker
+   and the lenient string parser historically disagreed               *)
+
+(* Stronger oracle: besides token agreement on surviving messages, the
+   two sides must agree on how many chunks exist and how many were
+   quarantined. *)
+let check_edge_agreement text =
+  let kept, dropped = Mbox.parse_lenient text in
+  let chunks = Ingest.raw_message_chunks text in
+  let raw_kept =
+    Array.to_list chunks
+    |> List.filter_map (fun (off, len) ->
+           Ingest.unique_ids_raw Tokenizer.bogofilter text ~off ~len)
+  in
+  check_int "chunks = kept + dropped" (List.length kept + dropped)
+    (Array.length chunks);
+  check_int "raw kept count" (List.length kept) (List.length raw_kept);
+  check_raw_matches Tokenizer.bogofilter text
+
+let sep = "From a@b Thu Jan  1 00:00:00 1970\n"
+
+(* Building blocks for the concatenation fuzz: every shape that has
+   ever confused one side of the pipeline. *)
+let edge_pieces =
+  [|
+    sep;
+    "From a@b Thu Jan  1 00:00:00 1970\r\n";
+    "Subject: hello world\n";
+    "Subject: crlf line\r\n";
+    "X-Spam-Status: suppressed stuff\n";
+    "\tcontinuation line\n";
+    "\r\n";
+    "\n";
+    "plain body words here\n";
+    ">From quoted body line\n";
+    "broken header line no colon\n";
+    "torn tail without newline";
+  |]
+
+let edge_tests =
+  [
+    test_case "CRLF-terminated From separators split identically" (fun () ->
+        check_edge_agreement
+          ("From a@b Thu Jan  1 00:00:00 1970\r\nSubject: one\r\n\r\n\
+            body line\r\n\
+            From c@d Thu Jan  1 00:00:00 1970\r\nSubject: two\r\n\r\n\
+            more body\r\n"));
+    test_case "torn final message without trailing newline" (fun () ->
+        check_edge_agreement
+          (sep ^ "Subject: whole\n\nbody\n" ^ sep ^ "Subject: torn\n\ncut of"));
+    test_case "torn final headers (no blank line) quarantined on both sides"
+      (fun () ->
+        check_edge_agreement
+          (sep ^ "Subject: whole\n\nbody\n" ^ sep ^ "Subject: no bo"));
+    test_case "mbox ending in a bare separator adds no phantom message"
+      (fun () ->
+        (* Regression: the chunker used to emit a final empty chunk for
+           a trailing separator, which the string parser never saw. *)
+        check_edge_agreement (sep ^ "Subject: only\n\nbody\n" ^ sep));
+    test_case "continuation of a suppressed header stays suppressed"
+      (fun () ->
+        (* Regression: a folded continuation after an ignored header
+           made the raw path declare the whole chunk malformed. *)
+        check_edge_agreement
+          (sep
+          ^ "X-Spam-Status: ignored value\n\tcontinuation line\n\
+             Subject: kept\n\nbody words\n"));
+    test_case "continuation as the first header line is malformed on both"
+      (fun () ->
+        check_edge_agreement (sep ^ "\tdangling continuation\n\nbody\n"));
+    qtest ~count:400 "piece concatenations: chunker = lenient parser"
+      QCheck2.Gen.(
+        list_size (int_range 0 12)
+          (int_range 0 (Array.length edge_pieces - 1)))
+      (fun picks ->
+        let text = String.concat "" (List.map (Array.get edge_pieces) picks) in
+        check_edge_agreement text;
+        true);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Batched classify                                                    *)
 
 let classify_tests =
@@ -336,5 +417,6 @@ let () =
       ("intern-sub", intern_sub_tests);
       ("raw-mbox", raw_tests);
       ("suppression", suppression_tests);
+      ("edge-divergence", edge_tests);
       ("classify", classify_tests);
     ]

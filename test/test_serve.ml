@@ -1,0 +1,640 @@
+(* The serve stack: EINTR/short-transfer I/O, protocol framing (and
+   its failure modes), and the daemon end-to-end on a unix socket. *)
+
+module Io = Spamlab_io
+module Protocol = Spamlab_serve.Protocol
+module Daemon = Spamlab_serve.Daemon
+module Client = Spamlab_serve.Client
+module Fault = Spamlab_fault
+module Label = Spamlab_spambayes.Label
+module Filter = Spamlab_spambayes.Filter
+module Header = Spamlab_email.Header
+module Message = Spamlab_email.Message
+module Mbox = Spamlab_email.Mbox
+
+let test_case name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let msg ?(headers = []) body =
+  Message.make ~headers:(Header.of_list headers) body
+
+let mbox msgs = Mbox.print msgs
+
+(* A reader over fixed bytes (a temp file, so bodies of any size). *)
+let with_reader_of_string s f =
+  let path = Filename.temp_file "spamlab_serve" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s);
+  let fd = Unix.openfile path [ O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  f (Io.reader fd)
+
+let read_all fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Spamlab_io                                                          *)
+
+let io_tests =
+  [
+    test_case "really_read across byte-at-a-time pipe delivery" (fun () ->
+        (* Every read returns exactly one byte: the short-read loop in
+           really_read/read_line must reassemble the stream. *)
+        let payload = "PING SPAMLAB/1.0\r\n\r\nand then some body bytes" in
+        let r, w = Unix.pipe ~cloexec:true () in
+        let writer =
+          Domain.spawn (fun () ->
+              String.iter
+                (fun c ->
+                  let b = Bytes.make 1 c in
+                  ignore (Unix.write w b 0 1))
+                payload;
+              Unix.close w)
+        in
+        Fun.protect ~finally:(fun () -> Unix.close r) @@ fun () ->
+        let reader = Io.reader ~buf_size:1 r in
+        (match Io.read_line reader ~max:100 with
+        | `Line l -> check_string "line" "PING SPAMLAB/1.0" l
+        | _ -> Alcotest.fail "expected a line");
+        (match Io.read_line reader ~max:100 with
+        | `Line l -> check_string "blank" "" l
+        | _ -> Alcotest.fail "expected blank line");
+        let body = Bytes.create 24 in
+        check_bool "read_exact" true (Io.read_exact reader body 0 24);
+        check_string "body" "and then some body bytes" (Bytes.to_string body);
+        check_bool "eof" true (Io.read_exact reader body 0 1 = false);
+        Domain.join writer);
+    test_case "really_write drains a multi-megabyte buffer" (fun () ->
+        (* Socketpair buffers are tiny; the writer must loop over many
+           short writes while the reader drains concurrently. *)
+        let a, b = Unix.socketpair ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+        let data = String.init 3_000_000 (fun i -> Char.chr (i land 0xff)) in
+        let writer =
+          Domain.spawn (fun () ->
+              Io.really_write_string a data 0 (String.length data);
+              Unix.close a)
+        in
+        let got = read_all b in
+        Domain.join writer;
+        Unix.close b;
+        check_int "length" (String.length data) (String.length got);
+        check_bool "bytes" true (String.equal data got));
+    test_case "read_line: CRLF and bare LF both work, CR stripped" (fun () ->
+        with_reader_of_string "one\r\ntwo\nthree" @@ fun r ->
+        (match Io.read_line r ~max:10 with
+        | `Line l -> check_string "crlf" "one" l
+        | _ -> Alcotest.fail "line");
+        (match Io.read_line r ~max:10 with
+        | `Line l -> check_string "lf" "two" l
+        | _ -> Alcotest.fail "line");
+        (* Stream ends mid-line: the partial line is yielded. *)
+        (match Io.read_line r ~max:10 with
+        | `Line l -> check_string "partial" "three" l
+        | _ -> Alcotest.fail "line");
+        check_bool "eof" true (Io.read_line r ~max:10 = `Eof));
+    test_case "read_line: oversized lines resynchronize" (fun () ->
+        let long = String.make 5_000 'x' in
+        with_reader_of_string (long ^ "\nok\n") @@ fun r ->
+        check_bool "too long" true (Io.read_line r ~max:1024 = `Too_long);
+        (match Io.read_line r ~max:1024 with
+        | `Line l -> check_string "next line survives" "ok" l
+        | _ -> Alcotest.fail "line"));
+    test_case "read_line: max enforced within one buffered chunk" (fun () ->
+        with_reader_of_string (String.make 64 'y' ^ "\n") @@ fun r ->
+        check_bool "too long" true (Io.read_line r ~max:10 = `Too_long));
+    test_case "transient injected faults retried like EINTR" (fun () ->
+        (match Fault.configure "io.test:transient@1+2" with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Fault.disable @@ fun () ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        let data = Bytes.of_string "abc" in
+        ignore (Unix.write w data 0 3);
+        Unix.close w;
+        let buf = Bytes.create 3 in
+        (* Occurrences 1 and 2 fire transiently; the loop must absorb
+           both and still deliver the bytes. *)
+        Io.really_read ~site:"io.test" r buf 0 3;
+        Unix.close r;
+        check_string "payload" "abc" (Bytes.to_string buf));
+    test_case "fatal injected faults propagate" (fun () ->
+        (match Fault.configure "io.test:fatal@1" with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Fault.disable @@ fun () ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close r;
+            Unix.close w)
+        @@ fun () ->
+        let buf = Bytes.create 1 in
+        check_bool "raises" true
+          (match Io.really_read ~site:"io.test" r buf 0 1 with
+          | () -> false
+          | exception Fault.Injected _ -> true));
+    test_case "bounded retry of a stuck transient site" (fun () ->
+        (* A probability-1 transient selector would spin forever
+           without the attempt bound. *)
+        (match Fault.configure "io.test:transient~1.0" with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Fault.disable @@ fun () ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close r;
+            Unix.close w)
+        @@ fun () ->
+        let buf = Bytes.create 1 in
+        check_bool "eventually raises" true
+          (match Io.really_read ~site:"io.test" r buf 0 1 with
+          | () -> false
+          | exception Fault.Injected { kind = Transient; _ } -> true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol framing                                                    *)
+
+let recv s = with_reader_of_string s Protocol.recv_request
+
+let expect_error name s =
+  match recv s with
+  | `Error _ -> ()
+  | `Request _ -> Alcotest.failf "%s: parsed instead of erroring" name
+  | `Eof -> Alcotest.failf "%s: EOF instead of error" name
+
+let gen_verb =
+  QCheck2.Gen.oneofl
+    [
+      Protocol.Ping;
+      Protocol.Stats;
+      Protocol.Publish;
+      Protocol.Classify;
+      Protocol.Train Label.Ham;
+      Protocol.Train Label.Spam;
+      Protocol.Untrain Label.Ham;
+      Protocol.Untrain Label.Spam;
+    ]
+
+let gen_body =
+  QCheck2.Gen.(
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 2_000))
+
+let protocol_tests =
+  [
+    qtest ~count:150 "render/recv round-trips every request"
+      QCheck2.Gen.(pair gen_verb gen_body)
+      (fun (verb, body) ->
+        let body = if Protocol.verb_name verb = "PING" then "" else body in
+        let body =
+          match verb with
+          | Protocol.Classify | Protocol.Train _ | Protocol.Untrain _ -> body
+          | _ -> ""
+        in
+        let req = { Protocol.verb; body } in
+        match recv (Protocol.render_request req) with
+        | `Request r -> r = req
+        | _ -> false);
+    qtest ~count:100 "pipelined requests all parse, in order"
+      QCheck2.Gen.(list_size (int_range 2 5) (pair gen_verb gen_body))
+      (fun reqs ->
+        let reqs =
+          List.map
+            (fun (verb, body) ->
+              let body =
+                match verb with
+                | Protocol.Classify | Protocol.Train _ | Protocol.Untrain _ ->
+                    body
+                | _ -> ""
+              in
+              { Protocol.verb; body })
+            reqs
+        in
+        let wire = String.concat "" (List.map Protocol.render_request reqs) in
+        with_reader_of_string wire @@ fun reader ->
+        let got =
+          List.map
+            (fun _ ->
+              match Protocol.recv_request reader with
+              | `Request r -> Some r
+              | _ -> None)
+            reqs
+        in
+        Protocol.recv_request reader = `Eof
+        && List.for_all2 (fun r g -> g = Some r) reqs got);
+    test_case "zero-length bodies are legal" (fun () ->
+        match recv "CLASSIFY SPAMLAB/1.0\r\nContent-Length: 0\r\n\r\n" with
+        | `Request { verb = Protocol.Classify; body = "" } -> ()
+        | _ -> Alcotest.fail "zero-length CLASSIFY should parse");
+    test_case "Content-Length overflow is an error, not a wrap" (fun () ->
+        (match Protocol.parse_content_length "18446744073709551616" with
+        | Error _ -> ()
+        | Ok n -> Alcotest.failf "overflow parsed as %d" n);
+        (match Protocol.parse_content_length "4611686018427387903" with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "in-range value rejected: %s" e);
+        expect_error "overflow header"
+          "CLASSIFY SPAMLAB/1.0\r\nContent-Length: 99999999999999999999\r\n\r\n");
+    test_case "Content-Length above the cap refuses before the body" (fun () ->
+        (* The declared length alone must trigger the error — no body
+           bytes are present at all. *)
+        expect_error "over cap"
+          "CLASSIFY SPAMLAB/1.0\r\nContent-Length: 999999999\r\n\r\n");
+    test_case "mid-body drop is a torn frame" (fun () ->
+        let req = { Protocol.verb = Protocol.Classify; body = String.make 100 'b' } in
+        let wire = Protocol.render_request req in
+        match recv (String.sub wire 0 (String.length wire - 40)) with
+        | `Error e ->
+            check_string "reason" "connection closed mid-body" e
+        | _ -> Alcotest.fail "torn body should error");
+    test_case "trailing garbage after a request is the next frame's error"
+      (fun () ->
+        let wire =
+          Protocol.render_request { Protocol.verb = Protocol.Ping; body = "" }
+          ^ "random trailing garbage\r\n"
+        in
+        with_reader_of_string wire @@ fun reader ->
+        (match Protocol.recv_request reader with
+        | `Request { verb = Protocol.Ping; _ } -> ()
+        | _ -> Alcotest.fail "first frame should parse");
+        match Protocol.recv_request reader with
+        | `Error _ -> ()
+        | _ -> Alcotest.fail "garbage should be a framing error");
+    test_case "malformed frames: each yields one error" (fun () ->
+        List.iter
+          (fun (name, s) -> expect_error name s)
+          [
+            ("no verb", "\r\n");
+            ("unknown verb", "FROBNICATE SPAMLAB/1.0\r\n\r\n");
+            ("wrong magic", "PING SPAMLAB/9.9\r\n\r\n");
+            ("no magic", "PING\r\n\r\n");
+            ("header without colon", "PING SPAMLAB/1.0\r\nbogus\r\n\r\n");
+            ("unknown header", "PING SPAMLAB/1.0\r\nX-Weird: 1\r\n\r\n");
+            ("negative length", "CLASSIFY SPAMLAB/1.0\r\nContent-Length: -1\r\n\r\n");
+            ("junk length", "CLASSIFY SPAMLAB/1.0\r\nContent-Length: ten\r\n\r\n");
+            ("body on PING", "PING SPAMLAB/1.0\r\nContent-Length: 3\r\n\r\nabc");
+            ("TRAIN without class", "TRAIN SPAMLAB/1.0\r\nContent-Length: 0\r\n\r\n");
+            ("bad class", "TRAIN SPAMLAB/1.0\r\nMessage-Class: eggs\r\nContent-Length: 0\r\n\r\n");
+            ("missing length", "CLASSIFY SPAMLAB/1.0\r\n\r\n");
+            ("EOF in headers", "PING SPAMLAB/1.0\r\n");
+            ( "oversized verb line",
+              String.make 4_000 'A' ^ " SPAMLAB/1.0\r\n\r\n" );
+          ]);
+    qtest ~count:300 "random bytes never crash the request parser"
+      QCheck2.Gen.(
+        string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 400))
+      (fun junk ->
+        with_reader_of_string junk @@ fun reader ->
+        (* Drain the stream; every step must return a constructor, and
+           the loop must terminate. *)
+        let rec drain n =
+          if n > 500 then false
+          else
+            match Protocol.recv_request reader with
+            | `Eof | `Error _ -> true
+            | `Request _ -> drain (n + 1)
+        in
+        drain 0);
+    qtest ~count:100 "render/recv round-trips responses"
+      QCheck2.Gen.(
+        pair bool
+          (string_size ~gen:(map Char.chr (int_range 1 255)) (int_range 0 500)))
+      (fun (ok, payload) ->
+        let resp =
+          if ok then Protocol.Ok payload
+          else
+            Protocol.Err
+              (String.map (fun c -> if c = '\r' || c = '\n' then ' ' else c) payload)
+        in
+        with_reader_of_string (Protocol.render_response resp) @@ fun reader ->
+        match Protocol.recv_response reader with
+        | `Response r -> r = resp
+        | _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* serve_connection: framing errors answer once and close              *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "spamlab_serve" ".dir" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () -> f dir
+
+let with_daemon_state ?(publish_every = 4) f =
+  with_temp_dir @@ fun dir ->
+  let config =
+    {
+      (Daemon.default_config ~db_path:(Filename.concat dir "db.bin") ()) with
+      Daemon.publish_every;
+    }
+  in
+  match Daemon.create config with
+  | Error e -> Alcotest.fail e
+  | Ok t -> Fun.protect ~finally:(fun () -> Daemon.shutdown t) @@ fun () -> f t
+
+(* Feed raw bytes into serve_connection over a socketpair; return the
+   daemon's raw reply bytes. *)
+let converse t raw =
+  let client, server = Unix.socketpair ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  let server_side =
+    Domain.spawn (fun () ->
+        Daemon.serve_connection t server;
+        Unix.close server)
+  in
+  Io.really_write_string client raw 0 (String.length raw);
+  Unix.shutdown client SHUTDOWN_SEND;
+  let reply = read_all client in
+  Domain.join server_side;
+  Unix.close client;
+  reply
+
+let count_lines_with prefix s =
+  List.length
+    (List.filter
+       (fun l ->
+         String.length l >= String.length prefix
+         && String.sub l 0 (String.length prefix) = prefix)
+       (String.split_on_char '\n' s))
+
+let connection_tests =
+  [
+    test_case "malformed frame: exactly one ERR line, then close" (fun () ->
+        with_daemon_state @@ fun t ->
+        List.iter
+          (fun raw ->
+            let reply = converse t raw in
+            check_int "one ERR"  1 (count_lines_with "SPAMLAB/1.0 ERR" reply);
+            check_int "no OK" 0 (count_lines_with "SPAMLAB/1.0 OK" reply))
+          [
+            "GARBAGE\r\n";
+            "PING SPAMLAB/1.0\r\nContent-Length: 9\r\n\r\nxxxxxxxxx";
+            "CLASSIFY SPAMLAB/1.0\r\nContent-Length: 99999999999999999999\r\n\r\n";
+            "CLASSIFY SPAMLAB/1.0\r\nContent-Length: 50\r\n\r\nshort";
+            String.make 2_000 'Z';
+          ]);
+    test_case "valid pipeline after which garbage: replies then one ERR"
+      (fun () ->
+        with_daemon_state @@ fun t ->
+        let wire =
+          Protocol.render_request { Protocol.verb = Protocol.Ping; body = "" }
+          ^ Protocol.render_request { Protocol.verb = Protocol.Ping; body = "" }
+          ^ "junk\r\n"
+        in
+        let reply = converse t wire in
+        check_int "two OK" 2 (count_lines_with "SPAMLAB/1.0 OK" reply);
+        check_int "one ERR" 1 (count_lines_with "SPAMLAB/1.0 ERR" reply));
+    qtest ~count:120 "random bytes never kill the connection loop"
+      QCheck2.Gen.(
+        string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 300))
+      (fun junk ->
+        with_daemon_state @@ fun t ->
+        (* Must terminate and never raise; reply shape is free. *)
+        ignore (converse t junk);
+        true);
+    test_case "valid frames survive serve.read transient faults" (fun () ->
+        with_daemon_state @@ fun t ->
+        (match Fault.configure "serve.read:transient@1+2+5" with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Fault.disable @@ fun () ->
+        let wire =
+          Protocol.render_request { Protocol.verb = Protocol.Ping; body = "" }
+          ^ Protocol.render_request
+              { Protocol.verb = Protocol.Train Label.Spam;
+                body = mbox [ msg ~headers:[ ("Subject", "x") ] "spam words" ] }
+        in
+        let reply = converse t wire in
+        check_int "no ERR" 0 (count_lines_with "SPAMLAB/1.0 ERR" reply);
+        check_int "two OK" 2 (count_lines_with "SPAMLAB/1.0 OK" reply));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end-to-end on a unix socket                                  *)
+
+let with_daemon ?(publish_every = 4) f =
+  with_temp_dir @@ fun dir ->
+  let addr = Daemon.Unix_sock (Filename.concat dir "s.sock") in
+  let db_path = Filename.concat dir "db.bin" in
+  let config =
+    { (Daemon.default_config ~addr ~db_path ()) with Daemon.publish_every }
+  in
+  match Daemon.create config with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      let stop = Atomic.make false in
+      let up = Atomic.make false in
+      let d =
+        Domain.spawn (fun () ->
+            Daemon.run
+              ~ready:(fun _ -> Atomic.set up true)
+              ~stop:(fun () -> Atomic.get stop)
+              t)
+      in
+      let finish () =
+        Atomic.set stop true;
+        (match Domain.join d with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Daemon.shutdown t
+      in
+      Fun.protect ~finally:finish @@ fun () ->
+      while not (Atomic.get up) do
+        Domain.cpu_relax ()
+      done;
+      f addr t db_path
+
+let ok_payload = function
+  | Ok (Protocol.Ok p) -> p
+  | Ok (Protocol.Err e) -> Alcotest.failf "daemon error: %s" e
+  | Error e -> Alcotest.failf "transport error: %s" e
+
+let spam_mbox n =
+  mbox
+    (List.init n (fun i ->
+         msg
+           ~headers:[ ("Subject", Printf.sprintf "offer %d" i) ]
+           (Printf.sprintf "buy cheap pills now batch%d" i)))
+
+let e2e_tests =
+  [
+    test_case "ping, train, publish, classify, stats" (fun () ->
+        with_daemon @@ fun addr t db_path ->
+        check_string "pong" "pong\n"
+          (ok_payload (Client.roundtrip addr { Protocol.verb = Ping; body = "" }));
+        let ack =
+          ok_payload
+            (Client.roundtrip addr
+               { Protocol.verb = Train Label.Spam; body = spam_mbox 3 })
+        in
+        check_bool "train ack" true
+          (String.length ack > 0 && String.sub ack 0 8 = "trained=");
+        (* publish_every is 4: 3 trains leave the delta unpublished and
+           invisible to classify. *)
+        check_int "not yet published" 0 (Daemon.publish_seq t);
+        check_bool "db not yet on disk" false (Sys.file_exists db_path);
+        ignore
+          (ok_payload
+             (Client.roundtrip addr { Protocol.verb = Publish; body = "" }));
+        check_int "published" 1 (Daemon.publish_seq t);
+        check_bool "db on disk" true (Sys.file_exists db_path);
+        let verdicts =
+          ok_payload
+            (Client.roundtrip addr
+               { Protocol.verb = Classify; body = spam_mbox 2 })
+        in
+        check_int "one line per message" 2
+          (List.length
+             (List.filter (( <> ) "") (String.split_on_char '\n' verdicts)));
+        let stats =
+          ok_payload
+            (Client.roundtrip addr { Protocol.verb = Stats; body = "" })
+        in
+        check_bool "stats has train count" true
+          (count_lines_with "train.messages 3" stats = 1);
+        check_bool "stats has publish seq" true
+          (count_lines_with "publish.seq 1" stats = 1));
+    test_case "classify of an empty body answers an empty payload" (fun () ->
+        with_daemon @@ fun addr _ _ ->
+        check_string "empty" ""
+          (ok_payload
+             (Client.roundtrip addr { Protocol.verb = Classify; body = "" })));
+    test_case "auto-publish at publish-every, counted in seq" (fun () ->
+        with_daemon ~publish_every:2 @@ fun addr t _ ->
+        ignore
+          (ok_payload
+             (Client.roundtrip addr
+                { Protocol.verb = Train Label.Spam; body = spam_mbox 5 }));
+        check_int "one auto publish" 1 (Daemon.publish_seq t);
+        let ack =
+          ok_payload
+            (Client.roundtrip addr
+               { Protocol.verb = Train Label.Spam; body = spam_mbox 1 })
+        in
+        check_bool "pending after ack" true
+          (Client.(
+             match roundtrip addr { Protocol.verb = Stats; body = "" } with
+             | Ok (Protocol.Ok s) -> count_lines_with "train.pending 2" s = 1
+             | _ -> false)
+          || String.length ack > 0));
+    test_case "impossible UNTRAIN answers ERR and keeps the connection"
+      (fun () ->
+        with_daemon @@ fun addr _ _ ->
+        match Client.connect addr with
+        | Error e -> Alcotest.fail e
+        | Ok conn ->
+            Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+            (match
+               Client.request conn
+                 { Protocol.verb = Untrain Label.Spam; body = spam_mbox 1 }
+             with
+            | Ok (Protocol.Err _) -> ()
+            | Ok (Protocol.Ok _) -> Alcotest.fail "untrain of unseen succeeded"
+            | Error e -> Alcotest.failf "transport error: %s" e);
+            (* Semantic error: the same connection still answers. *)
+            (match Client.request conn { Protocol.verb = Ping; body = "" } with
+            | Ok (Protocol.Ok p) -> check_string "pong after ERR" "pong\n" p
+            | _ -> Alcotest.fail "connection should survive a semantic ERR"));
+    test_case "transient publish fault degrades to ERR, next publish works"
+      (fun () ->
+        with_daemon @@ fun addr t _ ->
+        (match Fault.configure "serve.publish:transient@1" with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Fault.disable @@ fun () ->
+        (match Client.roundtrip addr { Protocol.verb = Publish; body = "" } with
+        | Ok (Protocol.Err _) -> ()
+        | Ok (Protocol.Ok _) -> Alcotest.fail "injected publish should fail"
+        | Error e -> Alcotest.failf "transport error: %s" e);
+        check_int "nothing published" 0 (Daemon.publish_seq t);
+        ignore
+          (ok_payload
+             (Client.roundtrip addr { Protocol.verb = Publish; body = "" }));
+        check_int "recovered" 1 (Daemon.publish_seq t));
+    test_case "restart from the published store serves the same verdicts"
+      (fun () ->
+        with_temp_dir @@ fun dir ->
+        let db_path = Filename.concat dir "db.bin" in
+        let eval = spam_mbox 4 in
+        let serve_once f =
+          let addr = Daemon.Unix_sock (Filename.concat dir "s.sock") in
+          let config =
+            { (Daemon.default_config ~addr ~db_path ()) with Daemon.publish_every = 0 }
+          in
+          match Daemon.create config with
+          | Error e -> Alcotest.fail e
+          | Ok t ->
+              let stop = Atomic.make false in
+              let up = Atomic.make false in
+              let d =
+                Domain.spawn (fun () ->
+                    Daemon.run
+                      ~ready:(fun _ -> Atomic.set up true)
+                      ~stop:(fun () -> Atomic.get stop)
+                      t)
+              in
+              Fun.protect
+                ~finally:(fun () ->
+                  Atomic.set stop true;
+                  (match Domain.join d with
+                  | Ok () -> ()
+                  | Error e -> Alcotest.fail e);
+                  Daemon.shutdown t)
+              @@ fun () ->
+              while not (Atomic.get up) do
+                Domain.cpu_relax ()
+              done;
+              f addr
+        in
+        let first =
+          serve_once (fun addr ->
+              ignore
+                (ok_payload
+                   (Client.roundtrip addr
+                      { Protocol.verb = Train Label.Spam; body = spam_mbox 6 }));
+              ignore
+                (ok_payload
+                   (Client.roundtrip addr { Protocol.verb = Publish; body = "" }));
+              ok_payload
+                (Client.roundtrip addr { Protocol.verb = Classify; body = eval }))
+        in
+        let second =
+          serve_once (fun addr ->
+              ok_payload
+                (Client.roundtrip addr { Protocol.verb = Classify; body = eval }))
+        in
+        check_string "verdicts identical across restart" first second);
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("io", io_tests);
+      ("protocol", protocol_tests);
+      ("connection", connection_tests);
+      ("e2e", e2e_tests);
+    ]
