@@ -26,7 +26,7 @@ let default_scale = 0.2
 let usage () =
   prerr_endline
     ("usage: main.exe [--scale S] [--seed N] [--jobs N] [--trace FILE] \
-      [--metrics] [--timings FILE] [all|perf|ingest|serve|"
+      [--metrics] [--timings FILE] [all|perf|ingest|serve|store|"
     ^ String.concat "|" Registry.ids ^ "]...");
   exit 2
 
@@ -65,7 +65,7 @@ let parse_args () =
     | target :: rest ->
         if
           target = "all" || target = "perf" || target = "ingest"
-          || target = "serve"
+          || target = "serve" || target = "store"
           || Registry.find target <> None
         then go { acc with targets = acc.targets @ [ target ] } rest
         else usage ()
@@ -328,7 +328,7 @@ let run_serve lab ~jobs =
         jobs;
       let pings =
         List.init 200 (fun _ ->
-            request { Serve.Protocol.verb = Ping; body = "" })
+            request { Serve.Protocol.verb = Ping; body = ""; user = None })
       in
       report "serve-ping" ~messages:200 pings;
       let train_lats =
@@ -342,21 +342,163 @@ let run_serve lab ~jobs =
             in
             List.map
               (fun body ->
-                request { Serve.Protocol.verb = Train wanted; body })
+                request { Serve.Protocol.verb = Train wanted; body; user = None })
               (mbox_batches msgs))
           [ Label.Ham; Label.Spam ]
       in
       report "serve-train-b16" ~messages:size train_lats;
-      ignore (request { Serve.Protocol.verb = Publish; body = "" });
+      ignore (request { Serve.Protocol.verb = Publish; body = ""; user = None });
       let classify_lats =
         List.map
-          (fun body -> request { Serve.Protocol.verb = Classify; body })
+          (fun body -> request { Serve.Protocol.verb = Classify; body; user = None })
           (mbox_batches (Array.map snd labeled))
       in
       report "serve-classify-b16" ~messages:size classify_lats;
       print_newline ();
       flush stdout;
       !timings
+
+(* ------------------------------------------------------------------ *)
+(* Tenant-store throughput: per-user train / classify (hot and cold) /
+   eviction-pressure ops/sec with p50/p99 per-op latency, at tenant
+   counts scaled from the nominal {1e3, 1e4, 1e5} tiers by
+   scale/0.2 — the --timings ids stay scale-independent
+   ("store-t1k-train", "store-t100k-classify-cold", ...).  A
+   single-tenant baseline anchors the hot-path acceptance bound
+   (hot-tenant classify within 1.25x of it). *)
+
+let run_store lab ~jobs =
+  let module Store = Spamlab_store.Store in
+  let module Classify = Spamlab_spambayes.Classify in
+  let module Options = Spamlab_spambayes.Options in
+  let module Dataset = Spamlab_corpus.Dataset in
+  Printf.printf "%s\ntenant store ops/sec (sharded backend)\n%s\n" hrule hrule;
+  let scale = Lab.scale lab in
+  let tier nominal = max 200 (int_of_float (float_of_int nominal *. scale /. 0.2)) in
+  let examples =
+    Lab.corpus lab ~name:"store-bench"
+      ~size:(max 128 (int_of_float (512.0 *. scale /. 0.2)))
+      ~spam_fraction:0.5
+  in
+  let nex = Array.length examples in
+  let options = Options.default in
+  let pool = Lab.pool lab in
+  let timings = ref [] in
+  let report name ~ops ~wall_s lats =
+    let ops_s = float_of_int ops /. wall_s in
+    Printf.printf
+      "  %-26s %10.0f ops/sec   p50 %7.1f us   p99 %7.1f us   (%d ops)\n" name
+      ops_s
+      (Spamlab_stats.Summary.quantile lats 0.5)
+      (Spamlab_stats.Summary.quantile lats 0.99)
+      ops;
+    timings := !timings @ [ (name, wall_s /. float_of_int ops) ];
+    ops_s
+  in
+  let chunks n size =
+    Array.init ((n + size - 1) / size) (fun k ->
+        (k * size, min size (n - (k * size))))
+  in
+  (* Run [f i] for every user index, fanned over the pool; returns
+     (wall seconds, per-op latencies in us, flattened in index order). *)
+  let fan n f =
+    let t0 = Unix.gettimeofday () in
+    let per_chunk =
+      Spamlab_parallel.Pool.map_array pool
+        (fun (start, len) ->
+          Array.init len (fun j ->
+              let t = Unix.gettimeofday () in
+              f (start + j);
+              (Unix.gettimeofday () -. t) *. 1e6))
+        (chunks n 256)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (wall, Array.concat (Array.to_list per_chunk))
+  in
+  let user i = Printf.sprintf "user-%06d" i in
+  let train_user st i =
+    for k = 0 to 1 do
+      let ex = examples.(((2 * i) + k) mod nex) in
+      Store.train st ~user:(user i) ex.Dataset.label ex.Dataset.tokens
+    done
+  in
+  let classify_user st i =
+    let ex = examples.(i mod nex) in
+    Store.with_user st (user i) (fun db ->
+        ignore (Classify.score_ids options db ex.Dataset.ids))
+  in
+  let with_store ~dir ?(cache = Store.default_config.cache) f =
+    match
+      Store.open_store
+        { Store.default_config with Store.backend = `Sharded dir; cache }
+    with
+    | Error e -> failwith ("store bench: " ^ e)
+    | Ok st -> Fun.protect ~finally:(fun () -> Store.close st) @@ fun () -> f st
+  in
+  let tmp = Filename.temp_file "spamlab_bench" ".store" in
+  Sys.remove tmp;
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> rm_rf tmp) @@ fun () ->
+  (* Single-tenant baseline: one hot user classified repeatedly. *)
+  let single_ops_s =
+    with_store ~dir:tmp @@ fun st ->
+    train_user st 0;
+    ignore (classify_user st 0);
+    let rounds = 2000 in
+    let wall, lats = fan rounds (fun _ -> classify_user st 0) in
+    report "store-single-classify" ~ops:rounds ~wall_s:wall lats
+  in
+  let tiers = [ ("t1k", 1_000); ("t10k", 10_000); ("t100k", 100_000) ] in
+  List.iter
+    (fun (tag, nominal) ->
+      let n = tier nominal in
+      rm_rf tmp;
+      Printf.printf "\n%s: %d tenants, daemon-style 2 trains/user, jobs %d\n"
+        tag n jobs;
+      let id phase = Printf.sprintf "store-%s-%s" tag phase in
+      with_store ~dir:tmp (fun st ->
+          let wall, lats = fan n (train_user st) in
+          ignore (report (id "train") ~ops:(2 * n) ~wall_s:wall lats);
+          Store.commit st;
+          (* Hot: a cache-resident working set, classified repeatedly. *)
+          let h = min n 1000 in
+          let rounds = max 1 (2000 / h) in
+          ignore (fan h (classify_user st));
+          let wall, lats =
+            fan (h * rounds) (fun i -> classify_user st (i mod h))
+          in
+          let hot_ops_s = report (id "classify-hot") ~ops:(h * rounds) ~wall_s:wall lats in
+          if hot_ops_s < single_ops_s /. 1.25 then
+            Printf.printf
+              "  WARNING: hot classify %.0f ops/sec is more than 1.25x below \
+               single-tenant %.0f\n"
+              hot_ops_s single_ops_s;
+          (* Cold: every access re-materializes from shard files. *)
+          Store.evict_all st;
+          let s = min n 1000 in
+          let stride = max 1 (n / s) in
+          let wall, lats = fan s (fun i -> classify_user st (i * stride)) in
+          ignore (report (id "classify-cold") ~ops:s ~wall_s:wall lats));
+      (* Eviction pressure: reopen with a small cache and touch more
+         users than it holds — every miss past capacity evicts. *)
+      with_store ~dir:tmp ~cache:512 (fun st ->
+          let t = min n 4096 in
+          let wall, lats = fan t (fun i -> classify_user st (i mod n)) in
+          ignore (report (id "evict") ~ops:t ~wall_s:wall lats);
+          let s = Store.stats st in
+          Printf.printf "  (evictions %d, misses %d, hits %d)\n"
+            s.Store.evictions s.Store.misses s.Store.hits))
+    tiers;
+  print_newline ();
+  flush stdout;
+  !timings
 
 (* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
@@ -562,6 +704,8 @@ let () =
         timings := !timings @ run_ingest lab ~jobs:cli.jobs
       else if target = "serve" then
         timings := !timings @ run_serve lab ~jobs:cli.jobs
+      else if target = "store" then
+        timings := !timings @ run_store lab ~jobs:cli.jobs
       else timings := !timings @ run_experiments lab target)
     cli.targets;
   Lab.shutdown lab;

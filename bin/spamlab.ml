@@ -707,6 +707,136 @@ let experiment_cmd =
       $ fault_spec_arg $ checkpoint_arg $ resume_arg $ id_arg)
 
 (* --------------------------------------------------------------- *)
+(* tenants                                                          *)
+
+let tenants_cmd =
+  let users_arg =
+    let doc =
+      "Comma-separated tenant counts to sweep (each point runs on a fresh \
+       store)."
+    in
+    Arg.(value & opt string "1000" & info [ "users" ] ~docv:"N,N,..." ~doc)
+  in
+  let communities_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "communities" ] ~docv:"K"
+          ~doc:"Distinct community corpora tenants are drawn from.")
+  in
+  let poison_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "poison" ] ~docv:"F" ~doc:"Fraction of tenants attacked.")
+  in
+  let attack_count_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "attack-count" ] ~docv:"N"
+          ~doc:"Attack emails trained into each poisoned tenant.")
+  in
+  let store_dir_arg =
+    let doc =
+      "Run tenants on the sharded on-disk store rooted here (one \
+       users-N subdirectory per sweep point); default is the in-memory \
+       backend."
+    in
+    Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Record completed user chunks for --resume.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Restore completed user chunks from the --checkpoint file.")
+  in
+  let fault_spec_arg =
+    let doc =
+      "Deterministic fault injection spec (also read from SPAMLAB_FAULTS); \
+       tenants-relevant sites: checkpoint.record, pool.task, \
+       store.journal.append, store.compact, store.evict. Kinds: transient, \
+       fatal, crash."
+    in
+    Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+  in
+  let run seed scale jobs users communities poison attack_count store_dir
+      fault_spec checkpoint resume () =
+    setup_logs ();
+    let fault_configured =
+      match fault_spec with
+      | Some spec -> Fault.configure ~seed spec
+      | None -> Fault.configure_env ~seed ()
+    in
+    let users =
+      String.split_on_char ',' users
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string_opt
+    in
+    match
+      Result.bind fault_configured @@ fun () ->
+      if List.exists Option.is_none users || users = [] then
+        Error "bad --users (want comma-separated positive counts)"
+      else
+        let users = List.map Option.get users in
+        if List.exists (fun u -> u <= 0) users then
+          Error "bad --users (want comma-separated positive counts)"
+        else Ok users
+    with
+    | Error e -> fail "%s" e
+    | Ok users -> (
+        let checkpoint_opened =
+          match (checkpoint, resume) with
+          | None, true -> Error "--resume requires --checkpoint FILE"
+          | None, false -> Ok None
+          | Some path, resume ->
+              Result.map Option.some
+                (Eval.Checkpoint.open_ ~path
+                   ~params:(Printf.sprintf "seed=%d scale=%h" seed scale)
+                   ~resume)
+        in
+        match checkpoint_opened with
+        | Error e -> fail "%s" e
+        | Ok ck -> (
+            Obs.configure_from_env ();
+            let lab = Eval.Lab.create ~seed ~scale ?jobs ?checkpoint:ck () in
+            let cfg =
+              {
+                Eval.Tenants_exp.default_config with
+                Eval.Tenants_exp.users;
+                communities;
+                poison_fraction = poison;
+                attack_count;
+                store_dir;
+              }
+            in
+            let result = Eval.Tenants_exp.run lab cfg in
+            Eval.Lab.shutdown lab;
+            Option.iter Eval.Checkpoint.close ck;
+            match result with
+            | Error e -> fail "%s" e
+            | Ok (report, detail) ->
+                print_string report;
+                prerr_string detail;
+                `Ok ()))
+  in
+  guarded
+    (Cmd.info "tenants"
+       ~doc:
+         "Multi-tenant poisoning at provider scale: per-user Bayes state \
+          for N mailboxes over a shared prior, a poisoned subset, and \
+          per-user attack/defense outcomes.")
+    Term.(
+      const run $ seed_arg $ scale_arg $ jobs_arg $ users_arg
+      $ communities_arg $ poison_arg $ attack_count_arg $ store_dir_arg
+      $ fault_spec_arg $ checkpoint_arg $ resume_arg)
+
+(* --------------------------------------------------------------- *)
 (* db                                                               *)
 
 let db_verify_cmd =
@@ -716,8 +846,58 @@ let db_verify_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"Trained filter database to verify.")
   in
+  let verify_store dir =
+    match Spamlab_store.Store.verify_dir dir with
+    | Error e -> fail "%s: %s" dir e
+    | Ok r ->
+        let open Spamlab_store.Store in
+        Printf.printf "%s: sharded tenant store, %d shards\n" dir r.dir_shards;
+        Printf.printf
+          "  prior:    %s\n"
+          (match r.prior_ok with
+          | Ok p ->
+              Printf.sprintf "ok (v%d, %d tokens, %d spam + %d ham)"
+                p.Token_db.version p.Token_db.entries p.Token_db.nspam
+                p.Token_db.nham
+          | Error e -> "CORRUPT: " ^ e);
+        Printf.printf "  segments: %d users, %d rows\n" r.dir_users r.dir_rows;
+        Printf.printf "  journals: %d committed ops\n" r.dir_ops;
+        let bad = ref (match r.prior_ok with Ok _ -> 0 | Error _ -> 1) in
+        List.iter
+          (fun s ->
+            let seg =
+              match s.segment with
+              | `Ok -> Printf.sprintf "seg ok (%d users)" s.seg_users
+              | `Missing -> "seg missing (empty)"
+              | `Corrupt e ->
+                  incr bad;
+                  Printf.sprintf "seg CORRUPT: %s" e
+            in
+            let jrn =
+              match s.journal with
+              | `Ok n -> Printf.sprintf "journal ok (%d ops)" n
+              | `Torn (n, salvage) ->
+                  Printf.sprintf
+                    "journal torn tail (%d committed ops, %d salvageable \
+                     uncommitted)"
+                    n salvage
+              | `Stale -> "journal stale (compaction crash; will be discarded)"
+              | `Missing -> "journal missing (fresh on next open)"
+              | `Corrupt e ->
+                  incr bad;
+                  Printf.sprintf "journal CORRUPT: %s" e
+            in
+            Printf.printf "  shard %04d: %s; %s\n" s.shard seg jrn)
+          r.shard_reports;
+        if !bad > 0 then fail "%s: %d corrupt shard component(s)" dir !bad
+        else `Ok ()
+  in
   let run path () =
     setup_logs ();
+    if Sys.file_exists path && Sys.is_directory path then
+      if Spamlab_store.Store.is_store_dir path then verify_store path
+      else fail "%s: directory is not a spamlab store" path
+    else
     match In_channel.with_open_bin path In_channel.input_all with
     | exception Sys_error e -> fail "%s" e
     | contents -> (
@@ -748,7 +928,9 @@ let db_verify_cmd =
   guarded
     (Cmd.info "verify"
        ~doc:"Check a database's format version, checksum and count \
-             invariants; nonzero exit on corruption.")
+             invariants — or, given a sharded tenant-store directory, \
+             every shard's segment CRC/invariants and journal tail; \
+             nonzero exit on corruption.")
     Term.(const run $ db_pos)
 
 let db_cmd =
@@ -809,12 +991,43 @@ let serve_cmd =
     let doc =
       "Deterministic fault injection spec (also read from SPAMLAB_FAULTS); \
        daemon sites: serve.accept, serve.read, serve.publish, db.save.write, \
-       db.save.rename."
+       db.save.rename, store.journal.append, store.compact, store.evict."
     in
     Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
   in
-  let run seed db socket tcp publish_every max_body jobs tokenizer fault_spec ()
-      =
+  let store_dir_arg =
+    let doc =
+      "Directory of the multi-tenant sharded token store; enables User-header \
+       routing to per-tenant Bayes state (created on first start with the \
+       shared filter as global prior)."
+    in
+    Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
+  in
+  let store_shards_arg =
+    let doc = "Shards of a newly created tenant store." in
+    Arg.(
+      value
+      & opt int Spamlab_store.Store.default_config.shards
+      & info [ "store-shards" ] ~docv:"N" ~doc)
+  in
+  let store_cache_arg =
+    let doc = "Max cached tenant overlays across all shards." in
+    Arg.(
+      value
+      & opt int Spamlab_store.Store.default_config.cache
+      & info [ "store-cache" ] ~docv:"N" ~doc)
+  in
+  let store_compact_arg =
+    let doc =
+      "Compact a shard when its journal exceeds this ratio of its segment."
+    in
+    Arg.(
+      value
+      & opt float Spamlab_store.Store.default_config.compact_ratio
+      & info [ "store-compact-ratio" ] ~docv:"R" ~doc)
+  in
+  let run seed db socket tcp publish_every max_body jobs tokenizer fault_spec
+      store_dir store_shards store_cache store_compact () =
     setup_logs ();
     let fault_configured =
       match fault_spec with
@@ -832,6 +1045,17 @@ let serve_cmd =
         match daemon_addr ~default socket tcp with
         | Error e -> fail "%s" e
         | Ok addr -> (
+            let store =
+              Option.map
+                (fun dir ->
+                  {
+                    Spamlab_store.Store.backend = `Sharded dir;
+                    shards = store_shards;
+                    cache = store_cache;
+                    compact_ratio = store_compact;
+                  })
+                store_dir
+            in
             let config =
               {
                 Serve.Daemon.addr;
@@ -844,6 +1068,7 @@ let serve_cmd =
                   (match jobs with
                   | Some j -> j
                   | None -> Spamlab_parallel.default_jobs ());
+                store;
               }
             in
             match Serve.Daemon.create config with
@@ -876,7 +1101,8 @@ let serve_cmd =
           socket.")
     Term.(
       const run $ seed_arg $ db_arg $ socket_arg $ tcp_arg $ publish_every_arg
-      $ max_body_arg $ jobs_arg $ tokenizer_arg $ fault_spec_arg)
+      $ max_body_arg $ jobs_arg $ tokenizer_arg $ fault_spec_arg
+      $ store_dir_arg $ store_shards_arg $ store_cache_arg $ store_compact_arg)
 
 let oneshot addr (req : Serve.Protocol.request) =
   match Serve.Client.roundtrip addr req with
@@ -890,9 +1116,18 @@ let client_simple_cmd name ~doc verb =
   let run socket tcp () =
     match daemon_addr socket tcp with
     | Error e -> fail "%s" e
-    | Ok addr -> oneshot addr { Serve.Protocol.verb; body = "" }
+    | Ok addr -> oneshot addr { Serve.Protocol.verb; body = ""; user = None }
   in
   guarded (Cmd.info name ~doc) Term.(const run $ socket_arg $ tcp_arg)
+
+let user_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "user" ] ~docv:"USER"
+        ~doc:
+          "Address the request to this tenant's per-user state (requires a \
+           daemon started with --store-dir).")
 
 let mbox_pos =
   Arg.(
@@ -908,15 +1143,15 @@ let class_arg =
     & info [ "class" ] ~docv:"CLASS" ~doc)
 
 let client_body_cmd name ~doc mk_verb =
-  let run socket tcp verb mbox () =
+  let run socket tcp user verb mbox () =
     match daemon_addr socket tcp with
     | Error e -> fail "%s" e
     | Ok addr ->
         let body = In_channel.with_open_bin mbox In_channel.input_all in
-        oneshot addr { Serve.Protocol.verb; body }
+        oneshot addr { Serve.Protocol.verb; body; user }
   in
   guarded (Cmd.info name ~doc)
-    Term.(const run $ socket_arg $ tcp_arg $ mk_verb $ mbox_pos)
+    Term.(const run $ socket_arg $ tcp_arg $ user_arg $ mk_verb $ mbox_pos)
 
 let client_classify_cmd =
   client_body_cmd "classify"
@@ -948,7 +1183,15 @@ let client_load_cmd =
   let batch_arg =
     Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N" ~doc:"Messages per request.")
   in
-  let run seed socket tcp clients train_size eval_size batch () =
+  let users_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "users" ] ~docv:"N"
+          ~doc:
+            "Deal the schedule round-robin across N tenants via User headers \
+             (0 = single-filter mode; requires --store-dir on the daemon).")
+  in
+  let run seed socket tcp clients train_size eval_size batch users () =
     setup_logs ();
     match daemon_addr socket tcp with
     | Error e -> fail "%s" e
@@ -961,6 +1204,7 @@ let client_load_cmd =
             eval_size;
             train_batch = batch;
             classify_batch = batch;
+            users;
           }
         in
         match Serve.Client.load cfg with
@@ -980,7 +1224,7 @@ let client_load_cmd =
           deterministic summary.")
     Term.(
       const run $ seed_arg $ socket_arg $ tcp_arg $ clients_arg
-      $ train_size_arg $ eval_size_arg $ batch_arg)
+      $ train_size_arg $ eval_size_arg $ batch_arg $ users_arg)
 
 let client_cmd =
   Cmd.group
@@ -1012,7 +1256,7 @@ let main_cmd =
       corpus_cmd; train_cmd; classify_cmd; classify_mbox_cmd; tokenize_cmd;
       stats_cmd;
       attack_cmd; evade_cmd; roni_cmd; thresholds_cmd; experiment_cmd;
-      db_cmd; serve_cmd; client_cmd;
+      tenants_cmd; db_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -208,4 +208,85 @@ grep -q 'reconnects=' "$sdir/crash.client.log" \
   || { echo "FAIL: client log records no reconnect"; exit 1; }
 echo "serve: crashed at publish 2, restarted, replayed, byte-identical"
 
+say "tenants: cross-jobs determinism (sharded store)"
+# The tenants experiment fans user chunks over the domain pool while
+# every op lands in the sharded store; stdout (classification outcomes
+# only — store traffic counters go to stderr) must be byte-identical
+# at every --jobs value, and the store it leaves behind must verify.
+tdir=$(mktemp -d /tmp/spamlab-ci-tenants.XXXXXX)
+trap 'rm -f "$trace" "$timings" "$j1" "$j4" "$faulted" "$ckpt" "$resumed"; rm -rf "$sdir" "$tdir"' EXIT
+"$spamlab" tenants --users 300 --scale 0.05 --jobs 1 \
+  --store-dir "$tdir/tj1" > "$tdir/tj1.txt" 2> /dev/null
+"$spamlab" tenants --users 300 --scale 0.05 --jobs 4 \
+  --store-dir "$tdir/tj4" > "$tdir/tj4.txt" 2> /dev/null
+cmp -s "$tdir/tj1.txt" "$tdir/tj4.txt" \
+  || { echo "FAIL: tenants output differs between --jobs 1 and --jobs 4"; \
+       diff -u "$tdir/tj1.txt" "$tdir/tj4.txt" | head -20; exit 1; }
+"$spamlab" db verify "$tdir/tj4/users-300" > /dev/null \
+  || { echo "FAIL: tenants store does not verify"; exit 1; }
+echo "tenants: jobs 1 == jobs 4; store verifies"
+
+say "store soak: crash mid-append, restart, replay"
+# A crash injected at the journal-append fault site kills the daemon
+# (exit 70) partway through a tenant-routed TRAIN schedule: the op was
+# never buffered, never acked, and the journal's uncommitted suffix is
+# discarded on reopen.  The client reconnect-replays its unpublished
+# buffer against the restarted daemon; after the explicit publish
+# (which compacts every shard to canonical bytes) the store must be
+# byte-for-byte identical to an uninterrupted leg's.
+run_store_leg() { # tag [extra serve args...]
+  tag=$1; shift
+  start_daemon "$tag" 1 --store-dir "$sdir/$tag.store" "$@"
+  "$spamlab" client load --socket "$sdir/$tag.sock" --seed 7 --users 3 \
+    > "$sdir/$tag.client.txt" 2> "$sdir/$tag.client.log" &
+  client_pid=$!
+}
+run_store_leg tbase
+wait "$client_pid" \
+  || { echo "FAIL: tbase client load failed"; cat "$sdir/tbase.client.log"; exit 1; }
+"$spamlab" client publish --socket "$sdir/tbase.sock" > /dev/null
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" \
+  || { echo "FAIL: tbase daemon exited nonzero on SIGTERM"; exit 1; }
+run_store_leg tcrash --fault-spec 'store.journal.append:crash@25'
+status=0
+wait "$daemon_pid" || status=$?
+[ "$status" -eq 70 ] \
+  || { echo "FAIL: injected append crash should exit 70, got $status"; exit 1; }
+start_daemon tcrash 1 --store-dir "$sdir/tcrash.store"
+wait "$client_pid" \
+  || { echo "FAIL: client did not survive the store crash"; \
+       cat "$sdir/tcrash.client.log"; exit 1; }
+"$spamlab" client publish --socket "$sdir/tcrash.sock" > /dev/null
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" \
+  || { echo "FAIL: restarted store daemon exited nonzero on SIGTERM"; exit 1; }
+cmp -s "$sdir/tbase.client.txt" "$sdir/tcrash.client.txt" \
+  || { echo "FAIL: store crash-and-replay client stdout differs"; \
+       diff -u "$sdir/tbase.client.txt" "$sdir/tcrash.client.txt" | head -20; exit 1; }
+for f in "$sdir"/tbase.store/*; do
+  cmp -s "$f" "$sdir/tcrash.store/$(basename "$f")" \
+    || { echo "FAIL: store file $(basename "$f") differs after crash-and-replay"; exit 1; }
+done
+"$spamlab" db verify "$sdir/tcrash.store" > /dev/null \
+  || { echo "FAIL: crash-and-replay store does not verify"; exit 1; }
+echo "store: crashed at append 25, restarted, replayed, byte-identical"
+
+say "bench store smoke"
+./_build/default/bench/main.exe store \
+  --scale 0.02 --jobs 2 --timings "$timings" > /dev/null
+grep -q '"id":"store-single-classify"' "$timings" \
+  || { echo "FAIL: missing store-single-classify bench entry"; exit 1; }
+for tier in t1k t10k t100k; do
+  for phase in train classify-hot classify-cold evict; do
+    grep -q "\"id\":\"store-$tier-$phase\"" "$timings" \
+      || { echo "FAIL: missing store-$tier-$phase bench entry"; exit 1; }
+  done
+done
+if grep -q '"seconds":0\.000000' "$timings" \
+  || grep -q '"seconds":-' "$timings"; then
+  echo "FAIL: non-positive store bench wall time"; exit 1
+fi
+echo "bench store OK"
+
 say "ci.sh: all checks passed"

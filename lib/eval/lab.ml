@@ -165,7 +165,7 @@ let corpus t ~name ~size ~spam_fraction =
    Correctness rests on the same contract as the pool itself: [f] is
    pure per element with named-stream randomness, so computing only a
    subset yields the same values the full map would have produced. *)
-let checkpointed_map (type a b) t ~stage ?prepare ~(encode : b -> string)
+let checkpointed_map (type a b) t ~stage ?dim ?prepare ~(encode : b -> string)
     ~(decode : a -> string -> b option) (f : a -> b) (arr : a array) : b array
     =
   let run_prepare items =
@@ -177,7 +177,16 @@ let checkpointed_map (type a b) t ~stage ?prepare ~(encode : b -> string)
       Spamlab_parallel.Pool.map_array (pool t) f arr
   | Some ck ->
       let n = Array.length arr in
-      let key i = Printf.sprintf "%s/%d" stage i in
+      (* The checkpoint header only pins (seed, scale); a sweep that
+         varies another dimension (e.g. tenants --users) must fold it
+         into the key or two sweep points would collide.  Absent [dim]
+         the key is the historical "<stage>/<index>", so pre-existing
+         checkpoint files stay readable. *)
+      let key i =
+        match dim with
+        | None -> Printf.sprintf "%s/%d" stage i
+        | Some d -> Printf.sprintf "%s/%s/%d" stage d i
+      in
       let results = Array.make n None in
       let misses = ref [] in
       for i = n - 1 downto 0 do

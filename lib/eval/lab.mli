@@ -62,6 +62,7 @@ val corpus_messages :
 val checkpointed_map :
   t ->
   stage:string ->
+  ?dim:string ->
   ?prepare:('a array -> unit) ->
   encode:('b -> string) ->
   decode:('a -> string -> 'b option) ->
@@ -70,10 +71,13 @@ val checkpointed_map :
   'b array
 (** {!Spamlab_parallel.Pool.map_array} over the lab pool, made
     resumable when the lab has a checkpoint.  Each element's result is
-    recorded under key ["<stage>/<index>"] as [encode result]; on a
-    later run, recorded cells are restored via [decode item value]
-    (bumping [checkpoint.hit]) and only the rest are computed
-    ([checkpoint.miss]).  [decode] returning [None] — corrupt or
+    recorded under key ["<stage>/<index>"] — ["<stage>/<dim>/<index>"]
+    when [dim] is given, for sweeps that vary a dimension beyond the
+    (seed, scale) pinned in the checkpoint header (two sweep points
+    would otherwise collide; omitting [dim] keeps old checkpoint files
+    readable) — as [encode result]; on a later run, recorded cells are
+    restored via [decode item value] (bumping [checkpoint.hit]) and
+    only the rest are computed ([checkpoint.miss]).  [decode] returning [None] — corrupt or
     stale value — falls back to recomputation.  [prepare] runs once
     before any computation with exactly the items that will be
     computed (the full array when there is no checkpoint): hang

@@ -58,6 +58,7 @@ type load_config = {
   eval_size : int;
   classify_batch : int;
   spam_fraction : float;
+  users : int;
   reconnect_attempts : int;
   reconnect_delay_s : float;
 }
@@ -72,9 +73,15 @@ let default_load ~addr ~seed =
     eval_size = 48;
     classify_batch = 8;
     spam_fraction = 0.5;
+    users = 0;
     reconnect_attempts = 50;
     reconnect_delay_s = 0.2;
   }
+
+(* Tenant for the [i]th message (or batch) of the schedule: round-robin
+   over [users] fixed names, [None] in single-filter mode. *)
+let user_of cfg i =
+  if cfg.users <= 0 then None else Some (Printf.sprintf "u%03d" (i mod cfg.users))
 
 type load_report = {
   summary : string;
@@ -157,31 +164,45 @@ let rec send st tries (req : Protocol.request) =
 let send st req = send st 0 req
 
 (* Single-label TRAIN batches over a shuffled corpus, in encounter
-   order: a batch flushes when it reaches [train_batch] messages. *)
+   order: a batch flushes when it reaches [train_batch] messages.
+   With [users > 0], messages are dealt round-robin to tenants and
+   batches are keyed (tenant, label); leftover flushes run in sorted
+   key order, which for [users = 0] reduces to the historical ham-
+   then-spam order (the PR 7 wire schedule, byte for byte). *)
 let train_requests cfg (corpus : Trec.labeled array) =
   let reqs = ref [] in
-  let ham = ref [] and spam = ref [] in
-  let flush cls bucket =
-    if !bucket <> [] then begin
-      let body = Mbox.print (List.rev !bucket) in
-      bucket := [];
-      reqs := { Protocol.verb = Protocol.Train cls; body } :: !reqs
+  let buckets = Hashtbl.create 16 in
+  let bucket key =
+    match Hashtbl.find_opt buckets key with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.add buckets key b;
+        b
+  in
+  let flush ((user, cls) as key) =
+    let b = bucket key in
+    if !b <> [] then begin
+      let body = Mbox.print (List.rev !b) in
+      b := [];
+      reqs := { Protocol.verb = Protocol.Train cls; body; user } :: !reqs
     end
   in
-  Array.iter
-    (fun (label, msg) ->
-      let bucket = match label with Label.Ham -> ham | Label.Spam -> spam in
-      bucket := msg :: !bucket;
-      if List.length !bucket >= cfg.train_batch then
-        flush label (match label with Label.Ham -> ham | Label.Spam -> spam))
+  Array.iteri
+    (fun i (label, msg) ->
+      let key = (user_of cfg i, label) in
+      let b = bucket key in
+      b := msg :: !b;
+      if List.length !b >= cfg.train_batch then flush key)
     corpus;
-  flush Label.Ham ham;
-  flush Label.Spam spam;
+  Hashtbl.fold (fun k _ acc -> k :: acc) buckets []
+  |> List.sort compare
+  |> List.iter flush;
   List.rev !reqs
 
 let classify_requests cfg (eval : Trec.labeled array) =
   let msgs = Array.to_list (Array.map snd eval) in
-  let rec batches acc = function
+  let rec batches bi acc = function
     | [] -> List.rev acc
     | l ->
         let rec take n acc = function
@@ -189,9 +210,16 @@ let classify_requests cfg (eval : Trec.labeled array) =
           | rest -> (List.rev acc, rest)
         in
         let batch, rest = take cfg.classify_batch [] l in
-        batches ({ Protocol.verb = Protocol.Classify; body = Mbox.print batch } :: acc) rest
+        batches (bi + 1)
+          ({
+             Protocol.verb = Protocol.Classify;
+             body = Mbox.print batch;
+             user = user_of cfg bi;
+           }
+          :: acc)
+          rest
   in
-  batches [] msgs
+  batches 0 [] msgs
 
 let load cfg =
   let t0 = Clock.now_ns () in
@@ -217,7 +245,7 @@ let load cfg =
     (* Opening PING per logical client. *)
     let pings = ref 0 in
     for _ = 1 to max 1 cfg.clients do
-      match must { Protocol.verb = Protocol.Ping; body = "" } with
+      match must { Protocol.verb = Protocol.Ping; body = ""; user = None } with
       | Protocol.Ok _ -> incr pings
       | Protocol.Err e -> raise (Fail ("ping: " ^ e))
     done;
@@ -238,7 +266,7 @@ let load cfg =
       (Printf.sprintf "train requests=%d messages=%d malformed=%d\n"
          (List.length train_reqs) !trained !train_malformed);
     (* Publish everything before evaluating. *)
-    (match must { Protocol.verb = Protocol.Publish; body = "" } with
+    (match must { Protocol.verb = Protocol.Publish; body = ""; user = None } with
     | Protocol.Ok _ -> ()
     | Protocol.Err e -> raise (Fail ("publish: " ^ e)));
     (* Classify the held-out corpus. *)
@@ -272,7 +300,7 @@ let load cfg =
          (List.length classify_reqs) !classified !ham !unsure !spam !cls_malformed);
     Buffer.add_buffer summary verdicts;
     let stats_detail =
-      match must { Protocol.verb = Protocol.Stats; body = "" } with
+      match must { Protocol.verb = Protocol.Stats; body = ""; user = None } with
       | Protocol.Ok payload -> payload
       | Protocol.Err e -> "stats error: " ^ e ^ "\n"
     in

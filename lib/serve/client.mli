@@ -39,6 +39,12 @@ type load_config = {
   eval_size : int;  (** Messages classified after the final publish. *)
   classify_batch : int;
   spam_fraction : float;
+  users : int;
+      (** Tenants: [> 0] deals messages round-robin across that many
+          fixed [User] names (TRAIN batches keyed per tenant, each
+          CLASSIFY batch addressed to one) — requires the daemon to run
+          a tenant store.  [0] (default) sends no [User] header and
+          reproduces the single-filter schedule byte for byte. *)
   reconnect_attempts : int;
       (** Transport-failure retries per logical request; each retry
           waits [reconnect_delay_s] and replays the unpublished

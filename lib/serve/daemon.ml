@@ -11,6 +11,7 @@ module Fault = Spamlab_fault
 module Obs = Spamlab_obs.Obs
 module Clock = Spamlab_obs.Clock
 module Pool = Spamlab_parallel.Pool
+module Store = Spamlab_store.Store
 
 type config = {
   addr : addr;
@@ -20,6 +21,7 @@ type config = {
   publish_every : int;
   max_body : int;
   jobs : int;
+  store : Store.config option;
 }
 
 and addr = Unix_sock of string | Tcp of string * int
@@ -39,6 +41,7 @@ let default_config ?addr ~db_path () =
     publish_every = 32;
     max_body = Protocol.default_max_body;
     jobs = 1;
+    store = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -131,6 +134,7 @@ type t = {
   pool : Pool.t;
   mutable baseline : Token_db.t;  (* published state; classify reads this *)
   delta : Filter.t;  (* live training state, becomes baseline on publish *)
+  store : Store.t option;  (* per-tenant state for User-routed requests *)
   mutable pending : int;
   mutable seq : int;
   stats : stats;
@@ -162,29 +166,52 @@ let create config =
       in
       match filter with
       | Error e -> Error e
-      | Ok delta ->
-          (* Capture the loaded vocabulary in the frozen intern snapshot
-             so first-request classification probes lock-free. *)
-          Intern.freeze ();
-          Ok
-            {
-              config;
-              pool = Pool.create ~jobs;
-              baseline = Token_db.copy (Filter.db delta);
-              delta;
-              pending = 0;
-              seq = 0;
-              stats = make_stats ();
-            })
+      | Ok delta -> (
+          (* When creating a tenant store, the shared filter state just
+             loaded becomes the global prior every tenant starts from;
+             reopening an existing store keeps its persisted prior. *)
+          let store =
+            match config.store with
+            | None -> Ok None
+            | Some scfg -> (
+                match
+                  Store.open_store ~prior:(Token_db.copy (Filter.db delta)) scfg
+                with
+                | Ok st -> Ok (Some st)
+                | Error e -> Error e)
+          in
+          match store with
+          | Error e -> Error e
+          | Ok store ->
+              (* Capture the loaded vocabulary in the frozen intern
+                 snapshot so first-request classification probes
+                 lock-free. *)
+              Intern.freeze ();
+              Ok
+                {
+                  config;
+                  pool = Pool.create ~jobs;
+                  baseline = Token_db.copy (Filter.db delta);
+                  delta;
+                  store;
+                  pending = 0;
+                  seq = 0;
+                  stats = make_stats ();
+                }))
 
-let shutdown t = Pool.shutdown t.pool
+let shutdown t =
+  Option.iter Store.close t.store;
+  Pool.shutdown t.pool
 
 (* Publish: persist the delta via the crash-safe store, then promote it
    to the classification baseline.  The fault site sits at the head —
    a crash here loses only unacknowledged training, and the on-disk
-   state is the previous publish (the client replay contract). *)
+   state is the previous publish (the client replay contract).  With a
+   tenant store, a publish is also its durability point: every
+   journaled op is committed before the shared filter advances. *)
 let publish t =
   Fault.check "serve.publish";
+  Option.iter Store.commit t.store;
   Filter.save_file t.delta t.config.db_path;
   t.baseline <- Token_db.copy (Filter.db t.delta);
   t.seq <- t.seq + 1;
@@ -216,16 +243,36 @@ let render_classify t results =
     results;
   Buffer.contents b
 
-let classify t body =
+let classify_db t db body =
   let chunks = Ingest.raw_message_chunks body in
   let results =
     Pool.map_array t.pool
       (fun (off, len) ->
-        Ingest.classify_raw t.config.options t.baseline t.config.tokenizer body
-          ~off ~len)
+        Ingest.classify_raw t.config.options db t.config.tokenizer body ~off
+          ~len)
       chunks
   in
   Protocol.Ok (render_classify t results)
+
+let classify t body = classify_db t t.baseline body
+
+(* Tenant classification reads the user's overlay under the shard lock.
+   Like the shared path, it probes the frozen intern snapshot: tokens a
+   tenant trained since the last publish read as unseen until the next
+   publish refreezes — the same published-state contract. *)
+let tenant_classify t st user body =
+  Store.with_user st user (fun db -> classify_db t db body)
+
+(* Shared tail of every TRAIN/UNTRAIN: pending drives the auto-publish
+   cadence (tenant ops included — a publish is the store's durability
+   point), and the ack always reports post-publish pending/seq. *)
+let train_ack t ~key n dropped =
+  t.pending <- t.pending + n;
+  if t.config.publish_every > 0 && t.pending >= t.config.publish_every then
+    publish t;
+  Protocol.Ok
+    (Printf.sprintf "%s=%d malformed=%d pending=%d seq=%d\n" key n dropped
+       t.pending t.seq)
 
 let train t cls body =
   let msgs, dropped = Mbox.parse_lenient body in
@@ -233,12 +280,7 @@ let train t cls body =
   let n = List.length msgs in
   t.stats.train_msgs <- t.stats.train_msgs + n;
   t.stats.train_malformed <- t.stats.train_malformed + dropped;
-  t.pending <- t.pending + n;
-  if t.config.publish_every > 0 && t.pending >= t.config.publish_every then
-    publish t;
-  Protocol.Ok
-    (Printf.sprintf "trained=%d malformed=%d pending=%d seq=%d\n" n dropped
-       t.pending t.seq)
+  train_ack t ~key:"trained" n dropped
 
 let untrain t cls body =
   let msgs, dropped = Mbox.parse_lenient body in
@@ -249,12 +291,29 @@ let untrain t cls body =
   let n = List.length msgs in
   t.stats.untrain_msgs <- t.stats.untrain_msgs + n;
   t.stats.untrain_malformed <- t.stats.untrain_malformed + dropped;
-  t.pending <- t.pending + n;
-  if t.config.publish_every > 0 && t.pending >= t.config.publish_every then
-    publish t;
-  Protocol.Ok
-    (Printf.sprintf "untrained=%d malformed=%d pending=%d seq=%d\n" n dropped
-       t.pending t.seq)
+  train_ack t ~key:"untrained" n dropped
+
+(* Tenant training journals per-message ops against the user's overlay;
+   the shared delta is only consulted for tokenization. *)
+let tenant_train t st user cls body =
+  let msgs, dropped = Mbox.parse_lenient body in
+  List.iter (fun m -> Store.train st ~user cls (Filter.features t.delta m)) msgs;
+  let n = List.length msgs in
+  t.stats.train_msgs <- t.stats.train_msgs + n;
+  t.stats.train_malformed <- t.stats.train_malformed + dropped;
+  train_ack t ~key:"trained" n dropped
+
+let tenant_untrain t st user cls body =
+  let msgs, dropped = Mbox.parse_lenient body in
+  (* Store.untrain validates before journaling, so each message is
+     all-or-nothing on disk as well as in memory. *)
+  List.iter
+    (fun m -> Store.untrain st ~user cls (Filter.features t.delta m))
+    msgs;
+  let n = List.length msgs in
+  t.stats.untrain_msgs <- t.stats.untrain_msgs + n;
+  t.stats.untrain_malformed <- t.stats.untrain_malformed + dropped;
+  train_ack t ~key:"untrained" n dropped
 
 let stats_payload t =
   let s = t.stats in
@@ -294,18 +353,55 @@ let stats_payload t =
              verb_stat_name.(i) l.count (lat_quantile l 0.50)
              (lat_quantile l 0.99) l.max_us))
     sorted_verbs;
+  (* Tenant-store cache/journal metrics: like "latency.", these live
+     after the deterministic block — cache hit/miss/eviction splits
+     depend on runtime interleavings, so deterministic consumers filter
+     the "store." prefix too. *)
+  (match t.store with
+  | None -> ()
+  | Some st ->
+      let ss = Store.stats st in
+      line "store.cached" ss.Store.cached;
+      line "store.compactions" ss.Store.compactions;
+      line "store.evictions" ss.Store.evictions;
+      line "store.journal_bytes" ss.Store.journal_bytes;
+      line "store.journal_ops" ss.Store.journal_ops;
+      line "store.overlay_hits" ss.Store.hits;
+      line "store.overlay_misses" ss.Store.misses);
   Buffer.contents b
 
 let exec t (req : Protocol.request) =
+  (* User-routed requests address per-tenant state; without a store
+     that routing cannot be honoured and silently training the shared
+     filter instead would be wrong, so it is a request-level error. *)
+  let tenant f g =
+    match (req.user, t.store) with
+    | None, _ -> f ()
+    | Some user, Some st -> g user st
+    | Some _, None ->
+        Protocol.Err "User routing requires a tenant store (serve --store-dir)"
+  in
   match req.verb with
   | Protocol.Ping -> Protocol.Ok "pong\n"
   | Protocol.Stats -> Protocol.Ok (stats_payload t)
   | Protocol.Publish ->
       publish t;
+      (* An explicit PUBLISH also folds every journal into its segment
+         — the canonical on-disk form the crash gate byte-compares. *)
+      Option.iter Store.compact_all t.store;
       Protocol.Ok (Printf.sprintf "published seq=%d\n" t.seq)
-  | Protocol.Classify -> classify t req.body
-  | Protocol.Train cls -> train t cls req.body
-  | Protocol.Untrain cls -> untrain t cls req.body
+  | Protocol.Classify ->
+      tenant
+        (fun () -> classify t req.body)
+        (fun user st -> tenant_classify t st user req.body)
+  | Protocol.Train cls ->
+      tenant
+        (fun () -> train t cls req.body)
+        (fun user st -> tenant_train t st user cls req.body)
+  | Protocol.Untrain cls ->
+      tenant
+        (fun () -> untrain t cls req.body)
+        (fun user st -> tenant_untrain t st user cls req.body)
 
 let handle_request t (req : Protocol.request) =
   let vi = verb_index req.verb in

@@ -16,6 +16,19 @@
     Classification therefore always sees a consistent published state,
     and a crash at any point restarts from the last publish.
 
+    {2 Tenants}
+
+    With [config.store] set, requests carrying a [User] header are
+    routed to that user's per-tenant Bayes state in a
+    {!Spamlab_store.Store} (created with the shared filter state as
+    its global prior).  A publish is also the store's durability point
+    ({!Spamlab_store.Store.commit}); an explicit [PUBLISH] further
+    compacts every shard to its canonical bytes.  Tenant classify
+    probes the same frozen intern snapshot as the shared path, so
+    tokens a tenant trained become visible at the next publish — the
+    same published-state contract.  [User]-routed requests without a
+    configured store answer a request-level [Err].
+
     {2 Fault sites}
 
     - ["serve.accept"] — before accepting a ready connection
@@ -48,14 +61,17 @@ type config = {
           [0] disables automatic publishing ([PUBLISH] still works). *)
   max_body : int;
   jobs : int;
+  store : Spamlab_store.Store.config option;
+      (** Tenant store for [User]-routed requests; [None] (default)
+          serves the single shared filter only. *)
 }
 
 and addr = Unix_sock of string | Tcp of string * int
 
 val default_config : ?addr:addr -> db_path:string -> unit -> config
 (** spambayes tokenizer, default options, publish every 32,
-    {!Protocol.default_max_body}, jobs 1; [addr] defaults to a unix
-    socket ["spamlab.sock"] beside [db_path]. *)
+    {!Protocol.default_max_body}, jobs 1, no tenant store; [addr]
+    defaults to a unix socket ["spamlab.sock"] beside [db_path]. *)
 
 type t
 

@@ -8,7 +8,7 @@ type verb =
   | Train of Label.gold
   | Untrain of Label.gold
 
-type request = { verb : verb; body : string }
+type request = { verb : verb; body : string; user : string option }
 
 let magic = "SPAMLAB/1.0"
 let default_max_body = 16 * 1024 * 1024
@@ -33,12 +33,18 @@ let class_of = function
 (* --------------------------------------------------------------- *)
 (* Rendering                                                        *)
 
-let render_request { verb; body } =
+let render_request { verb; body; user } =
   let b = Buffer.create (String.length body + 80) in
   Buffer.add_string b (verb_name verb);
   Buffer.add_char b ' ';
   Buffer.add_string b magic;
   Buffer.add_string b "\r\n";
+  (match user with
+  | Some u ->
+      Buffer.add_string b "User: ";
+      Buffer.add_string b u;
+      Buffer.add_string b "\r\n"
+  | None -> ());
   (match class_of verb with
   | Some c ->
       Buffer.add_string b "Message-Class: ";
@@ -116,6 +122,7 @@ let recv_request ?(max_body = default_max_body) reader =
       | Ok (verb_str, mk) -> (
           let content_length = ref None in
           let msg_class = ref None in
+          let user = ref None in
           let rec headers () =
             match Spamlab_io.read_line reader ~max:max_line with
             | `Eof -> Error "unexpected EOF in request headers"
@@ -140,6 +147,14 @@ let recv_request ?(max_body = default_max_body) reader =
                     | Ok c ->
                         msg_class := Some c;
                         headers ())
+                | Ok ("user", v) ->
+                    (* spamc-style per-user routing.  Empty would mean
+                       "the anonymous tenant" ambiguously — reject. *)
+                    if v = "" then Error "User: empty value"
+                    else begin
+                      user := Some v;
+                      headers ()
+                    end
                 | Ok (name, _) ->
                     Error (Printf.sprintf "unknown header %S" name))
           in
@@ -160,11 +175,16 @@ let recv_request ?(max_body = default_max_body) reader =
                       `Error (verb_str ^ " requires a Content-Length header")
                   | false, Some n when n > 0 ->
                       `Error (verb_str ^ " does not take a body")
-                  | false, _ -> `Request { verb; body = "" }
+                  | false, _ -> `Request { verb; body = ""; user = !user }
                   | true, Some n ->
                       let buf = Bytes.create n in
                       if Spamlab_io.read_exact reader buf 0 n then
-                        `Request { verb; body = Bytes.unsafe_to_string buf }
+                        `Request
+                          {
+                            verb;
+                            body = Bytes.unsafe_to_string buf;
+                            user = !user;
+                          }
                       else `Error "connection closed mid-body"))))
 
 (* Declared below the [result]-returning parse helpers: the [Ok]

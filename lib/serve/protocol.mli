@@ -10,6 +10,7 @@
                | "CLASSIFY" | "TRAIN" | "UNTRAIN"
     header     = "Content-Length: " 1*DIGIT CRLF
                | "Message-Class: " ("ham" | "spam") CRLF
+               | "User: " 1*VCHAR CRLF
     body       = Content-Length bytes of raw mbox
 
     response   = "SPAMLAB/1.0 OK" CRLF
@@ -34,7 +35,16 @@ type verb =
   | Train of Spamlab_spambayes.Label.gold
   | Untrain of Spamlab_spambayes.Label.gold
 
-type request = { verb : verb; body : string }
+type request = {
+  verb : verb;
+  body : string;
+  user : string option;
+      (** spamc-style tenant routing: [CLASSIFY]/[TRAIN]/[UNTRAIN]
+          carrying a [User] header address that user's per-tenant Bayes
+          state when the daemon runs a multi-tenant store; without the
+          header (or without a store) they address the shared
+          single-filter state.  An empty value is a framing error. *)
+}
 
 type response = Ok of string  (** payload *) | Err of string
 

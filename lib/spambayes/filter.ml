@@ -13,6 +13,7 @@ let set_options t options = { t with options }
 let tokenizer t = t.tokenizer
 let db t = t.db
 let copy t = { t with db = Token_db.copy t.db }
+let with_db t db = { t with db }
 
 let features t msg = Spamlab_tokenizer.Tokenizer.unique_tokens t.tokenizer msg
 

@@ -20,6 +20,12 @@ val copy : t -> t
 (** Logically-deep copy (independent database) — O(1) via the token
     DB's copy-on-write snapshot (see {!Token_db.copy}). *)
 
+val with_db : t -> Token_db.t -> t
+(** Functional update swapping in another database under the same
+    options and tokenizer — the tenant-scoped view: the sharded store
+    hands out per-user overlay databases, and [with_db] dresses one as
+    a full filter for classify/train entry points. *)
+
 val features : t -> Spamlab_email.Message.t -> string array
 (** Distinct tokens of a message under this filter's tokenizer. *)
 

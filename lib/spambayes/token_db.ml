@@ -318,6 +318,54 @@ let set_counts t token ~spam ~ham =
     t.distinct <- t.distinct + 1
   end
 
+(* Absolute-count write that is legal on both representation paths:
+   the sharded store uses it to materialize a tenant overlay over a
+   shared (hence [shared = true]) global prior, where [set_counts]'s
+   unshared-only contract does not hold. *)
+let set_counts_id t id ~spam ~ham =
+  if spam < 0 || ham < 0 then
+    invalid_arg "Token_db.set_counts_id: negative count";
+  if t.shared then begin
+    let c = delta_cell t id in
+    let was = c.spam + c.ham in
+    c.spam <- spam;
+    c.ham <- ham;
+    let now = spam + ham in
+    if was = 0 && now > 0 then t.distinct <- t.distinct + 1
+    else if was > 0 && now = 0 then t.distinct <- t.distinct - 1
+  end
+  else begin
+    let len = Array.length t.base_spam in
+    let i = id - t.off in
+    (* Zeroing an id the arrays never covered is a no-op (absent and
+       0/0 are the same observable state); don't grow for it. *)
+    if spam <> 0 || ham <> 0 || (len > 0 && i >= 0 && i < len) then begin
+      ensure_base t id;
+      let i = id - t.off in
+      let was = t.base_spam.(i) + t.base_ham.(i) in
+      t.base_spam.(i) <- spam;
+      t.base_ham.(i) <- ham;
+      let now = spam + ham in
+      if was = 0 && now > 0 then t.distinct <- t.distinct + 1
+      else if was > 0 && now = 0 then t.distinct <- t.distinct - 1
+    end
+  end
+
+let set_message_counts t ~nspam ~nham =
+  if nspam < 0 || nham < 0 then
+    invalid_arg "Token_db.set_message_counts: negative count";
+  t.nspam <- nspam;
+  t.nham <- nham
+
+let overlay_size t = Hashtbl.length t.delta
+
+let fold_overlay f init t =
+  let acc = ref init in
+  Hashtbl.iter
+    (fun id c -> acc := f !acc id ~spam:c.spam ~ham:c.ham)
+    t.delta;
+  !acc
+
 (* CRC-32 (IEEE 802.3, polynomial 0xedb88320), table-driven.  The v3
    footer checksums the header and every entry line, so a truncated or
    bit-flipped save is detected instead of loaded as a silently wrong

@@ -83,6 +83,33 @@ val untrain : t -> Label.gold -> string array -> unit
 
 val untrain_ids : t -> Label.gold -> int array -> unit
 
+val set_counts_id : t -> int -> spam:int -> ham:int -> unit
+(** [set_counts_id t id ~spam ~ham] overwrites both counts of [id] with
+    the given absolute values, on either representation path (unlike
+    training, this is legal on a copy-on-write snapshot, where the
+    write lands in the overlay).  The sharded tenant store uses it to
+    materialize a per-user overlay over a shared global prior from
+    segment rows and journal replay.  Does {e not} touch the message
+    totals — pair with {!set_message_counts}.
+    @raise Invalid_argument on a negative count. *)
+
+val set_message_counts : t -> nspam:int -> nham:int -> unit
+(** Overwrite the global message counts N_S, N_H.
+    @raise Invalid_argument on a negative count. *)
+
+val overlay_size : t -> int
+(** Number of ids in the copy-on-write overlay — i.e. touched since
+    this instance last shared its base arrays; 0 for a never-copied
+    db.  The tenant store's eviction accounting keys off this. *)
+
+val fold_overlay : ('a -> int -> spam:int -> ham:int -> 'a) -> 'a -> t -> 'a
+(** Fold over {e only} the copy-on-write overlay cells: each visited id
+    was touched since the last share, and [spam]/[ham] are its current
+    absolute counts (possibly equal to the shared base's, possibly
+    0/0).  Order is unspecified.  This is how the sharded store
+    extracts a tenant's delta-vs-prior in O(|touched|) without walking
+    the full base arrays. *)
+
 val iter : (string -> spam:int -> ham:int -> unit) -> t -> unit
 (** Visit every token with a non-zero combined count, in unspecified
     order. *)
@@ -147,3 +174,26 @@ val salvage_string : string -> (salvage, string) result
 (** Best-effort partial recovery from a corrupt save: keeps every
     parseable entry line, drops the rest, and reports the damage.
     [Error] only when the header itself is unusable.  Never raises. *)
+
+(** {2 Format plumbing}
+
+    The sharded store's segment and journal files reuse this module's
+    escaping and checksum conventions so every on-disk format in the
+    tree shares one dialect (and one set of tests). *)
+
+val escape_token : string -> string
+(** Escape backslash, tab, newline, carriage return as [\\], [\t],
+    [\n], [\r] (identity when none occur — no allocation). *)
+
+val unescape_token : string -> (string, string) result
+(** Inverse of {!escape_token}; [Error] on a dangling or unknown
+    escape. *)
+
+val crc_init : int
+(** Initial CRC-32 (IEEE) register value. *)
+
+val crc_feed : int -> string -> int
+(** Feed bytes through the CRC register. *)
+
+val crc_finish : int -> int
+(** Finalize the register into the checksum value. *)

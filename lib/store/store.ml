@@ -1,0 +1,1238 @@
+module Sb = Spamlab_spambayes
+module Token_db = Sb.Token_db
+module Intern = Sb.Intern
+module Label = Sb.Label
+module Fault = Spamlab_fault
+module Obs = Spamlab_obs.Obs
+module Io = Spamlab_io
+
+let c_hits = Obs.counter "store.overlay_hits"
+let c_misses = Obs.counter "store.overlay_misses"
+let c_evictions = Obs.counter "store.evictions"
+let c_journal_bytes = Obs.counter "store.journal_bytes"
+let c_journal_ops = Obs.counter "store.journal_ops"
+let c_compactions = Obs.counter "store.compactions"
+
+type backend = [ `Memory | `Sharded of string ]
+
+type config = {
+  backend : backend;
+  shards : int;
+  cache : int;
+  compact_ratio : float;
+}
+
+let default_config =
+  { backend = `Memory; shards = 16; cache = 4096; compact_ratio = 4.0 }
+
+(* ------------------------------------------------------------------ *)
+(* On-disk dialect.  Every format here reuses the token-db v3
+   conventions — escaped fields, tab separators, CRC-32 (IEEE) — so the
+   whole tree speaks one dialect. *)
+
+let manifest_magic = "spamlab-store"
+let seg_magic = "spamlab-store-seg"
+let jrn_magic = "spamlab-store-journal"
+let seg_footer_prefix = "#spamlab-store-footer "
+let crc_of s = Token_db.crc_finish (Token_db.crc_feed Token_db.crc_init s)
+let manifest_path dir = Filename.concat dir "manifest"
+let prior_path dir = Filename.concat dir "prior.db"
+
+let seg_path dir s = Filename.concat dir (Printf.sprintf "shard-%04d.seg" s)
+
+let jrn_path dir s =
+  Filename.concat dir (Printf.sprintf "shard-%04d.journal" s)
+
+(* 32-bit FNV-1a: the user-to-shard hash.  Process-independent and
+   stable across runs, unlike interned ids. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let fsync_dir dir =
+  match Unix.openfile dir [ O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dirfd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close dirfd)
+        (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())
+
+(* Crash-safe file replacement, same shape as [Filter.save_file]:
+   temp + fsync + rename + best-effort directory fsync. *)
+let atomic_write path data =
+  let tmp = path ^ ".tmp" in
+  let write () =
+    let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Io.really_write_string fd data 0 (String.length data);
+        Unix.fsync fd)
+  in
+  (match write () with
+  | () -> ()
+  | exception exn ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise exn);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (In_channel.input_all ic))
+
+let next_line data pos =
+  if pos >= String.length data then None
+  else
+    match String.index_from_opt data pos '\n' with
+    | None -> None (* torn final line: treated as absent by all callers *)
+    | Some nl -> Some (String.sub data pos (nl - pos), nl + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Journal records.  One op per line, each line carrying its own CRC so
+   a torn or bit-flipped tail is detected record-by-record:
+
+     T \t user \t s|h \t k \t tok ... \t crc=XXXXXXXX
+     U \t user \t s|h \t tok ...      \t crc=XXXXXXXX
+     C \t crc=XXXXXXXX
+
+   The CRC covers every byte of the line up to and including the tab
+   that precedes it. *)
+
+type op = {
+  op_kind : [ `Train | `Untrain ];
+  op_label : Label.gold;
+  op_k : int;
+  op_tokens : string array;
+}
+
+let op_line kind user label k tokens =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (match kind with `Train -> "T" | `Untrain -> "U");
+  Buffer.add_char b '\t';
+  Buffer.add_string b (Token_db.escape_token user);
+  Buffer.add_char b '\t';
+  Buffer.add_char b (match label with Label.Spam -> 's' | Label.Ham -> 'h');
+  (match kind with
+  | `Train ->
+      Buffer.add_char b '\t';
+      Buffer.add_string b (string_of_int k)
+  | `Untrain -> ());
+  Array.iter
+    (fun tok ->
+      Buffer.add_char b '\t';
+      Buffer.add_string b (Token_db.escape_token tok))
+    tokens;
+  Buffer.add_char b '\t';
+  let prefix = Buffer.contents b in
+  Printf.sprintf "%scrc=%08x\n" prefix (crc_of prefix)
+
+let commit_line = Printf.sprintf "C\tcrc=%08x\n" (crc_of "C\t")
+
+let parse_label = function
+  | "s" -> Some Label.Spam
+  | "h" -> Some Label.Ham
+  | _ -> None
+
+(* Parse one journal line (without its newline). *)
+let parse_op_line line =
+  let n = String.length line in
+  (* ...\tcrc=XXXXXXXX — 13 tail bytes including the tab. *)
+  if n < 14 || line.[n - 13] <> '\t' || String.sub line (n - 12) 4 <> "crc="
+  then `Bad "missing crc field"
+  else
+    match int_of_string_opt ("0x" ^ String.sub line (n - 8) 8) with
+    | None -> `Bad "bad crc field"
+    | Some crc ->
+        let prefix = String.sub line 0 (n - 12) in
+        if crc_of prefix <> crc then `Bad "crc mismatch"
+        else
+          let body = String.sub line 0 (n - 13) in
+          let unescape s =
+            match Token_db.unescape_token s with
+            | Ok s -> s
+            | Error e -> raise (Sys_error e)
+          in
+          let parse () =
+            match String.split_on_char '\t' body with
+            | [ "C" ] -> `Commit
+            | "T" :: user :: cls :: k :: toks -> (
+                match (parse_label cls, int_of_string_opt k) with
+                | Some label, Some k when k >= 0 ->
+                    `Op
+                      ( unescape user,
+                        {
+                          op_kind = `Train;
+                          op_label = label;
+                          op_k = k;
+                          op_tokens =
+                            Array.map unescape (Array.of_list toks);
+                        } )
+                | _ -> `Bad "bad train record")
+            | "U" :: user :: cls :: toks -> (
+                match parse_label cls with
+                | Some label ->
+                    `Op
+                      ( unescape user,
+                        {
+                          op_kind = `Untrain;
+                          op_label = label;
+                          op_k = 1;
+                          op_tokens =
+                            Array.map unescape (Array.of_list toks);
+                        } )
+                | None -> `Bad "bad untrain record")
+            | _ -> `Bad "unknown record"
+          in
+          (match parse () with
+          | r -> r
+          | exception Sys_error e -> `Bad e)
+
+(* ------------------------------------------------------------------ *)
+(* Shard state. *)
+
+type extent = { e_off : int; e_len : int }
+
+type node = {
+  n_user : string;
+  n_db : Token_db.t;
+  mutable n_prev : node option;
+  mutable n_next : node option;
+}
+
+type shard = {
+  sh_id : int;
+  sh_lock : Mutex.t;
+  mutable sh_inited : bool;
+  sh_index : (string, extent) Hashtbl.t;
+      (* user -> byte extent of its block in the segment *)
+  sh_pending : (string, extent list ref) Hashtbl.t;
+      (* user -> journal op extents, newest first *)
+  sh_buf : Buffer.t; (* op records not yet written to the journal fd *)
+  mutable sh_jlen : int; (* journal bytes on disk *)
+  mutable sh_jhdr : int; (* journal header length *)
+  mutable sh_last_commit : int; (* offset just past the last C marker *)
+  mutable sh_jfd : Unix.file_descr option;
+  mutable sh_sfd : Unix.file_descr option;
+  mutable sh_seg_crc : int; (* segment footer CRC (0 when absent) *)
+  mutable sh_seg_len : int;
+  sh_cache : (string, node) Hashtbl.t;
+  mutable sh_head : node option; (* most recently used *)
+  mutable sh_tail : node option;
+}
+
+type t = {
+  cfg : config;
+  dir : string option;
+  t_nshards : int;
+  cache_per_shard : int;
+  t_prior : Token_db.t;
+  shards : shard array;
+  mem : (string, Token_db.t) Hashtbl.t;
+  mem_lock : Mutex.t;
+  s_hits : int Atomic.t;
+  s_misses : int Atomic.t;
+  s_evictions : int Atomic.t;
+  s_journal_bytes : int Atomic.t;
+  s_journal_ops : int Atomic.t;
+  s_compactions : int Atomic.t;
+}
+
+let prior t = t.t_prior
+let nshards t = t.t_nshards
+let is_sharded t = t.dir <> None
+
+let fresh_shard id =
+  {
+    sh_id = id;
+    sh_lock = Mutex.create ();
+    sh_inited = false;
+    sh_index = Hashtbl.create 64;
+    sh_pending = Hashtbl.create 64;
+    sh_buf = Buffer.create 1024;
+    sh_jlen = 0;
+    sh_jhdr = 0;
+    sh_last_commit = 0;
+    sh_jfd = None;
+    sh_sfd = None;
+    sh_seg_crc = 0;
+    sh_seg_len = 0;
+    sh_cache = Hashtbl.create 16;
+    sh_head = None;
+    sh_tail = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LRU plumbing (per shard, lock held). *)
+
+let lru_unlink sh n =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> sh.sh_head <- n.n_next);
+  (match n.n_next with
+  | Some nx -> nx.n_prev <- n.n_prev
+  | None -> sh.sh_tail <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let lru_push_front sh n =
+  n.n_prev <- None;
+  n.n_next <- sh.sh_head;
+  (match sh.sh_head with Some h -> h.n_prev <- Some n | None -> ());
+  sh.sh_head <- Some n;
+  if sh.sh_tail = None then sh.sh_tail <- Some n
+
+let lru_touch sh n =
+  if sh.sh_head != Some n then begin
+    lru_unlink sh n;
+    lru_push_front sh n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Segment parsing (open path: build the extent index and check the
+   footer CRC; full invariant validation lives in [verify_dir]). *)
+
+let seg_fail sh_id fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Sys_error (Printf.sprintf "store shard %d segment: %s" sh_id msg)))
+    fmt
+
+let parse_user_line line =
+  match String.split_on_char '\t' line with
+  | [ "u"; eu; ns; nh; nr ] -> (
+      match
+        ( Token_db.unescape_token eu,
+          int_of_string_opt ns,
+          int_of_string_opt nh,
+          int_of_string_opt nr )
+      with
+      | Ok user, Some nspam, Some nham, Some nrows
+        when nspam >= 0 && nham >= 0 && nrows >= 0 ->
+          Some (user, nspam, nham, nrows)
+      | _ -> None)
+  | _ -> None
+
+let parse_seg_header ~expect_shard ~expect_nshards line =
+  match String.split_on_char ' ' line with
+  | [ magic; v; sid; ns; nusers ] when magic = seg_magic -> (
+      match
+        ( int_of_string_opt v,
+          int_of_string_opt sid,
+          int_of_string_opt ns,
+          int_of_string_opt nusers )
+      with
+      | Some 1, Some sid, Some ns, Some nusers
+        when (expect_shard < 0 || sid = expect_shard)
+             && (expect_nshards < 0 || ns = expect_nshards)
+             && nusers >= 0 ->
+          Ok (sid, ns, nusers)
+      | Some 1, _, _, _ -> Error "header does not match shard/manifest"
+      | _ -> Error "unsupported segment version or bad header")
+  | _ -> Error "not a spamlab store segment"
+
+let parse_seg_footer line =
+  Scanf.sscanf_opt line "#spamlab-store-footer crc32=%x users=%d rows=%d%!"
+    (fun crc users rows -> (crc, users, rows))
+
+(* Walk a segment's bytes, calling [on_user user nspam nham nrows off len
+   rows_off] per user block ([off,len] spans the whole block, [rows_off]
+   the first row line).  Returns (footer_crc, users, rows) after
+   checking the footer against the walked bytes. *)
+let walk_segment ~expect_shard ~expect_nshards data ~on_user =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match next_line data 0 with
+  | None -> Error "truncated segment header"
+  | Some (hdr, p0) -> (
+      match parse_seg_header ~expect_shard ~expect_nshards hdr with
+      | Error e -> Error e
+      | Ok (_, _, nusers) ->
+          let pos = ref p0 in
+          let users = ref 0 and rows = ref 0 in
+          let result = ref None in
+          let err = ref None in
+          (try
+             while !result = None && !err = None do
+               match next_line data !pos with
+               | None -> err := Some "truncated segment: missing footer"
+               | Some (line, nxt) ->
+                   if String.starts_with ~prefix:seg_footer_prefix line then (
+                     match parse_seg_footer line with
+                     | None -> err := Some (Printf.sprintf "bad footer %S" line)
+                     | Some (fcrc, fusers, frows) ->
+                         if nxt <> String.length data then
+                           err := Some "content after segment footer"
+                         else if fusers <> !users || frows <> !rows then
+                           err :=
+                             Some
+                               (Printf.sprintf
+                                  "footer counts users=%d rows=%d, walked \
+                                   %d/%d"
+                                  fusers frows !users !rows)
+                         else if fusers <> nusers then
+                           err := Some "header/footer user count mismatch"
+                         else if fcrc <> crc_of (String.sub data 0 !pos) then
+                           err :=
+                             Some
+                               "segment checksum mismatch: corrupted or \
+                                truncated"
+                         else result := Some (fcrc, fusers, frows))
+                   else
+                     match parse_user_line line with
+                     | None ->
+                         err := Some (Printf.sprintf "bad user line %S" line)
+                     | Some (user, nspam, nham, nrows) ->
+                         let ustart = !pos in
+                         let rows_off = nxt in
+                         let p = ref nxt in
+                         for _ = 1 to nrows do
+                           match next_line data !p with
+                           | None ->
+                               failwith "truncated segment: missing row"
+                           | Some (_, n') -> p := n'
+                         done;
+                         on_user user nspam nham nrows ustart (!p - ustart)
+                           rows_off;
+                         incr users;
+                         rows := !rows + nrows;
+                         pos := !p
+             done
+           with Failure m -> err := Some m);
+          (match (!result, !err) with
+          | Some r, _ -> Ok r
+          | None, Some e -> fail "%s" e
+          | None, None -> fail "internal segment walk error"))
+
+(* Parse one user block (the bytes of its extent) into an overlay. *)
+let apply_block db block =
+  match next_line block 0 with
+  | None -> raise (Sys_error "store: truncated user block")
+  | Some (uline, p0) -> (
+      match parse_user_line uline with
+      | None -> raise (Sys_error "store: bad user block header")
+      | Some (_, nspam, nham, nrows) ->
+          Token_db.set_message_counts db ~nspam ~nham;
+          let pos = ref p0 in
+          for _ = 1 to nrows do
+            match next_line block !pos with
+            | None -> raise (Sys_error "store: truncated user block")
+            | Some (line, nxt) -> (
+                pos := nxt;
+                match String.split_on_char '\t' line with
+                | [ etok; s; h ] -> (
+                    match
+                      ( Token_db.unescape_token etok,
+                        int_of_string_opt s,
+                        int_of_string_opt h )
+                    with
+                    | Ok tok, Some spam, Some ham when spam >= 0 && ham >= 0
+                      ->
+                        Token_db.set_counts_id db (Intern.id tok) ~spam ~ham
+                    | _ -> raise (Sys_error "store: bad row in user block"))
+                | _ -> raise (Sys_error "store: bad row in user block"))
+          done)
+
+let apply_op db op =
+  let ids = Intern.intern_array op.op_tokens in
+  match op.op_kind with
+  | `Train -> Token_db.train_many_ids db op.op_label ids op.op_k
+  | `Untrain -> Token_db.untrain_ids db op.op_label ids
+
+(* ------------------------------------------------------------------ *)
+(* Shard open: read the segment into an extent index, then recover the
+   journal — validate the header against the segment's CRC (a stale
+   journal means a compaction crashed between its two renames and its
+   ops already live in the segment: drop it), scan records up to the
+   last commit marker, and truncate the uncommitted suffix (it was
+   never acknowledged; the client replay contract re-delivers it). *)
+
+let jrn_header ~shard ~nshards ~seg_crc =
+  Printf.sprintf "%s 1 %d %d seg_crc=%08x\n" jrn_magic shard nshards seg_crc
+
+let parse_jrn_header line =
+  match String.split_on_char ' ' line with
+  | [ magic; v; sid; ns; crc ] when magic = jrn_magic -> (
+      match
+        ( int_of_string_opt v,
+          int_of_string_opt sid,
+          int_of_string_opt ns,
+          Scanf.sscanf_opt crc "seg_crc=%x%!" (fun c -> c) )
+      with
+      | Some 1, Some sid, Some ns, Some crc -> Ok (sid, ns, crc)
+      | _ -> Error "unsupported journal version or bad header")
+  | _ -> Error "not a spamlab store journal"
+
+let init_shard t sh =
+  if not sh.sh_inited then begin
+    let dir = Option.get t.dir in
+    let spath = seg_path dir sh.sh_id in
+    (match read_file spath with
+    | None ->
+        sh.sh_seg_crc <- 0;
+        sh.sh_seg_len <- 0
+    | Some data -> (
+        match
+          walk_segment ~expect_shard:sh.sh_id ~expect_nshards:t.t_nshards data
+            ~on_user:(fun user _ _ _ off len _ ->
+              Hashtbl.replace sh.sh_index user { e_off = off; e_len = len })
+        with
+        | Error e -> seg_fail sh.sh_id "%s" e
+        | Ok (crc, _, _) ->
+            sh.sh_seg_crc <- crc;
+            sh.sh_seg_len <- String.length data;
+            sh.sh_sfd <- Some (Unix.openfile spath [ O_RDONLY ] 0)));
+    let jpath = jrn_path dir sh.sh_id in
+    let fresh () =
+      let hdr =
+        jrn_header ~shard:sh.sh_id ~nshards:t.t_nshards ~seg_crc:sh.sh_seg_crc
+      in
+      atomic_write jpath hdr;
+      sh.sh_jhdr <- String.length hdr;
+      sh.sh_jlen <- String.length hdr;
+      sh.sh_last_commit <- String.length hdr
+    in
+    (match read_file jpath with
+    | None -> fresh ()
+    | Some data -> (
+        match next_line data 0 with
+        | None -> fresh () (* empty or torn-headed journal: reset *)
+        | Some (hdr, p0) -> (
+            match parse_jrn_header hdr with
+            | Error e ->
+                raise
+                  (Sys_error
+                     (Printf.sprintf "store shard %d journal: %s" sh.sh_id e))
+            | Ok (sid, ns, seg_crc) ->
+                if sid <> sh.sh_id || ns <> t.t_nshards then
+                  raise
+                    (Sys_error
+                       (Printf.sprintf
+                          "store shard %d journal: header does not match \
+                           shard/manifest"
+                          sh.sh_id))
+                else if seg_crc <> sh.sh_seg_crc then
+                  (* Stale: compaction crashed after the segment rename,
+                     before the journal rename.  Its ops are already in
+                     the segment. *)
+                  fresh ()
+                else begin
+                  sh.sh_jhdr <- p0;
+                  let pos = ref p0 in
+                  let last_commit = ref p0 in
+                  let scanned = ref [] in
+                  (try
+                     let continue = ref true in
+                     while !continue do
+                       match next_line data !pos with
+                       | None -> continue := false
+                       | Some (line, nxt) -> (
+                           match parse_op_line line with
+                           | `Commit ->
+                               last_commit := nxt;
+                               pos := nxt
+                           | `Op (user, _) ->
+                               scanned :=
+                                 ( user,
+                                   {
+                                     e_off = !pos;
+                                     e_len = String.length line;
+                                   } )
+                                 :: !scanned;
+                               pos := nxt
+                           | `Bad _ -> continue := false)
+                     done
+                   with Sys_error _ -> ());
+                  if String.length data > !last_commit then
+                    Unix.truncate jpath !last_commit;
+                  List.iter
+                    (fun (user, ext) ->
+                      if ext.e_off < !last_commit then
+                        let r =
+                          match Hashtbl.find_opt sh.sh_pending user with
+                          | Some r -> r
+                          | None ->
+                              let r = ref [] in
+                              Hashtbl.replace sh.sh_pending user r;
+                              r
+                        in
+                        r := ext :: !r)
+                    (List.rev !scanned);
+                  sh.sh_jlen <- !last_commit;
+                  sh.sh_last_commit <- !last_commit
+                end)));
+    sh.sh_jfd <- Some (Unix.openfile jpath [ O_RDWR ] 0o644);
+    sh.sh_inited <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Journal buffering.  Records accumulate in memory and hit the fd on
+   flush (cold loads flush first so every extent is readable); fsync
+   happens only at commit. *)
+
+let flush_shard sh =
+  if Buffer.length sh.sh_buf > 0 then begin
+    let data = Buffer.contents sh.sh_buf in
+    let fd = Option.get sh.sh_jfd in
+    ignore (Unix.lseek fd 0 SEEK_END);
+    Io.really_write_string fd data 0 (String.length data);
+    sh.sh_jlen <- sh.sh_jlen + String.length data;
+    Buffer.clear sh.sh_buf
+  end
+
+let pread fd off len =
+  let buf = Bytes.create len in
+  ignore (Unix.lseek fd off SEEK_SET);
+  Io.really_read fd buf 0 len;
+  Bytes.unsafe_to_string buf
+
+(* Materialize a tenant: CoW copy of the shared prior (O(1): the prior's
+   overlay is empty), its segment block, then its journaled ops in
+   order.  Never a full database copy. *)
+let materialize t sh user =
+  flush_shard sh;
+  let db = Token_db.copy t.t_prior in
+  (match Hashtbl.find_opt sh.sh_index user with
+  | Some e ->
+      apply_block db (pread (Option.get sh.sh_sfd) e.e_off e.e_len)
+  | None -> ());
+  (match Hashtbl.find_opt sh.sh_pending user with
+  | Some exts ->
+      let jfd = Option.get sh.sh_jfd in
+      List.iter
+        (fun e ->
+          match parse_op_line (pread jfd e.e_off e.e_len) with
+          | `Op (_, op) -> apply_op db op
+          | `Commit | `Bad _ ->
+              raise
+                (Sys_error
+                   (Printf.sprintf
+                      "store shard %d journal: unreadable record at %d"
+                      sh.sh_id e.e_off)))
+        (List.rev !exts)
+  | None -> ());
+  db
+
+let evict_one t sh =
+  match sh.sh_tail with
+  | None -> ()
+  | Some n ->
+      Fault.check "store.evict";
+      lru_unlink sh n;
+      Hashtbl.remove sh.sh_cache n.n_user;
+      Atomic.incr t.s_evictions;
+      Obs.incr c_evictions
+
+(* The cached overlay for [user], shard lock held. *)
+let overlay t sh user =
+  match Hashtbl.find_opt sh.sh_cache user with
+  | Some n ->
+      lru_touch sh n;
+      Atomic.incr t.s_hits;
+      Obs.incr c_hits;
+      n.n_db
+  | None ->
+      Atomic.incr t.s_misses;
+      Obs.incr c_misses;
+      let db = materialize t sh user in
+      if Hashtbl.length sh.sh_cache >= t.cache_per_shard then evict_one t sh;
+      let n = { n_user = user; n_db = db; n_prev = None; n_next = None } in
+      Hashtbl.replace sh.sh_cache user n;
+      lru_push_front sh n;
+      db
+
+(* ------------------------------------------------------------------ *)
+(* Compaction: fold segment + journal into a fresh segment.  Two atomic
+   renames — segment first, then a header-only journal stamped with the
+   new segment's CRC.  A crash between them leaves a journal whose
+   seg_crc no longer matches; the next open discards it (see
+   [init_shard]).  The bytes are canonical: users sorted, rows sorted,
+   no generation counters or timestamps, so independent runs that
+   performed the same ops compact to identical files. *)
+
+let user_block prior db user =
+  let rows =
+    Token_db.fold_overlay
+      (fun acc id ~spam ~ham ->
+        let ps = Token_db.spam_count_id prior id
+        and ph = Token_db.ham_count_id prior id in
+        if spam <> ps || ham <> ph then
+          (Intern.to_string id, spam, ham) :: acc
+        else acc)
+      [] db
+  in
+  let rows =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows
+  in
+  let nspam = Token_db.nspam db and nham = Token_db.nham db in
+  if
+    rows = []
+    && nspam = Token_db.nspam prior
+    && nham = Token_db.nham prior
+  then None
+  else begin
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "u\t%s\t%d\t%d\t%d\n"
+         (Token_db.escape_token user)
+         nspam nham (List.length rows));
+    List.iter
+      (fun (tok, spam, ham) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\t%d\t%d\n" (Token_db.escape_token tok) spam ham))
+      rows;
+    Some (Buffer.contents b, List.length rows)
+  end
+
+let compact_shard t sh =
+  Fault.check "store.compact";
+  flush_shard sh;
+  let dir = Option.get t.dir in
+  let users = Hashtbl.create (Hashtbl.length sh.sh_index) in
+  Hashtbl.iter (fun u _ -> Hashtbl.replace users u ()) sh.sh_index;
+  Hashtbl.iter (fun u _ -> Hashtbl.replace users u ()) sh.sh_pending;
+  let sorted =
+    List.sort String.compare (Hashtbl.fold (fun u () acc -> u :: acc) users [])
+  in
+  let blocks =
+    List.filter_map
+      (fun user ->
+        let db =
+          match Hashtbl.find_opt sh.sh_cache user with
+          | Some n -> n.n_db
+          | None -> materialize t sh user
+        in
+        Option.map
+          (fun (block, rows) -> (user, block, rows))
+          (user_block t.t_prior db user))
+      sorted
+  in
+  let header =
+    Printf.sprintf "%s 1 %d %d %d\n" seg_magic sh.sh_id t.t_nshards
+      (List.length blocks)
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b header;
+  let new_index = Hashtbl.create (List.length blocks) in
+  let rows_total = ref 0 in
+  List.iter
+    (fun (user, block, rows) ->
+      Hashtbl.replace new_index user
+        { e_off = Buffer.length b; e_len = String.length block };
+      Buffer.add_string b block;
+      rows_total := !rows_total + rows)
+    blocks;
+  let crc = crc_of (Buffer.contents b) in
+  Buffer.add_string b
+    (Printf.sprintf "%scrc32=%08x users=%d rows=%d\n" seg_footer_prefix crc
+       (List.length blocks) !rows_total);
+  let seg = Buffer.contents b in
+  let spath = seg_path dir sh.sh_id in
+  atomic_write spath seg;
+  (* Window: new segment on disk, old journal (stale seg_crc) still in
+     place — recovered by the staleness check on open. *)
+  let hdr = jrn_header ~shard:sh.sh_id ~nshards:t.t_nshards ~seg_crc:crc in
+  atomic_write (jrn_path dir sh.sh_id) hdr;
+  Option.iter Unix.close sh.sh_sfd;
+  sh.sh_sfd <- Some (Unix.openfile spath [ O_RDONLY ] 0);
+  Option.iter Unix.close sh.sh_jfd;
+  sh.sh_jfd <- Some (Unix.openfile (jrn_path dir sh.sh_id) [ O_RDWR ] 0o644);
+  Hashtbl.reset sh.sh_index;
+  Hashtbl.iter (fun u e -> Hashtbl.replace sh.sh_index u e) new_index;
+  Hashtbl.reset sh.sh_pending;
+  sh.sh_seg_crc <- crc;
+  sh.sh_seg_len <- String.length seg;
+  sh.sh_jhdr <- String.length hdr;
+  sh.sh_jlen <- String.length hdr;
+  sh.sh_last_commit <- String.length hdr;
+  Atomic.incr t.s_compactions;
+  Obs.incr c_compactions
+
+let over_ratio t sh =
+  float_of_int (sh.sh_jlen + Buffer.length sh.sh_buf - sh.sh_jhdr)
+  > t.cfg.compact_ratio *. float_of_int (max 1 sh.sh_seg_len)
+
+let commit_shard t sh ~force_compact =
+  if sh.sh_jlen + Buffer.length sh.sh_buf > sh.sh_last_commit then begin
+    Buffer.add_string sh.sh_buf commit_line;
+    flush_shard sh;
+    Unix.fsync (Option.get sh.sh_jfd);
+    sh.sh_last_commit <- sh.sh_jlen
+  end;
+  if (force_compact && sh.sh_jlen > sh.sh_jhdr) || over_ratio t sh then
+    compact_shard t sh
+
+(* ------------------------------------------------------------------ *)
+(* Public API. *)
+
+let open_store ?prior cfg =
+  let mk dir prior nshards =
+    ignore (Token_db.copy prior);
+    (* pre-share: tenant copies are now O(1) and race-free *)
+    {
+      cfg;
+      dir;
+      t_nshards = nshards;
+      cache_per_shard = max 1 (cfg.cache / max 1 nshards);
+      t_prior = prior;
+      shards =
+        (match dir with
+        | None -> [||]
+        | Some _ -> Array.init nshards fresh_shard);
+      mem = Hashtbl.create 64;
+      mem_lock = Mutex.create ();
+      s_hits = Atomic.make 0;
+      s_misses = Atomic.make 0;
+      s_evictions = Atomic.make 0;
+      s_journal_bytes = Atomic.make 0;
+      s_journal_ops = Atomic.make 0;
+      s_compactions = Atomic.make 0;
+    }
+  in
+  match cfg.backend with
+  | `Memory ->
+      let prior =
+        match prior with Some p -> p | None -> Token_db.create ()
+      in
+      Ok (mk None prior (max 1 cfg.shards))
+  | `Sharded dir -> (
+      if cfg.shards < 1 || cfg.shards > 9999 then
+        Error "store: shards must be in 1..9999"
+      else
+        match read_file (manifest_path dir) with
+        | Some data -> (
+            (* Reopen: the manifest and persisted prior win. *)
+            match next_line data 0 with
+            | None -> Error "store: truncated manifest"
+            | Some (line, _) -> (
+                match String.split_on_char ' ' line with
+                | [ magic; v; ns ] when magic = manifest_magic -> (
+                    match (int_of_string_opt v, int_of_string_opt ns) with
+                    | Some 1, Some ns when ns >= 1 && ns <= 9999 -> (
+                        match read_file (prior_path dir) with
+                        | None -> Error "store: missing prior.db"
+                        | Some pdata -> (
+                            match Token_db.of_string pdata with
+                            | Error e -> Error ("store prior.db: " ^ e)
+                            | Ok prior -> Ok (mk (Some dir) prior ns)))
+                    | _ -> Error "store: bad manifest"
+                    )
+                | _ -> Error "store: not a spamlab store directory"))
+        | None -> (
+            (* Create, including missing parents (a sweep writes
+               dir/users-N before anything made dir). *)
+            let rec mkdir_p d =
+              if not (Sys.file_exists d) then begin
+                let parent = Filename.dirname d in
+                if parent <> d then mkdir_p parent;
+                Unix.mkdir d 0o755
+              end
+            in
+            match mkdir_p dir with
+            | () | (exception Unix.Unix_error (Unix.EEXIST, _, _)) ->
+                let prior =
+                  match prior with Some p -> p | None -> Token_db.create ()
+                in
+                atomic_write (prior_path dir) (Token_db.to_string prior);
+                atomic_write (manifest_path dir)
+                  (Printf.sprintf "%s 1 %d\n" manifest_magic cfg.shards);
+                Ok (mk (Some dir) prior cfg.shards)
+            | exception Unix.Unix_error (e, _, _) ->
+                Error
+                  (Printf.sprintf "store: cannot create %s: %s" dir
+                     (Unix.error_message e))))
+
+let shard_for t user = t.shards.(fnv1a user mod t.t_nshards)
+
+let with_shard t user f =
+  let sh = shard_for t user in
+  Mutex.protect sh.sh_lock (fun () ->
+      init_shard t sh;
+      f sh)
+
+let mem_overlay t user =
+  match Hashtbl.find_opt t.mem user with
+  | Some db ->
+      Atomic.incr t.s_hits;
+      Obs.incr c_hits;
+      db
+  | None ->
+      Atomic.incr t.s_misses;
+      Obs.incr c_misses;
+      let db = Token_db.copy t.t_prior in
+      Hashtbl.replace t.mem user db;
+      db
+
+let with_user t user f =
+  match t.dir with
+  | None -> Mutex.protect t.mem_lock (fun () -> f (mem_overlay t user))
+  | Some _ -> with_shard t user (fun sh -> f (overlay t sh user))
+
+(* Buffered records auto-flush past this size so a commit-free bulk
+   load (the tenants experiment trains 10^5 users before its first
+   commit) does not hold the whole journal in memory. *)
+let buf_flush_threshold = 1 lsl 20
+
+let sharded_op t user op =
+  with_shard t user (fun sh ->
+      let db = overlay t sh user in
+      Fault.check "store.journal.append";
+      let line = op_line op.op_kind user op.op_label op.op_k op.op_tokens in
+      let blen = Buffer.length sh.sh_buf in
+      let ext = { e_off = sh.sh_jlen + blen; e_len = String.length line - 1 } in
+      Buffer.add_string sh.sh_buf line;
+      let exts =
+        match Hashtbl.find_opt sh.sh_pending user with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.replace sh.sh_pending user r;
+            r
+      in
+      exts := ext :: !exts;
+      (match apply_op db op with
+      | () -> ()
+      | exception exn ->
+          (* An invalid op (e.g. untrain of a never-trained message)
+             must leave disk state untouched too. *)
+          Buffer.truncate sh.sh_buf blen;
+          (exts := match !exts with _ :: tl -> tl | [] -> []);
+          if !exts = [] then Hashtbl.remove sh.sh_pending user;
+          raise exn);
+      Atomic.incr t.s_journal_ops;
+      ignore (Atomic.fetch_and_add t.s_journal_bytes (String.length line));
+      Obs.incr c_journal_ops;
+      Obs.add c_journal_bytes (String.length line);
+      if Buffer.length sh.sh_buf > buf_flush_threshold then flush_shard sh)
+
+let mem_op t user op =
+  Mutex.protect t.mem_lock (fun () -> apply_op (mem_overlay t user) op)
+
+let run_op t user op =
+  match t.dir with
+  | None -> mem_op t user op
+  | Some _ -> sharded_op t user op
+
+(* A message contributes each token once (SpamBayes counts messages
+   containing a token, not occurrences), and the segment verifier's
+   count-vs-totals invariant relies on it.  Pipeline callers already
+   pass unique tokens ([Tokenizer.unique_tokens], [with_unique_ids]);
+   normalize here so direct API users cannot journal duplicates.  The
+   common already-distinct case allocates nothing. *)
+let distinct tokens =
+  let n = Array.length tokens in
+  let dup = ref false in
+  (try
+     let seen = Hashtbl.create (2 * n) in
+     Array.iter
+       (fun tok ->
+         if Hashtbl.mem seen tok then begin
+           dup := true;
+           raise Exit
+         end
+         else Hashtbl.add seen tok ())
+       tokens
+   with Exit -> ());
+  if not !dup then tokens
+  else begin
+    let seen = Hashtbl.create (2 * n) in
+    Array.of_list
+      (List.filter
+         (fun tok ->
+           if Hashtbl.mem seen tok then false
+           else begin
+             Hashtbl.add seen tok ();
+             true
+           end)
+         (Array.to_list tokens))
+  end
+
+let train t ~user label tokens =
+  run_op t user
+    { op_kind = `Train; op_label = label; op_k = 1; op_tokens = distinct tokens }
+
+let train_many t ~user label tokens k =
+  if k < 0 then invalid_arg "Store.train_many: negative count";
+  if k > 0 then
+    run_op t user
+      {
+        op_kind = `Train;
+        op_label = label;
+        op_k = k;
+        op_tokens = distinct tokens;
+      }
+
+let untrain t ~user label tokens =
+  run_op t user
+    { op_kind = `Untrain; op_label = label; op_k = 1; op_tokens = distinct tokens }
+
+let iter_inited_shards t f =
+  Array.iter
+    (fun sh -> Mutex.protect sh.sh_lock (fun () -> if sh.sh_inited then f sh))
+    t.shards
+
+let commit t =
+  iter_inited_shards t (fun sh -> commit_shard t sh ~force_compact:false)
+
+let compact_all t =
+  match t.dir with
+  | None -> ()
+  | Some _ ->
+      Array.iter
+        (fun sh ->
+          Mutex.protect sh.sh_lock (fun () ->
+              init_shard t sh;
+              commit_shard t sh ~force_compact:true))
+        t.shards
+
+let evict_all t =
+  Mutex.protect t.mem_lock (fun () -> Hashtbl.reset t.mem);
+  Array.iter
+    (fun sh ->
+      Mutex.protect sh.sh_lock (fun () ->
+          Hashtbl.reset sh.sh_cache;
+          sh.sh_head <- None;
+          sh.sh_tail <- None))
+    t.shards
+
+let close t =
+  iter_inited_shards t (fun sh ->
+      commit_shard t sh ~force_compact:false;
+      Option.iter Unix.close sh.sh_jfd;
+      sh.sh_jfd <- None;
+      Option.iter Unix.close sh.sh_sfd;
+      sh.sh_sfd <- None;
+      sh.sh_inited <- false)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  journal_bytes : int;
+  journal_ops : int;
+  compactions : int;
+  cached : int;
+}
+
+let stats t =
+  let cached = ref (Mutex.protect t.mem_lock (fun () -> Hashtbl.length t.mem)) in
+  Array.iter
+    (fun sh ->
+      Mutex.protect sh.sh_lock (fun () ->
+          cached := !cached + Hashtbl.length sh.sh_cache))
+    t.shards;
+  {
+    hits = Atomic.get t.s_hits;
+    misses = Atomic.get t.s_misses;
+    evictions = Atomic.get t.s_evictions;
+    journal_bytes = Atomic.get t.s_journal_bytes;
+    journal_ops = Atomic.get t.s_journal_ops;
+    compactions = Atomic.get t.s_compactions;
+    cached = !cached;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Offline verification. *)
+
+type shard_report = {
+  shard : int;
+  seg_users : int;
+  seg_rows : int;
+  segment : [ `Ok | `Missing | `Corrupt of string ];
+  journal :
+    [ `Ok of int
+    | `Torn of int * int
+    | `Stale
+    | `Missing
+    | `Corrupt of string ];
+}
+
+type dir_report = {
+  dir_shards : int;
+  dir_users : int;
+  dir_rows : int;
+  dir_ops : int;
+  shard_reports : shard_report list;
+  prior_ok : (Token_db.verify_report, string) result;
+}
+
+let is_store_dir dir =
+  match read_file (manifest_path dir) with
+  | None -> false
+  | Some data -> String.starts_with ~prefix:(manifest_magic ^ " ") data
+
+(* Full segment validation: everything the open path checks, plus the
+   canonical-form invariants (strictly sorted users, strictly sorted
+   rows, counts within the user's message totals). *)
+let verify_segment ~shard ~nshards data =
+  let last_user = ref "" in
+  let first = ref true in
+  let seen_crc = ref 0 in
+  let check_user user nspam nham nrows rows_off =
+    if (not !first) && String.compare !last_user user >= 0 then
+      failwith (Printf.sprintf "users out of order at %S" user);
+    first := false;
+    last_user := user;
+    let pos = ref rows_off in
+    let last_tok = ref "" in
+    let first_tok = ref true in
+    for _ = 1 to nrows do
+      match next_line data !pos with
+      | None -> failwith "truncated rows"
+      | Some (line, nxt) -> (
+          pos := nxt;
+          match String.split_on_char '\t' line with
+          | [ etok; s; h ] -> (
+              match
+                ( Token_db.unescape_token etok,
+                  int_of_string_opt s,
+                  int_of_string_opt h )
+              with
+              | Ok tok, Some spam, Some ham ->
+                  if spam < 0 || ham < 0 then
+                    failwith (Printf.sprintf "negative count for %S" tok);
+                  if spam > nspam || ham > nham then
+                    failwith
+                      (Printf.sprintf
+                         "count exceeds user message totals for %S" tok);
+                  if (not !first_tok) && String.compare !last_tok tok >= 0
+                  then failwith (Printf.sprintf "rows out of order at %S" tok);
+                  first_tok := false;
+                  last_tok := tok
+              | _ -> failwith (Printf.sprintf "bad row %S" line))
+          | _ -> failwith (Printf.sprintf "bad row %S" line))
+    done
+  in
+  match
+    walk_segment ~expect_shard:shard ~expect_nshards:nshards data
+      ~on_user:(fun user nspam nham nrows _ _ rows_off ->
+        check_user user nspam nham nrows rows_off)
+  with
+  | Ok (crc, users, rows) ->
+      seen_crc := crc;
+      Ok (crc, users, rows)
+  | Error e -> Error e
+  | exception Failure e -> Error e
+
+let verify_journal ~shard ~nshards ~seg_crc data =
+  match next_line data 0 with
+  | None -> `Corrupt "truncated journal header"
+  | Some (hdr, p0) -> (
+      match parse_jrn_header hdr with
+      | Error e -> `Corrupt e
+      | Ok (sid, ns, jcrc) ->
+          if sid <> shard || ns <> nshards then
+            `Corrupt "header does not match shard/manifest"
+          else if
+            (match seg_crc with Some c -> jcrc <> c | None -> false)
+          then `Stale
+          else begin
+            let pos = ref p0 in
+            let committed = ref 0 and since_commit = ref 0 in
+            let torn = ref false in
+            let continue = ref true in
+            while !continue do
+              match next_line data !pos with
+              | None ->
+                  if !pos < String.length data then torn := true;
+                  continue := false
+              | Some (line, nxt) -> (
+                  match parse_op_line line with
+                  | `Commit ->
+                      committed := !committed + !since_commit;
+                      since_commit := 0;
+                      pos := nxt
+                  | `Op _ ->
+                      incr since_commit;
+                      pos := nxt
+                  | `Bad _ ->
+                      torn := true;
+                      continue := false)
+            done;
+            if !torn || !since_commit > 0 then
+              `Torn (!committed, !since_commit)
+            else `Ok !committed
+          end)
+
+let verify_dir dir =
+  match read_file (manifest_path dir) with
+  | None -> Error (Printf.sprintf "%s: no store manifest" dir)
+  | Some data -> (
+      match next_line data 0 with
+      | None -> Error "truncated manifest"
+      | Some (line, _) -> (
+          match String.split_on_char ' ' line with
+          | [ magic; v; ns ] when magic = manifest_magic -> (
+              match (int_of_string_opt v, int_of_string_opt ns) with
+              | Some 1, Some nshards when nshards >= 1 && nshards <= 9999 ->
+                  let reports =
+                    List.init nshards (fun s ->
+                        let seg_users = ref 0 and seg_rows = ref 0 in
+                        let seg_crc = ref None in
+                        let segment =
+                          match read_file (seg_path dir s) with
+                          | None ->
+                              seg_crc := Some 0;
+                              `Missing
+                          | Some data -> (
+                              match
+                                verify_segment ~shard:s ~nshards data
+                              with
+                              | Ok (crc, users, rows) ->
+                                  seg_crc := Some crc;
+                                  seg_users := users;
+                                  seg_rows := rows;
+                                  `Ok
+                              | Error e -> `Corrupt e)
+                        in
+                        let journal =
+                          match read_file (jrn_path dir s) with
+                          | None -> `Missing
+                          | Some data ->
+                              verify_journal ~shard:s ~nshards
+                                ~seg_crc:!seg_crc data
+                        in
+                        {
+                          shard = s;
+                          seg_users = !seg_users;
+                          seg_rows = !seg_rows;
+                          segment;
+                          journal;
+                        })
+                  in
+                  let users =
+                    List.fold_left (fun a r -> a + r.seg_users) 0 reports
+                  in
+                  let rows =
+                    List.fold_left (fun a r -> a + r.seg_rows) 0 reports
+                  in
+                  let ops =
+                    List.fold_left
+                      (fun a r ->
+                        match r.journal with
+                        | `Ok n | `Torn (n, _) -> a + n
+                        | _ -> a)
+                      0 reports
+                  in
+                  let prior_ok =
+                    match read_file (prior_path dir) with
+                    | None -> Error "missing prior.db"
+                    | Some data -> Token_db.verify_string data
+                  in
+                  Ok
+                    {
+                      dir_shards = nshards;
+                      dir_users = users;
+                      dir_rows = rows;
+                      dir_ops = ops;
+                      shard_reports = reports;
+                      prior_ok;
+                    }
+              | _ -> Error "bad manifest")
+          | _ -> Error "not a spamlab store directory"))

@@ -198,18 +198,24 @@ let gen_body =
   QCheck2.Gen.(
     string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 2_000))
 
+(* User header values: nonempty VCHAR, so they survive the trim in
+   [split_header] unchanged. *)
+let gen_user =
+  QCheck2.Gen.(
+    option (string_size ~gen:(char_range '!' '~') (int_range 1 12)))
+
 let protocol_tests =
   [
     qtest ~count:150 "render/recv round-trips every request"
-      QCheck2.Gen.(pair gen_verb gen_body)
-      (fun (verb, body) ->
+      QCheck2.Gen.(triple gen_verb gen_body gen_user)
+      (fun (verb, body, user) ->
         let body = if Protocol.verb_name verb = "PING" then "" else body in
         let body =
           match verb with
           | Protocol.Classify | Protocol.Train _ | Protocol.Untrain _ -> body
           | _ -> ""
         in
-        let req = { Protocol.verb; body } in
+        let req = { Protocol.verb; body; user } in
         match recv (Protocol.render_request req) with
         | `Request r -> r = req
         | _ -> false);
@@ -225,7 +231,7 @@ let protocol_tests =
                     body
                 | _ -> ""
               in
-              { Protocol.verb; body })
+              { Protocol.verb; body; user = None })
             reqs
         in
         let wire = String.concat "" (List.map Protocol.render_request reqs) in
@@ -242,7 +248,7 @@ let protocol_tests =
         && List.for_all2 (fun r g -> g = Some r) reqs got);
     test_case "zero-length bodies are legal" (fun () ->
         match recv "CLASSIFY SPAMLAB/1.0\r\nContent-Length: 0\r\n\r\n" with
-        | `Request { verb = Protocol.Classify; body = "" } -> ()
+        | `Request { verb = Protocol.Classify; body = ""; user = None } -> ()
         | _ -> Alcotest.fail "zero-length CLASSIFY should parse");
     test_case "Content-Length overflow is an error, not a wrap" (fun () ->
         (match Protocol.parse_content_length "18446744073709551616" with
@@ -259,7 +265,7 @@ let protocol_tests =
         expect_error "over cap"
           "CLASSIFY SPAMLAB/1.0\r\nContent-Length: 999999999\r\n\r\n");
     test_case "mid-body drop is a torn frame" (fun () ->
-        let req = { Protocol.verb = Protocol.Classify; body = String.make 100 'b' } in
+        let req = { Protocol.verb = Protocol.Classify; body = String.make 100 'b'; user = None } in
         let wire = Protocol.render_request req in
         match recv (String.sub wire 0 (String.length wire - 40)) with
         | `Error e ->
@@ -268,7 +274,7 @@ let protocol_tests =
     test_case "trailing garbage after a request is the next frame's error"
       (fun () ->
         let wire =
-          Protocol.render_request { Protocol.verb = Protocol.Ping; body = "" }
+          Protocol.render_request { Protocol.verb = Protocol.Ping; body = ""; user = None }
           ^ "random trailing garbage\r\n"
         in
         with_reader_of_string wire @@ fun reader ->
@@ -401,8 +407,8 @@ let connection_tests =
       (fun () ->
         with_daemon_state @@ fun t ->
         let wire =
-          Protocol.render_request { Protocol.verb = Protocol.Ping; body = "" }
-          ^ Protocol.render_request { Protocol.verb = Protocol.Ping; body = "" }
+          Protocol.render_request { Protocol.verb = Protocol.Ping; body = ""; user = None }
+          ^ Protocol.render_request { Protocol.verb = Protocol.Ping; body = ""; user = None }
           ^ "junk\r\n"
         in
         let reply = converse t wire in
@@ -423,10 +429,11 @@ let connection_tests =
         | Error e -> Alcotest.fail e);
         Fun.protect ~finally:Fault.disable @@ fun () ->
         let wire =
-          Protocol.render_request { Protocol.verb = Protocol.Ping; body = "" }
+          Protocol.render_request { Protocol.verb = Protocol.Ping; body = ""; user = None }
           ^ Protocol.render_request
               { Protocol.verb = Protocol.Train Label.Spam;
-                body = mbox [ msg ~headers:[ ("Subject", "x") ] "spam words" ] }
+                body = mbox [ msg ~headers:[ ("Subject", "x") ] "spam words" ];
+                user = None }
         in
         let reply = converse t wire in
         check_int "no ERR" 0 (count_lines_with "SPAMLAB/1.0 ERR" reply);
@@ -485,11 +492,11 @@ let e2e_tests =
     test_case "ping, train, publish, classify, stats" (fun () ->
         with_daemon @@ fun addr t db_path ->
         check_string "pong" "pong\n"
-          (ok_payload (Client.roundtrip addr { Protocol.verb = Ping; body = "" }));
+          (ok_payload (Client.roundtrip addr { Protocol.verb = Ping; body = ""; user = None }));
         let ack =
           ok_payload
             (Client.roundtrip addr
-               { Protocol.verb = Train Label.Spam; body = spam_mbox 3 })
+               { Protocol.verb = Train Label.Spam; body = spam_mbox 3; user = None })
         in
         check_bool "train ack" true
           (String.length ack > 0 && String.sub ack 0 8 = "trained=");
@@ -499,20 +506,20 @@ let e2e_tests =
         check_bool "db not yet on disk" false (Sys.file_exists db_path);
         ignore
           (ok_payload
-             (Client.roundtrip addr { Protocol.verb = Publish; body = "" }));
+             (Client.roundtrip addr { Protocol.verb = Publish; body = ""; user = None }));
         check_int "published" 1 (Daemon.publish_seq t);
         check_bool "db on disk" true (Sys.file_exists db_path);
         let verdicts =
           ok_payload
             (Client.roundtrip addr
-               { Protocol.verb = Classify; body = spam_mbox 2 })
+               { Protocol.verb = Classify; body = spam_mbox 2; user = None })
         in
         check_int "one line per message" 2
           (List.length
              (List.filter (( <> ) "") (String.split_on_char '\n' verdicts)));
         let stats =
           ok_payload
-            (Client.roundtrip addr { Protocol.verb = Stats; body = "" })
+            (Client.roundtrip addr { Protocol.verb = Stats; body = ""; user = None })
         in
         check_bool "stats has train count" true
           (count_lines_with "train.messages 3" stats = 1);
@@ -522,22 +529,22 @@ let e2e_tests =
         with_daemon @@ fun addr _ _ ->
         check_string "empty" ""
           (ok_payload
-             (Client.roundtrip addr { Protocol.verb = Classify; body = "" })));
+             (Client.roundtrip addr { Protocol.verb = Classify; body = ""; user = None })));
     test_case "auto-publish at publish-every, counted in seq" (fun () ->
         with_daemon ~publish_every:2 @@ fun addr t _ ->
         ignore
           (ok_payload
              (Client.roundtrip addr
-                { Protocol.verb = Train Label.Spam; body = spam_mbox 5 }));
+                { Protocol.verb = Train Label.Spam; body = spam_mbox 5; user = None }));
         check_int "one auto publish" 1 (Daemon.publish_seq t);
         let ack =
           ok_payload
             (Client.roundtrip addr
-               { Protocol.verb = Train Label.Spam; body = spam_mbox 1 })
+               { Protocol.verb = Train Label.Spam; body = spam_mbox 1; user = None })
         in
         check_bool "pending after ack" true
           (Client.(
-             match roundtrip addr { Protocol.verb = Stats; body = "" } with
+             match roundtrip addr { Protocol.verb = Stats; body = ""; user = None } with
              | Ok (Protocol.Ok s) -> count_lines_with "train.pending 2" s = 1
              | _ -> false)
           || String.length ack > 0));
@@ -550,13 +557,13 @@ let e2e_tests =
             Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
             (match
                Client.request conn
-                 { Protocol.verb = Untrain Label.Spam; body = spam_mbox 1 }
+                 { Protocol.verb = Untrain Label.Spam; body = spam_mbox 1; user = None }
              with
             | Ok (Protocol.Err _) -> ()
             | Ok (Protocol.Ok _) -> Alcotest.fail "untrain of unseen succeeded"
             | Error e -> Alcotest.failf "transport error: %s" e);
             (* Semantic error: the same connection still answers. *)
-            (match Client.request conn { Protocol.verb = Ping; body = "" } with
+            (match Client.request conn { Protocol.verb = Ping; body = ""; user = None } with
             | Ok (Protocol.Ok p) -> check_string "pong after ERR" "pong\n" p
             | _ -> Alcotest.fail "connection should survive a semantic ERR"));
     test_case "transient publish fault degrades to ERR, next publish works"
@@ -566,14 +573,14 @@ let e2e_tests =
         | Ok () -> ()
         | Error e -> Alcotest.fail e);
         Fun.protect ~finally:Fault.disable @@ fun () ->
-        (match Client.roundtrip addr { Protocol.verb = Publish; body = "" } with
+        (match Client.roundtrip addr { Protocol.verb = Publish; body = ""; user = None } with
         | Ok (Protocol.Err _) -> ()
         | Ok (Protocol.Ok _) -> Alcotest.fail "injected publish should fail"
         | Error e -> Alcotest.failf "transport error: %s" e);
         check_int "nothing published" 0 (Daemon.publish_seq t);
         ignore
           (ok_payload
-             (Client.roundtrip addr { Protocol.verb = Publish; body = "" }));
+             (Client.roundtrip addr { Protocol.verb = Publish; body = ""; user = None }));
         check_int "recovered" 1 (Daemon.publish_seq t));
     test_case "restart from the published store serves the same verdicts"
       (fun () ->
@@ -615,17 +622,17 @@ let e2e_tests =
               ignore
                 (ok_payload
                    (Client.roundtrip addr
-                      { Protocol.verb = Train Label.Spam; body = spam_mbox 6 }));
+                      { Protocol.verb = Train Label.Spam; body = spam_mbox 6; user = None }));
               ignore
                 (ok_payload
-                   (Client.roundtrip addr { Protocol.verb = Publish; body = "" }));
+                   (Client.roundtrip addr { Protocol.verb = Publish; body = ""; user = None }));
               ok_payload
-                (Client.roundtrip addr { Protocol.verb = Classify; body = eval }))
+                (Client.roundtrip addr { Protocol.verb = Classify; body = eval; user = None }))
         in
         let second =
           serve_once (fun addr ->
               ok_payload
-                (Client.roundtrip addr { Protocol.verb = Classify; body = eval }))
+                (Client.roundtrip addr { Protocol.verb = Classify; body = eval; user = None }))
         in
         check_string "verdicts identical across restart" first second);
   ]

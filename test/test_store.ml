@@ -1,0 +1,384 @@
+(* Tests for the multi-tenant token store: the sharded backend must be
+   observationally identical to the memory backend under arbitrary op
+   interleavings (including forced evictions and reopen/replay), and
+   its crash edges — torn journal tails, compactions interrupted
+   between their two renames — must recover to the last committed
+   state without losing or double-applying ops. *)
+
+module Store = Spamlab_store.Store
+module Token_db = Spamlab_spambayes.Token_db
+module Label = Spamlab_spambayes.Label
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let test_case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Scaffolding. *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "spamlab_test" ".store" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let messages =
+  [|
+    [| "cheap"; "pharmacy"; "deal" |];
+    [| "meeting"; "agenda"; "friday" |];
+    [| "cheap"; "flight"; "deal"; "now" |];
+    [| "lunch"; "friday" |];
+    [| "pharmacy"; "online"; "now" |];
+    [| "quarterly"; "report"; "agenda" |];
+    [| "deal"; "deal"; "deal" |];
+    [| "hello"; "world" |];
+  |]
+
+let make_prior () =
+  let db = Token_db.create () in
+  Token_db.train db Label.Spam [| "cheap"; "pharmacy"; "viagra" |];
+  Token_db.train db Label.Ham [| "meeting"; "report"; "hello" |];
+  db
+
+let open_exn ?prior config =
+  match Store.open_store ?prior config with
+  | Ok t -> t
+  | Error e -> Alcotest.fail ("open_store: " ^ e)
+
+let mem_config = { Store.default_config with Store.backend = `Memory }
+
+(* Tiny geometry: 4 shards, 2 cached overlays total — almost every
+   access under multiple users is a cold materialization, so the
+   differential tests exercise evict/replay constantly. *)
+let sharded_config dir =
+  {
+    Store.backend = `Sharded dir;
+    shards = 4;
+    cache = 2;
+    compact_ratio = 4.0;
+  }
+
+let user u = Printf.sprintf "user-%d" u
+
+(* Interpret a seed list as an op sequence that is valid by
+   construction: untrain only ever targets a message the user has
+   trained and not yet untrained. *)
+type op = Train of string * Label.gold * string array * int
+        | Untrain of string * Label.gold * string array
+
+let ops_of_seeds ~users seeds =
+  let trained = Hashtbl.create 16 in
+  let push u x =
+    Hashtbl.replace trained u (x :: (try Hashtbl.find trained u with Not_found -> []))
+  in
+  List.filter_map
+    (fun (a, b, c) ->
+      let u = user (a mod users) in
+      let msg = messages.(b mod Array.length messages) in
+      let label = if b mod 2 = 0 then Label.Spam else Label.Ham in
+      match c mod 4 with
+      | 3 -> (
+          match Hashtbl.find_opt trained u with
+          | Some ((label, msg) :: rest) ->
+              Hashtbl.replace trained u rest;
+              Some (Untrain (u, label, msg))
+          | _ ->
+              push u (label, msg);
+              Some (Train (u, label, msg, 1)))
+      | k ->
+          let k = 1 + (k mod 2) in
+          for _ = 1 to k do
+            push u (label, msg)
+          done;
+          Some (Train (u, label, msg, k)))
+    seeds
+
+let apply st = function
+  | Train (u, label, msg, 1) -> Store.train st ~user:u label msg
+  | Train (u, label, msg, k) -> Store.train_many st ~user:u label msg k
+  | Untrain (u, label, msg) -> Store.untrain st ~user:u label msg
+
+let snapshot st u = Store.with_user st u Token_db.to_string
+
+(* Byte-compare every user's effective database across two stores. *)
+let check_equal ~users what a b =
+  for i = 0 to users - 1 do
+    check_string
+      (Printf.sprintf "%s: %s" what (user i))
+      (snapshot a (user i)) (snapshot b (user i))
+  done
+
+let seeds_gen =
+  QCheck.(list_of_size Gen.(int_range 1 60) (triple small_nat small_nat small_nat))
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties: sharded == memory. *)
+
+let differential_tests =
+  let users = 5 in
+  let prop_live seeds =
+    with_tmp_dir @@ fun dir ->
+    let ops = ops_of_seeds ~users seeds in
+    let mem = open_exn ~prior:(make_prior ()) mem_config in
+    let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+    Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+    List.iter (fun op -> apply mem op; apply sh op) ops;
+    check_equal ~users "live" mem sh;
+    (* Unknown users see exactly the shared prior on both backends. *)
+    check_string "unknown user = prior"
+      (snapshot mem "nobody") (snapshot sh "nobody");
+    true
+  in
+  let prop_reopen seeds =
+    with_tmp_dir @@ fun dir ->
+    let ops = ops_of_seeds ~users seeds in
+    let mem = open_exn ~prior:(make_prior ()) mem_config in
+    let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+    List.iter (fun op -> apply mem op; apply sh op) ops;
+    Store.close sh;
+    (* Reopen reads the persisted prior and replays the journals; the
+       ?prior argument must be ignored on an existing store. *)
+    let sh = open_exn ~prior:(Token_db.create ()) (sharded_config dir) in
+    Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+    check_equal ~users "reopened" mem sh;
+    (match Store.verify_dir dir with
+    | Error e -> Alcotest.fail ("verify_dir: " ^ e)
+    | Ok r ->
+        List.iter
+          (fun (s : Store.shard_report) ->
+            check_bool "segment ok" true
+              (match s.Store.segment with `Ok | `Missing -> true | _ -> false);
+            check_bool "journal clean" true
+              (match s.Store.journal with
+              | `Ok _ | `Missing -> true
+              | _ -> false))
+          r.Store.shard_reports);
+    true
+  in
+  let prop_compacted seeds =
+    with_tmp_dir @@ fun dir ->
+    let ops = ops_of_seeds ~users seeds in
+    let mem = open_exn ~prior:(make_prior ()) mem_config in
+    let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+    List.iter (fun op -> apply mem op; apply sh op) ops;
+    Store.compact_all sh;
+    Store.close sh;
+    let sh = open_exn (sharded_config dir) in
+    Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+    check_equal ~users "compacted" mem sh;
+    true
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:30 ~name:"sharded == memory (live, tiny cache)"
+         seeds_gen prop_live);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:30 ~name:"sharded == memory (close + reopen)"
+         seeds_gen prop_reopen);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:30
+         ~name:"sharded == memory (compact_all + reopen)" seeds_gen
+         prop_compacted);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Crash edges. *)
+
+let journal_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".journal")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let train_all st =
+  Array.iteri
+    (fun i msg ->
+      Store.train st ~user:(user (i mod 3))
+        (if i mod 2 = 0 then Label.Spam else Label.Ham)
+        msg)
+    messages
+
+let crash_tests =
+  [
+    test_case "torn journal tail is truncated to the last commit" (fun () ->
+        with_tmp_dir @@ fun dir ->
+        let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+        train_all sh;
+        Store.commit sh;
+        let committed = List.map (fun u -> snapshot sh (user u)) [ 0; 1; 2 ] in
+        Store.close sh;
+        (* A crash mid-append leaves garbage past the last commit
+           marker: a half-written record and trailing junk. *)
+        List.iter
+          (fun j ->
+            write_file j
+              (read_file j ^ "T\tuser-0\ts\t1\tcheap\tcrc=deadbeef\nT\tgarb"))
+          (journal_files dir);
+        (match Store.verify_dir dir with
+        | Error e -> Alcotest.fail ("verify_dir: " ^ e)
+        | Ok r ->
+            check_bool "verify reports torn journals" true
+              (List.exists
+                 (fun (s : Store.shard_report) ->
+                   match s.Store.journal with `Torn _ -> true | _ -> false)
+                 r.Store.shard_reports));
+        let sh = open_exn (sharded_config dir) in
+        Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+        List.iteri
+          (fun u before ->
+            check_string "recovers last committed state" before
+              (snapshot sh (user u)))
+          committed);
+    test_case "stale journal after crash-mid-compaction is discarded"
+      (fun () ->
+        with_tmp_dir @@ fun dir ->
+        (* High ratio: commit leaves the ops in the journal. *)
+        let cfg = { (sharded_config dir) with Store.compact_ratio = 1e9 } in
+        let sh = open_exn ~prior:(make_prior ()) cfg in
+        train_all sh;
+        Store.commit sh;
+        let pre = List.map (fun j -> (j, read_file j)) (journal_files dir) in
+        Store.compact_all sh;
+        let committed = List.map (fun u -> snapshot sh (user u)) [ 0; 1; 2 ] in
+        Store.close sh;
+        (* Simulate a compaction that crashed after renaming the new
+           segment but before renaming the fresh journal: the old
+           journal (whose ops the new segment already contains) is
+           still on disk.  Its header CRC no longer matches the
+           segment, so replaying it would double-apply every op. *)
+        List.iter (fun (j, data) -> write_file j data) pre;
+        (match Store.verify_dir dir with
+        | Error e -> Alcotest.fail ("verify_dir: " ^ e)
+        | Ok r ->
+            check_bool "verify reports stale journals" true
+              (List.exists
+                 (fun (s : Store.shard_report) -> s.Store.journal = `Stale)
+                 r.Store.shard_reports));
+        let sh = open_exn cfg in
+        Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+        List.iteri
+          (fun u want ->
+            check_string "no double-apply" want (snapshot sh (user u)))
+          committed);
+    test_case "corrupt segment is flagged by verify_dir" (fun () ->
+        with_tmp_dir @@ fun dir ->
+        let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+        train_all sh;
+        Store.compact_all sh;
+        Store.close sh;
+        let seg =
+          (* The largest segment: big enough that a mid-file bit flip
+             lands inside user data, not the header. *)
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".seg")
+          |> List.map (Filename.concat dir)
+          |> List.sort (fun a b ->
+                 compare (Unix.stat b).Unix.st_size (Unix.stat a).Unix.st_size)
+          |> List.hd
+        in
+        let data = Bytes.of_string (read_file seg) in
+        let mid = Bytes.length data / 2 in
+        Bytes.set data mid
+          (if Bytes.get data mid = 'x' then 'y' else 'x');
+        write_file seg (Bytes.to_string data);
+        match Store.verify_dir dir with
+        | Error e -> Alcotest.fail ("verify_dir: " ^ e)
+        | Ok r ->
+            check_bool "verify reports a corrupt segment" true
+              (List.exists
+                 (fun (s : Store.shard_report) ->
+                   match s.Store.segment with `Corrupt _ -> true | _ -> false)
+                 r.Store.shard_reports));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Semantics details. *)
+
+let semantics_tests =
+  [
+    test_case "train_many k then k untrains returns to the prior" (fun () ->
+        with_tmp_dir @@ fun dir ->
+        let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+        Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+        let before = snapshot sh "alice" in
+        Store.train_many sh ~user:"alice" Label.Spam messages.(0) 3;
+        for _ = 1 to 3 do
+          Store.untrain sh ~user:"alice" Label.Spam messages.(0)
+        done;
+        check_string "round trip" before (snapshot sh "alice"));
+    test_case "untrain of a never-trained message mutates nothing" (fun () ->
+        with_tmp_dir @@ fun dir ->
+        let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+        Store.train sh ~user:"alice" Label.Ham messages.(1);
+        let before = snapshot sh "alice" in
+        let ops_before = (Store.stats sh).Store.journal_ops in
+        check_bool "raises" true
+          (match Store.untrain sh ~user:"alice" Label.Spam messages.(0) with
+          | () -> false
+          | exception Invalid_argument _ -> true);
+        check_string "state untouched" before (snapshot sh "alice");
+        check_int "nothing journaled" ops_before
+          (Store.stats sh).Store.journal_ops;
+        Store.close sh;
+        (* And nothing of it survives a reopen either. *)
+        let sh = open_exn (sharded_config dir) in
+        Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+        check_string "disk untouched" before (snapshot sh "alice"));
+    test_case "evict_all drops overlays without losing state" (fun () ->
+        with_tmp_dir @@ fun dir ->
+        let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+        Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+        train_all sh;
+        let want = List.map (fun u -> snapshot sh (user u)) [ 0; 1; 2 ] in
+        Store.evict_all sh;
+        check_int "cache empty" 0 (Store.stats sh).Store.cached;
+        List.iteri
+          (fun u w ->
+            check_string "cold rematerialization" w (snapshot sh (user u)))
+          want);
+    test_case "stats counters move" (fun () ->
+        with_tmp_dir @@ fun dir ->
+        let sh = open_exn ~prior:(make_prior ()) (sharded_config dir) in
+        Fun.protect ~finally:(fun () -> Store.close sh) @@ fun () ->
+        (* 8 users through a 2-slot cache: evictions are forced. *)
+        for i = 0 to 7 do
+          Store.train sh ~user:(user i) Label.Spam messages.(i mod 8)
+        done;
+        let s = Store.stats sh in
+        check_bool "ops journaled" true (s.Store.journal_ops >= 8);
+        check_bool "bytes journaled" true (s.Store.journal_bytes > 0);
+        check_bool "evictions under pressure" true (s.Store.evictions > 0));
+    test_case "is_store_dir sniffs manifests only" (fun () ->
+        with_tmp_dir @@ fun dir ->
+        check_bool "plain dir" false (Store.is_store_dir dir);
+        let sh = open_exn (sharded_config dir) in
+        Store.close sh;
+        check_bool "store dir" true (Store.is_store_dir dir));
+  ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ("differential", differential_tests);
+      ("crash", crash_tests);
+      ("semantics", semantics_tests);
+    ]
