@@ -112,6 +112,32 @@ echo "fig2: fault-free == transient-faulted"
 diff -u "$j1" "$faulted" \
   || { echo "FAIL: fig2 output differs under intern.grow faults"; exit 1; }
 echo "fig2: fault-free == intern.grow-faulted"
+# The probability-cache fill path carries its own fault site; a
+# transient there falls through to the uncached compute for that token
+# without touching the slot, so output must not move by a byte.
+./_build/default/bin/spamlab.exe experiment fig2 \
+  --scale 0.05 --fault-spec 'score.cache.fill:transient@2+33+501' > "$faulted"
+diff -u "$j1" "$faulted" \
+  || { echo "FAIL: fig2 output differs under score.cache.fill faults"; exit 1; }
+echo "fig2: fault-free == cache-fill-faulted"
+
+say "probability cache: cached vs uncached byte identity"
+# SPAMLAB_NO_PROB_CACHE=1 makes every probability read compute uncached
+# (the kill switch).  A cached parallel run must produce byte-identical
+# experiment output to an uncached serial run — one diff covering both
+# the cache and the jobs axis.
+pc_cached=$(mktemp /tmp/spamlab-ci-pc-cached.XXXXXX.txt)
+pc_uncached=$(mktemp /tmp/spamlab-ci-pc-uncached.XXXXXX.txt)
+for exp in fig1 fig2 roni; do
+  ./_build/default/bin/spamlab.exe experiment "$exp" \
+    --scale 0.05 --jobs 4 > "$pc_cached"
+  SPAMLAB_NO_PROB_CACHE=1 ./_build/default/bin/spamlab.exe experiment "$exp" \
+    --scale 0.05 --jobs 1 > "$pc_uncached"
+  diff -u "$pc_uncached" "$pc_cached" \
+    || { echo "FAIL: $exp cached (jobs 4) differs from uncached (jobs 1)"; exit 1; }
+  echo "$exp: uncached jobs 1 == cached jobs 4"
+done
+rm -f "$pc_cached" "$pc_uncached"
 
 say "kill and resume"
 # An injected crash kills the run mid-sweep (exit 70); resuming from
@@ -169,6 +195,18 @@ run_leg() { # tag jobs
 
 run_leg sj1 1
 run_leg sj4 4
+# A third leg with the probability cache killed: the daemon's shared
+# snapshot cache must never influence a verdict, a clue, or the
+# published database.
+export SPAMLAB_NO_PROB_CACHE=1
+run_leg snc 4
+unset SPAMLAB_NO_PROB_CACHE
+cmp -s "$sdir/sj1.client.txt" "$sdir/snc.client.txt" \
+  || { echo "FAIL: client stdout differs with the prob cache disabled"; \
+       diff -u "$sdir/sj1.client.txt" "$sdir/snc.client.txt" | head -20; exit 1; }
+cmp -s "$sdir/sj1.db" "$sdir/snc.db" \
+  || { echo "FAIL: published db differs with the prob cache disabled"; exit 1; }
+echo "serve: cached == uncached (client stdout, db)"
 cmp -s "$sdir/sj1.client.txt" "$sdir/sj4.client.txt" \
   || { echo "FAIL: client stdout differs between daemon --jobs 1 and 4"; \
        diff -u "$sdir/sj1.client.txt" "$sdir/sj4.client.txt" | head -20; exit 1; }
@@ -225,6 +263,14 @@ cmp -s "$tdir/tj1.txt" "$tdir/tj4.txt" \
 "$spamlab" db verify "$tdir/tj4/users-300" > /dev/null \
   || { echo "FAIL: tenants store does not verify"; exit 1; }
 echo "tenants: jobs 1 == jobs 4; store verifies"
+# Tenant scoring routes through the store's shared prior cache +
+# per-overlay dirty set; killing the cache must not move a byte.
+SPAMLAB_NO_PROB_CACHE=1 "$spamlab" tenants --users 300 --scale 0.05 --jobs 1 \
+  --store-dir "$tdir/tnc" > "$tdir/tnc.txt" 2> /dev/null
+cmp -s "$tdir/tnc.txt" "$tdir/tj4.txt" \
+  || { echo "FAIL: tenants output differs with the prob cache disabled"; \
+       diff -u "$tdir/tnc.txt" "$tdir/tj4.txt" | head -20; exit 1; }
+echo "tenants: uncached jobs 1 == cached jobs 4"
 
 say "store soak: crash mid-append, restart, replay"
 # A crash injected at the journal-append fault site kills the daemon
@@ -288,5 +334,20 @@ if grep -q '"seconds":0\.000000' "$timings" \
   echo "FAIL: non-positive store bench wall time"; exit 1
 fi
 echo "bench store OK"
+
+say "bench classify smoke"
+./_build/default/bench/main.exe classify \
+  --scale 0.02 --jobs 2 --timings "$timings" > /dev/null
+for id in classify-hot-cached classify-hot-uncached classify-hot-baseline \
+  classify-warm-private classify-cold-refill \
+  classify-tenant-fresh classify-tenant-trained; do
+  grep -q "\"id\":\"$id\"" "$timings" \
+    || { echo "FAIL: missing $id bench entry"; exit 1; }
+done
+if grep -q '"seconds":0\.000000' "$timings" \
+  || grep -q '"seconds":-' "$timings"; then
+  echo "FAIL: non-positive classify bench wall time"; exit 1
+fi
+echo "bench classify OK"
 
 say "ci.sh: all checks passed"

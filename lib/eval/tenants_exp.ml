@@ -158,7 +158,7 @@ let build_prior lab =
   let filter = Poison.base_filter (Lab.tokenizer lab) examples in
   Token_db.copy (Filter.db filter)
 
-let open_store cfg ~nusers ~prior =
+let open_store cfg ~options ~nusers ~prior =
   let backend =
     match cfg.store_dir with
     | None -> `Memory
@@ -167,7 +167,7 @@ let open_store cfg ~nusers ~prior =
            stores, not reopenings of one. *)
         `Sharded (Filename.concat dir (Printf.sprintf "users-%d" nusers))
   in
-  Store.open_store ~prior
+  Store.open_store ~options ~prior
     {
       Store.backend;
       shards = cfg.shards;
@@ -195,12 +195,14 @@ let run_user cfg world store users_rng i a =
   let eval_idx =
     Array.init cfg.eval_per_user (fun _ -> Rng.int rng (Array.length eval_pool))
   in
+  (* Scores through the store's shared prior cache + overlay dirty set
+     — bit-identical to [Classify.score_ids world.options db]. *)
   let tally (ham, unsure, spam) =
-    Store.with_user store user (fun db ->
+    Store.with_user_engine store user (fun engine ->
         Array.iter
           (fun j ->
             let ex = eval_pool.(j) in
-            let r = Classify.score_ids world.options db ex.Dataset.ids in
+            let r = Classify.score_engine engine ex.Dataset.ids in
             match r.Classify.verdict with
             | Label.Ham_v -> incr ham
             | Label.Unsure_v -> incr unsure
@@ -260,7 +262,7 @@ let render_point nusers (a : agg) =
    order. *)
 let run_point lab cfg world ~nusers =
   let prior = build_prior lab in
-  match open_store cfg ~nusers ~prior with
+  match open_store cfg ~options:world.options ~nusers ~prior with
   | Error e -> Error e
   | Ok store ->
       Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->

@@ -5,6 +5,7 @@ module Classify = Spamlab_spambayes.Classify
 module Ingest = Spamlab_spambayes.Ingest
 module Intern = Spamlab_spambayes.Intern
 module Token_db = Spamlab_spambayes.Token_db
+module Prob_cache = Spamlab_spambayes.Prob_cache
 module Tokenizer = Spamlab_tokenizer.Tokenizer
 module Mbox = Spamlab_email.Mbox
 module Fault = Spamlab_fault
@@ -133,6 +134,11 @@ type t = {
   config : config;
   pool : Pool.t;
   mutable baseline : Token_db.t;  (* published state; classify reads this *)
+  (* Shared probability cache over [baseline], rebuilt at each publish
+     (the snapshot is immutable between publishes, so one single-
+     generation cache refills lazily across the CLASSIFY pool fan-out
+     and stays valid until the next publish swaps both out). *)
+  mutable baseline_cache : Prob_cache.t;
   delta : Filter.t;  (* live training state, becomes baseline on publish *)
   store : Store.t option;  (* per-tenant state for User-routed requests *)
   mutable pending : int;
@@ -175,7 +181,9 @@ let create config =
             | None -> Ok None
             | Some scfg -> (
                 match
-                  Store.open_store ~prior:(Token_db.copy (Filter.db delta)) scfg
+                  Store.open_store ~options:config.options
+                    ~prior:(Token_db.copy (Filter.db delta))
+                    scfg
                 with
                 | Ok st -> Ok (Some st)
                 | Error e -> Error e)
@@ -185,13 +193,17 @@ let create config =
           | Ok store ->
               (* Capture the loaded vocabulary in the frozen intern
                  snapshot so first-request classification probes
-                 lock-free. *)
+                 lock-free.  The shared snapshot cache is created after
+                 the freeze so it is sized to the full vocabulary. *)
               Intern.freeze ();
+              let baseline = Token_db.copy (Filter.db delta) in
               Ok
                 {
                   config;
                   pool = Pool.create ~jobs;
-                  baseline = Token_db.copy (Filter.db delta);
+                  baseline;
+                  baseline_cache =
+                    Prob_cache.create ~shared:true config.options baseline;
                   delta;
                   store;
                   pending = 0;
@@ -217,6 +229,10 @@ let publish t =
   t.seq <- t.seq + 1;
   t.pending <- 0;
   Intern.freeze ();
+  (* Fresh single-generation cache over the new snapshot (post-freeze,
+     so it covers tokens trained since the last publish). *)
+  t.baseline_cache <-
+    Prob_cache.create ~shared:true t.config.options t.baseline;
   Obs.incr c_publishes
 
 (* ------------------------------------------------------------------ *)
@@ -243,25 +259,30 @@ let render_classify t results =
     results;
   Buffer.contents b
 
-let classify_db t db body =
+(* The engine is captured in the task closure before the fan-out, so
+   workers see it through the pool's own synchronization rather than
+   re-reading the mutable [baseline_cache] field mid-flight. *)
+let classify_engine t engine body =
   let chunks = Ingest.raw_message_chunks body in
   let results =
     Pool.map_array t.pool
       (fun (off, len) ->
-        Ingest.classify_raw t.config.options db t.config.tokenizer body ~off
-          ~len)
+        Ingest.classify_raw_engine engine t.config.tokenizer body ~off ~len)
       chunks
   in
   Protocol.Ok (render_classify t results)
 
-let classify t body = classify_db t t.baseline body
+let classify t body =
+  classify_engine t (Classify.engine_cached t.baseline_cache) body
 
-(* Tenant classification reads the user's overlay under the shard lock.
-   Like the shared path, it probes the frozen intern snapshot: tokens a
-   tenant trained since the last publish read as unseen until the next
-   publish refreezes — the same published-state contract. *)
+(* Tenant classification reads the user's overlay under the shard lock,
+   scoring through the store's shared prior cache plus the overlay's
+   dirty set.  Like the shared path, it probes the frozen intern
+   snapshot: tokens a tenant trained since the last publish read as
+   unseen until the next publish refreezes — the same published-state
+   contract. *)
 let tenant_classify t st user body =
-  Store.with_user st user (fun db -> classify_db t db body)
+  Store.with_user_engine st user (fun engine -> classify_engine t engine body)
 
 (* Shared tail of every TRAIN/UNTRAIN: pending drives the auto-publish
    cadence (tenant ops included — a publish is the store's durability

@@ -59,12 +59,236 @@ let verdict_of_indicator (options : Options.t) indicator =
   else if indicator >= options.ham_cutoff then Label.Unsure_v
   else Label.Ham_v
 
-(* The id path: counts come from two array reads per token instead of
-   two string-hashtable probes.  Clue tokens are materialized as strings
-   up front (only for candidates that clear the strength band), so the
-   sort tie-break — String.compare on the token — is byte-for-byte the
-   same as the string path's. *)
-let select_discriminators_ids (options : Options.t) db ids =
+(* The scoring engine: where each interned id's smoothed probability
+   comes from.  Every way the stack scores — straight off a db, through
+   a per-filter probability cache, or through the tenant fast path
+   (shared prior cache + overlay dirty set) — is one of these, so the
+   selection/Fisher pipeline below has exactly one implementation and
+   the variants can be differentially tested against each other.  A
+   variant rather than a closure: the scoring loop dispatches once per
+   message and runs a monomorphic per-token loop, instead of paying an
+   indirect call and a boxed float return per token. *)
+type engine =
+  | Uncached of Options.t * Token_db.t
+  | Cached of Prob_cache.t
+  | Overlay of { cache : Prob_cache.t; db : Token_db.t; same_totals : bool }
+
+let engine options db = Uncached (options, db)
+let engine_cached cache = Cached cache
+
+let engine_overlay cache db =
+  let prior = Prob_cache.db cache in
+  (* The cached prior probability is valid for the tenant exactly when
+     the tenant reads the same counts the prior does: the id is not in
+     its copy-on-write overlay AND the message totals agree (training
+     the tenant changes its N_S/N_H, which shifts every token's
+     probability, cached or not).  [same_totals] is hoisted here — the
+     overlay must not be trained while this engine is in use (the
+     store builds a fresh engine per locked [with_user_engine] call). *)
+  let same_totals =
+    Token_db.nspam db = Token_db.nspam prior
+    && Token_db.nham db = Token_db.nham prior
+  in
+  Overlay { cache; db; same_totals }
+
+let engine_options = function
+  | Uncached (options, _) -> options
+  | Cached cache | Overlay { cache; _ } -> Prob_cache.options cache
+
+(* Selection scratch, one per domain: candidates accumulate into
+   parallel unboxed arrays (id, probability, strength) and an index
+   permutation is sorted instead of the candidates themselves.  This
+   replaces the boxed candidate list + [List.sort]: scoring a message
+   allocates only the final <= max_discriminators clue records, swaps
+   move machine ints, and comparisons read a precomputed strength
+   instead of recomputing [Float.abs] — which matters because selection,
+   not probability lookup, is most of a message's scoring time. *)
+type scratch = {
+  mutable s_raw : float array;  (* per-token probabilities, 0..n-1 *)
+  mutable s_ids : int array;
+  mutable s_probs : float array;
+  mutable s_str : float array;
+  mutable s_idx : int array;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        s_raw = Array.make 256 0.0;
+        s_ids = Array.make 256 0;
+        s_probs = Array.make 256 0.0;
+        s_str = Array.make 256 0.0;
+        s_idx = Array.make 256 0;
+      })
+
+let ensure_scratch sc n =
+  if Array.length sc.s_ids < n then begin
+    let cap = max n (2 * Array.length sc.s_ids) in
+    sc.s_raw <- Array.make cap 0.0;
+    sc.s_ids <- Array.make cap 0;
+    sc.s_probs <- Array.make cap 0.0;
+    sc.s_str <- Array.make cap 0.0;
+    sc.s_idx <- Array.make cap 0
+  end
+
+(* The selection order is the total order [by_strength_desc] imposes:
+   stronger first, ties by token bytes ascending.  Ties are common —
+   token probabilities cluster (every hapax of a class scores the
+   same), so a lot of comparisons fall through to the tie-break — and
+   byte-comparing tokens there is what used to dominate scoring.  For
+   ids covered by the interner's rank table (everything interned
+   before the last [Intern.freeze] — in practice the whole trained
+   vocabulary) the tie-break is one int compare; the byte compare only
+   runs for ids interned since.  Strengths are |p - 0.5| ∈ [0, 0.5],
+   never NaN and never -0.0, so flat float compares agree with
+   [Float.compare]; equal positions (duplicate ids) are identical
+   records, so unstable sorting cannot change the materialized
+   output. *)
+let[@inline] str_at sc a = Array.unsafe_get sc.s_str a
+
+let[@inline] token_before sc a b =
+  let ia = Array.unsafe_get sc.s_ids a and ib = Array.unsafe_get sc.s_ids b in
+  let ra = Intern.rank ia and rb = Intern.rank ib in
+  if ra >= 0 && rb >= 0 then ra < rb
+  else String.compare (Intern.to_string ia) (Intern.to_string ib) < 0
+
+let[@inline] before sc a b =
+  let sa = str_at sc a and sb = str_at sc b in
+  if sa <> sb then sa > sb else token_before sc a b
+
+(* In-place quicksort over the index permutation: Hoare partition,
+   median-of-three pivot, insertion sort below 12 elements. *)
+let sort_cands sc c =
+  let idx = sc.s_idx in
+  let swap i j =
+    let t = Array.unsafe_get idx i in
+    Array.unsafe_set idx i (Array.unsafe_get idx j);
+    Array.unsafe_set idx j t
+  in
+  let rec loop lo hi =
+    if hi - lo < 12 then begin
+      if hi > lo then
+        for i = lo + 1 to hi do
+          let v = idx.(i) in
+          let j = ref (i - 1) in
+          while !j >= lo && before sc v idx.(!j) do
+            idx.(!j + 1) <- idx.(!j);
+            decr j
+          done;
+          idx.(!j + 1) <- v
+        done
+    end
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if before sc idx.(mid) idx.(lo) then swap mid lo;
+      if before sc idx.(hi) idx.(lo) then swap hi lo;
+      if before sc idx.(hi) idx.(mid) then swap hi mid;
+      let pivot = idx.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while before sc idx.(!i) pivot do
+          incr i
+        done;
+        while before sc pivot idx.(!j) do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      loop lo !j;
+      loop !i hi
+    end
+  in
+  if c > 1 then loop 0 (c - 1)
+
+(* Stage one of scoring: each token's probability lands in the scratch
+   [s_raw] array, through whichever source the engine names — a
+   monomorphic loop per variant, all stores unboxed. *)
+let fill_raw e ids n raw =
+  match e with
+  | Uncached (options, db) ->
+      for i = 0 to n - 1 do
+        Array.unsafe_set raw i
+          (Score.smoothed_id options db (Array.unsafe_get ids i))
+      done
+  | Cached cache -> Prob_cache.collect cache ids n raw
+  | Overlay { cache; db; same_totals } ->
+      let options = Prob_cache.options cache in
+      for i = 0 to n - 1 do
+        let id = Array.unsafe_get ids i in
+        let p =
+          if same_totals && not (Token_db.overlay_mem db id) then
+            Prob_cache.get cache id
+          else Score.smoothed_id options db id
+        in
+        Array.unsafe_set raw i p
+      done
+
+let score_engine_sub e ids n =
+  let options = engine_options e in
+  let min_strength = options.Options.minimum_prob_strength in
+  let sc = Domain.DLS.get scratch_key in
+  ensure_scratch sc n;
+  let raw = sc.s_raw in
+  fill_raw e ids n raw;
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    let id = Array.unsafe_get ids i in
+    let p = Array.unsafe_get raw i in
+    let s = Float.abs (p -. 0.5) in
+    if s >= min_strength then begin
+      let k = !c in
+      Array.unsafe_set sc.s_ids k id;
+      Array.unsafe_set sc.s_probs k p;
+      Array.unsafe_set sc.s_str k s;
+      Array.unsafe_set sc.s_idx k k;
+      c := k + 1
+    end
+  done;
+  let c = !c in
+  sort_cands sc c;
+  (* Winners materialized back-to-front so the clue list comes out in
+     sort order; losers never become records.  [raw] is done carrying
+     per-token probabilities by now, so its prefix doubles as the
+     winner-score buffer Fisher folds over — the same scores in the
+     same order as the clue list, no list of floats in between. *)
+  let w = min options.Options.max_discriminators c in
+  let clues = ref [] in
+  for k = w - 1 downto 0 do
+    let p = sc.s_idx.(k) in
+    let score = Array.unsafe_get sc.s_probs p in
+    Array.unsafe_set raw k score;
+    clues := { token = Intern.to_string sc.s_ids.(p); score } :: !clues
+  done;
+  let clues = !clues in
+  let indicator = Fisher.indicator_sub raw w in
+  { indicator; verdict = verdict_of_indicator options indicator; clues }
+
+let score_engine e ids = score_engine_sub e ids (Array.length ids)
+let score_ids options db ids = score_engine (engine options db) ids
+
+(* Length-limited form for callers that reuse one scratch id buffer
+   across messages (Ingest.classify_many): scores ids.(0..n-1) without
+   slicing the array. *)
+let score_ids_sub options db ids n = score_engine_sub (engine options db) ids n
+
+let score_tokens options db tokens =
+  score_ids options db (Intern.intern_array tokens)
+
+let score_clues options candidates =
+  let clues = select_scored options candidates in
+  let indicator = indicator_of_clues clues in
+  { indicator; verdict = verdict_of_indicator options indicator; clues }
+
+(* The pre-cache scoring path, kept verbatim: uncached probabilities,
+   eager per-candidate clue materialization, list filter/sort/take
+   selection.  The differential suite holds every engine bit-identical
+   to this, and [bench classify] measures it as the baseline the
+   cached hot path is compared against. *)
+let score_ids_reference (options : Options.t) db ids =
   let candidates = ref [] in
   Array.iter
     (fun id ->
@@ -72,32 +296,6 @@ let select_discriminators_ids (options : Options.t) db ids =
       if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
         candidates := { token = Intern.to_string id; score } :: !candidates)
     ids;
-  select_scored options !candidates
-
-let score_ids options db ids =
-  let clues = select_discriminators_ids options db ids in
-  let indicator = indicator_of_clues clues in
-  { indicator; verdict = verdict_of_indicator options indicator; clues }
-
-(* Length-limited form for callers that reuse one scratch id buffer
-   across messages (Ingest.classify_many): scores ids.(0..n-1) without
-   slicing the array. *)
-let score_ids_sub (options : Options.t) db ids n =
-  let candidates = ref [] in
-  for i = 0 to n - 1 do
-    let id = Array.unsafe_get ids i in
-    let score = Score.smoothed_id options db id in
-    if Float.abs (score -. 0.5) >= options.minimum_prob_strength then
-      candidates := { token = Intern.to_string id; score } :: !candidates
-  done;
   let clues = select_scored options !candidates in
-  let indicator = indicator_of_clues clues in
-  { indicator; verdict = verdict_of_indicator options indicator; clues }
-
-let score_tokens options db tokens =
-  score_ids options db (Intern.intern_array tokens)
-
-let score_clues options candidates =
-  let clues = select_scored options candidates in
   let indicator = indicator_of_clues clues in
   { indicator; verdict = verdict_of_indicator options indicator; clues }

@@ -2,18 +2,28 @@ type t = {
   options : Options.t;
   tokenizer : Spamlab_tokenizer.Tokenizer.t;
   db : Token_db.t;
+  (* Per-filter probability cache over (options, db).  Training
+     invalidates it implicitly via the db generation counter; the
+     functional updates below rebuild it because a cache binds one
+     (options, db) pair.  Private (single-domain) — every pool
+     worker builds its own filter. *)
+  cache : Prob_cache.t;
 }
+
+let make options tokenizer db =
+  { options; tokenizer; db; cache = Prob_cache.create options db }
 
 let create ?(options = Options.default)
     ?(tokenizer = Spamlab_tokenizer.Tokenizer.spambayes) () =
-  { options; tokenizer; db = Token_db.create () }
+  make options tokenizer (Token_db.create ())
 
 let options t = t.options
-let set_options t options = { t with options }
+let set_options t options = make options t.tokenizer t.db
 let tokenizer t = t.tokenizer
 let db t = t.db
-let copy t = { t with db = Token_db.copy t.db }
-let with_db t db = { t with db }
+let copy t = make t.options t.tokenizer (Token_db.copy t.db)
+let with_db t db = make t.options t.tokenizer db
+let engine t = Classify.engine_cached t.cache
 
 let features t msg = Spamlab_tokenizer.Tokenizer.unique_tokens t.tokenizer msg
 
@@ -37,24 +47,25 @@ let train_corpus t examples =
 let classify_tokens t tokens =
   if Spamlab_obs.Obs.detail () then
     Spamlab_obs.Obs.span "spambayes.classify" (fun () ->
-        Classify.score_tokens t.options t.db tokens)
-  else Classify.score_tokens t.options t.db tokens
+        Classify.score_engine (engine t) (Intern.intern_array tokens))
+  else Classify.score_engine (engine t) (Intern.intern_array tokens)
 
 let classify_ids t ids =
   if Spamlab_obs.Obs.detail () then
     Spamlab_obs.Obs.span "spambayes.classify" (fun () ->
-        Classify.score_ids t.options t.db ids)
-  else Classify.score_ids t.options t.db ids
+        Classify.score_engine (engine t) ids)
+  else Classify.score_engine (engine t) ids
 
 let classify t msg = classify_tokens t (features t msg)
 
-(* Batched/raw entry points ride the zero-copy ingest path. *)
-let classify_many t msgs = Ingest.classify_many t.options t.db t.tokenizer msgs
+(* Batched/raw entry points ride the zero-copy ingest path, scoring
+   through the filter's cache. *)
+let classify_many t msgs = Ingest.classify_many_engine (engine t) t.tokenizer msgs
 
 let classify_raw t buf ~off ~len =
-  Ingest.classify_raw t.options t.db t.tokenizer buf ~off ~len
+  Ingest.classify_raw_engine (engine t) t.tokenizer buf ~off ~len
 
-let classify_mbox t buf = Ingest.classify_mbox t.options t.db t.tokenizer buf
+let classify_mbox t buf = Ingest.classify_mbox_engine (engine t) t.tokenizer buf
 
 let score t msg = (classify t msg).Classify.indicator
 
@@ -110,4 +121,4 @@ let load_file ?(options = Options.default)
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () ->
-          Result.map (fun db -> { options; tokenizer; db }) (Token_db.load ic))
+          Result.map (fun db -> make options tokenizer db) (Token_db.load ic))

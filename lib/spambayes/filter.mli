@@ -26,6 +26,13 @@ val with_db : t -> Token_db.t -> t
     hands out per-user overlay databases, and [with_db] dresses one as
     a full filter for classify/train entry points. *)
 
+val engine : t -> Classify.engine
+(** The filter's scoring engine: probabilities served from its
+    generation-stamped {!Prob_cache} (training invalidates it via the
+    db generation; no explicit flush needed).  Single-domain, like the
+    filter itself.  Every [classify*] entry point below scores through
+    this. *)
+
 val features : t -> Spamlab_email.Message.t -> string array
 (** Distinct tokens of a message under this filter's tokenizer. *)
 

@@ -62,9 +62,20 @@ val classify_many :
   Spamlab_email.Message.t array ->
   Classify.result array
 (** Batched classification: every message goes span-tokenize →
-    dedup-in-scratch → {!Classify.score_ids_sub}, reusing one
+    dedup-in-scratch → {!Classify.score_engine_sub}, reusing one
     per-domain id buffer across the whole batch.  Results are
-    positionally aligned with the input. *)
+    positionally aligned with the input.  This form scores through the
+    uncached reference engine; cached callers use
+    {!classify_many_engine}. *)
+
+val classify_many_engine :
+  Classify.engine ->
+  Spamlab_tokenizer.Tokenizer.t ->
+  Spamlab_email.Message.t array ->
+  Classify.result array
+(** {!classify_many} scoring through an explicit {!Classify.engine}
+    (per-filter probability cache, daemon snapshot cache, tenant
+    overlay) — output is bit-identical to the uncached form. *)
 
 (** {1 Raw mail} *)
 
@@ -122,3 +133,20 @@ val classify_mbox :
 (** Classify every message of a raw mbox buffer in order ([None] for
     malformed chunks).  Single-domain; for pool fan-out compose
     {!raw_message_chunks} with {!classify_raw}. *)
+
+val classify_raw_engine :
+  Classify.engine ->
+  Spamlab_tokenizer.Tokenizer.t ->
+  string ->
+  off:int ->
+  len:int ->
+  Classify.result option
+(** {!classify_raw} through an explicit engine — the daemon's CLASSIFY
+    fan-out path (shared snapshot cache across pool workers). *)
+
+val classify_mbox_engine :
+  Classify.engine ->
+  Spamlab_tokenizer.Tokenizer.t ->
+  string ->
+  Classify.result option array
+(** {!classify_mbox} through an explicit engine. *)

@@ -248,7 +248,37 @@ let to_string id =
     if s == unset then invalid_arg "Intern.to_string: unknown id" else s
   end
 
+(* Lexicographic ranks: [rank id] = the position of [to_string id] in
+   the byte-sorted vocabulary as of the last {!freeze}, or -1 for ids
+   interned since.  Classify's clue tie-break is byte order on the
+   token string; for covered ids that is one int compare instead of a
+   byte compare — which matters because token probabilities cluster
+   (every hapax of a class scores the same), so sorting clues compares
+   a lot of equal-strength pairs.  Built only on explicit [freeze]
+   (the "vocabulary is stable now" signal), never on the automatic
+   snapshot refresh: interning storms must not pay O(V log V) each
+   refresh.  Published by [Atomic] like [frozen]; the array is never
+   mutated after publication. *)
+let ranks : int array Atomic.t = Atomic.make [||]
+
+let build_ranks_locked () =
+  let n = st.count in
+  let names = st.names in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> String.compare names.(a) names.(b)) order;
+  let rk = Array.make n 0 in
+  for pos = 0 to n - 1 do
+    rk.(order.(pos)) <- pos
+  done;
+  Atomic.set ranks rk
+
+let[@inline] rank id =
+  let rk = Atomic.get ranks in
+  if id >= 0 && id < Array.length rk then Array.unsafe_get rk id else -1
+
 let freeze () =
-  Mutex.protect st.mutex (fun () -> Atomic.set frozen (Array.copy st.slots))
+  Mutex.protect st.mutex (fun () ->
+      Atomic.set frozen (Array.copy st.slots);
+      build_ranks_locked ())
 
 let size () = st.count

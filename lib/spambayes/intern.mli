@@ -100,7 +100,16 @@ val freeze : unit -> unit
     any time, from any domain, any number of times.  (The snapshot also
     refreshes itself automatically once the table has grown well past
     it, so omitting the call costs amortized-O(1) extra work, not
-    correctness.) *)
+    correctness.)  Also rebuilds the {!rank} table (O(V log V), only
+    here — never on the automatic refresh). *)
+
+val rank : int -> int
+(** The position of [to_string id] in the byte-sorted vocabulary as of
+    the last {!freeze}, or [-1] for ids interned since (or never
+    assigned).  For two covered ids, [compare (rank a) (rank b)] agrees
+    exactly with [String.compare (to_string a) (to_string b)] — the
+    int-compare form of Classify's clue tie-break.  Distinct ids hold
+    distinct strings, so distinct covered ids never share a rank. *)
 
 val size : unit -> int
 (** Number of distinct strings interned so far. *)

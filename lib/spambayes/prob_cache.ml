@@ -1,0 +1,160 @@
+module Obs = Spamlab_obs.Obs
+
+let c_hits = Obs.counter "spambayes.prob_cache_hits"
+let c_fills = Obs.counter "spambayes.prob_cache_fills"
+
+(* Kill switch, read once at startup: with SPAMLAB_NO_PROB_CACHE=1
+   every [get] computes uncached.  ci.sh uses it to byte-compare
+   cached vs uncached experiment output. *)
+let disabled =
+  match Sys.getenv_opt "SPAMLAB_NO_PROB_CACHE" with
+  | Some "1" -> true
+  | _ -> false
+
+(* [probs.(id)] holds the smoothed probability of token [id] computed
+   under db generation [stamps.(id)]; NaN means "slot never filled"
+   (a smoothed probability is never NaN: the formula returns x on a
+   zero denominator and s > 0 keeps the divisor positive).  Private
+   caches validate per-slot against the db's current generation and
+   grow on demand.  Shared caches (daemon snapshot, store prior) are
+   single-generation: sized once to the intern table, never grown or
+   restamped, valid only while the db stays at [created_gen] — which
+   makes every concurrent fill race benign (the only values a slot
+   can ever hold are NaN and the one correct probability). *)
+type t = {
+  options : Options.t;
+  db : Token_db.t;
+  shared : bool;
+  created_gen : int;
+  mutable probs : float array;
+  mutable stamps : int array;
+}
+
+let create ?(shared = false) options db =
+  let n = if shared then Intern.size () else 0 in
+  {
+    options;
+    db;
+    shared;
+    created_gen = Token_db.generation db;
+    probs = Array.make n nan;
+    stamps = (if shared then [||] else Array.make n 0);
+  }
+
+let options t = t.options
+let db t = t.db
+
+let[@inline] uncached t id = Score.smoothed_id t.options t.db id
+
+(* Grow the private arrays to cover [id]; geometric so a scan over
+   ascending ids stays amortized O(1). *)
+let ensure t id =
+  let len = Array.length t.probs in
+  if id >= len then begin
+    let cap = max (id + 1) (max 64 (2 * len)) in
+    let probs = Array.make cap nan and stamps = Array.make cap 0 in
+    Array.blit t.probs 0 probs 0 len;
+    Array.blit t.stamps 0 stamps 0 len;
+    t.probs <- probs;
+    t.stamps <- stamps
+  end
+
+(* The fill path carries the [score.cache.fill] fault site: a
+   transient fault falls through to the uncached compute without
+   writing the slot — byte-identical output, the slot just stays
+   cold.  Fatal raises; crash exits, as everywhere. *)
+let fill t id gen =
+  match Spamlab_fault.check "score.cache.fill" with
+  | () ->
+      Obs.incr c_fills;
+      let p = uncached t id in
+      if t.shared then Array.unsafe_set t.probs id p
+      else begin
+        ensure t id;
+        Array.unsafe_set t.probs id p;
+        Array.unsafe_set t.stamps id gen
+      end;
+      p
+  | exception e when Spamlab_fault.is_transient e -> uncached t id
+
+let get t id =
+  if disabled then uncached t id
+  else begin
+    let gen = Token_db.generation t.db in
+    if t.shared then
+      if gen <> t.created_gen || id >= Array.length t.probs then uncached t id
+      else begin
+        let p = Array.unsafe_get t.probs id in
+        if Float.is_nan p then fill t id gen
+        else begin
+          Obs.incr c_hits;
+          p
+        end
+      end
+    else if id < Array.length t.probs && Array.unsafe_get t.stamps id = gen
+    then begin
+      let p = Array.unsafe_get t.probs id in
+      if Float.is_nan p then fill t id gen
+      else begin
+        Obs.incr c_hits;
+        p
+      end
+    end
+    else fill t id gen
+  end
+
+(* Batched [get]: the form Classify's scoring loop uses.  Per-token
+   [get] pays a call with a boxed float return, two atomic loads in the
+   hit counter, and re-reads the generation every time; here those are
+   hoisted out of the loop and probabilities land in the caller's float
+   array as unboxed stores, so a hit costs one bounds check, one load
+   and one NaN test.  In private mode a fill can replace the arrays
+   ([ensure]), so that branch re-reads them through [t] each token —
+   still cheap, and fills are the cold path by construction. *)
+let collect t ids n out =
+  if disabled then
+    for i = 0 to n - 1 do
+      Array.unsafe_set out i (uncached t (Array.unsafe_get ids i))
+    done
+  else begin
+    let gen = Token_db.generation t.db in
+    let hits = ref 0 in
+    (if t.shared then
+       if gen <> t.created_gen then
+         for i = 0 to n - 1 do
+           Array.unsafe_set out i (uncached t (Array.unsafe_get ids i))
+         done
+       else begin
+         let probs = t.probs in
+         let len = Array.length probs in
+         for i = 0 to n - 1 do
+           let id = Array.unsafe_get ids i in
+           if id < len then begin
+             let p = Array.unsafe_get probs id in
+             if Float.is_nan p then Array.unsafe_set out i (fill t id gen)
+             else begin
+               incr hits;
+               Array.unsafe_set out i p
+             end
+           end
+           else Array.unsafe_set out i (uncached t id)
+         done
+       end
+     else
+       for i = 0 to n - 1 do
+         let id = Array.unsafe_get ids i in
+         if
+           id < Array.length t.probs
+           && Array.unsafe_get t.stamps id = gen
+         then begin
+           let p = Array.unsafe_get t.probs id in
+           if Float.is_nan p then Array.unsafe_set out i (fill t id gen)
+           else begin
+             incr hits;
+             Array.unsafe_set out i p
+           end
+         end
+         else Array.unsafe_set out i (fill t id gen)
+       done);
+    if !hits > 0 then Obs.add c_hits !hits
+  end

@@ -28,6 +28,15 @@ type t = {
   mutable nspam : int;
   mutable nham : int;
   mutable distinct : int;
+  (* Bumped once per mutating call.  Probability caches (Prob_cache)
+     stamp each cached float with the generation it was computed under;
+     validity is one int compare.  Starts at 1 so a stamp of 0 can mean
+     "never filled".  Wholesale invalidation is semantically forced:
+     every mutation changes nspam/nham (train/untrain) or may follow
+     one (the set_counts family), and the smoothing formula reads the
+     global totals, so one changed count shifts every token's
+     probability. *)
+  mutable generation : int;
 }
 
 let create () =
@@ -40,22 +49,36 @@ let create () =
     nspam = 0;
     nham = 0;
     distinct = 0;
+    generation = 1;
   }
 
 let copy t =
   t.shared <- true;
   Obs.incr db_copies;
   Obs.add db_copy_delta_entries (Hashtbl.length t.delta);
+  (* The overlay cells are mutable records, so [Hashtbl.copy] alone
+     would leave both sides sharing them — a later [bump] on either db
+     would mutate the other's counts in place, silently (no generation
+     bump on the victim), which breaks every cache keyed on its
+     generation.  Each cell is cloned. *)
+  let delta = Hashtbl.create (max 16 (Hashtbl.length t.delta)) in
+  Hashtbl.iter
+    (fun id c -> Hashtbl.add delta id { spam = c.spam; ham = c.ham })
+    t.delta;
   {
     base_spam = t.base_spam;
     base_ham = t.base_ham;
     off = t.off;
     shared = true;
-    delta = Hashtbl.copy t.delta;
+    delta;
     nspam = t.nspam;
     nham = t.nham;
     distinct = t.distinct;
+    generation = t.generation;
   }
+
+let generation t = t.generation
+let[@inline] touch t = t.generation <- t.generation + 1
 
 let nspam t = t.nspam
 let nham t = t.nham
@@ -155,6 +178,7 @@ let bump t label id k =
   end
 
 let train_ids t label ids =
+  touch t;
   (match label with
   | Label.Spam -> t.nspam <- t.nspam + 1
   | Label.Ham -> t.nham <- t.nham + 1);
@@ -165,6 +189,7 @@ let train t label tokens = train_ids t label (Intern.intern_array tokens)
 let train_many_ids t label ids k =
   if k < 0 then invalid_arg "Token_db.train_many: negative count";
   if k > 0 then begin
+    touch t;
     (match label with
     | Label.Spam -> t.nspam <- t.nspam + k
     | Label.Ham -> t.nham <- t.nham + k);
@@ -207,6 +232,7 @@ let untrain_ids t label ids =
               (Printf.sprintf "Token_db.untrain: token %S was never trained"
                  (Intern.to_string id)))
     ids;
+  touch t;
   (match label with
   | Label.Spam -> t.nspam <- t.nspam - 1
   | Label.Ham -> t.nham <- t.nham - 1);
@@ -310,6 +336,7 @@ let unescape_token s =
    neither can any score (both read 0/0). *)
 let set_counts t token ~spam ~ham =
   if spam <> 0 || ham <> 0 then begin
+    touch t;
     let id = Intern.id token in
     ensure_base t id;
     let i = id - t.off in
@@ -325,6 +352,7 @@ let set_counts t token ~spam ~ham =
 let set_counts_id t id ~spam ~ham =
   if spam < 0 || ham < 0 then
     invalid_arg "Token_db.set_counts_id: negative count";
+  touch t;
   if t.shared then begin
     let c = delta_cell t id in
     let was = c.spam + c.ham in
@@ -354,10 +382,12 @@ let set_counts_id t id ~spam ~ham =
 let set_message_counts t ~nspam ~nham =
   if nspam < 0 || nham < 0 then
     invalid_arg "Token_db.set_message_counts: negative count";
+  touch t;
   t.nspam <- nspam;
   t.nham <- nham
 
 let overlay_size t = Hashtbl.length t.delta
+let overlay_mem t id = Hashtbl.mem t.delta id
 
 let fold_overlay f init t =
   let acc = ref init in

@@ -57,6 +57,19 @@ val ham_count_id : t -> int -> int
 val distinct_tokens : t -> int
 (** Number of tokens with a non-zero combined count. *)
 
+val generation : t -> int
+(** Mutation counter: starts at 1 and is bumped once per mutating call
+    ({!train}/{!untrain} and friends, [set_counts_id],
+    [set_message_counts]).  {!Prob_cache} stamps each cached
+    probability with the generation it was computed under, so cache
+    validity is one int compare.  Invalidation is deliberately
+    wholesale — every mutation changes (or may accompany a change to)
+    the global message totals N_S/N_H, which enter the smoothing
+    formula for {e every} token, so a per-token dirty set cannot be
+    sound.  {!copy} inherits the counter value; caches key on the db
+    {e instance}, so the shared value is never compared across
+    instances. *)
+
 val train : t -> Label.gold -> string array -> unit
 (** [train t label tokens] records one message of class [label] whose
     distinct tokens are [tokens]. *)
@@ -101,6 +114,14 @@ val overlay_size : t -> int
 (** Number of ids in the copy-on-write overlay — i.e. touched since
     this instance last shared its base arrays; 0 for a never-copied
     db.  The tenant store's eviction accounting keys off this. *)
+
+val overlay_mem : t -> int -> bool
+(** [overlay_mem t id] is true when [id] has a copy-on-write overlay
+    cell — i.e. was touched since this instance last shared its base
+    arrays.  O(1).  The tenant scoring fast path uses this as the
+    per-overlay dirty set: an id {e not} in the overlay reads the same
+    counts as the shared prior, so (when the message totals also agree)
+    its cached prior probability is valid for the tenant. *)
 
 val fold_overlay : ('a -> int -> spam:int -> ham:int -> 'a) -> 'a -> t -> 'a
 (** Fold over {e only} the copy-on-write overlay cells: each visited id

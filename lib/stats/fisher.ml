@@ -27,3 +27,26 @@ let indicator fs =
   let h = spambayes_h fs in
   let s = spambayes_s fs in
   (1.0 +. h -. s) /. 2.0
+
+(* Array-prefix form of [indicator], for the scoring hot path: the same
+   float operations in the same order as the list pipeline — validate,
+   clamp, log, fold left, one chi-square tail per direction — without
+   materializing the score list, its 1−f complement, or the fold
+   closures.  Bit-identical to [indicator] on the same scores. *)
+let combine_sub fs n ~flip =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let f = Array.unsafe_get fs i in
+    let p = if flip then 1.0 -. f else f in
+    if p < 0.0 || p > 1.0 then
+      invalid_arg "Fisher.statistic: p-value outside [0,1]";
+    acc := !acc -. (2.0 *. log (clamp p))
+  done;
+  Special.chi2_sf ~df:(2 * n) !acc
+
+let indicator_sub fs n =
+  if n = 0 then 0.5
+  else
+    let h = combine_sub fs n ~flip:false in
+    let s = combine_sub fs n ~flip:true in
+    (1.0 +. h -. s) /. 2.0

@@ -31,3 +31,10 @@ val spambayes_s : float list -> float
 val indicator : float list -> float
 (** [indicator fs] is the message score I(E) = (1 + H − S)/2 ∈ [0,1]
     (Eq. 3).  0 is maximally hammy, 1 maximally spammy, 0.5 neutral. *)
+
+val indicator_sub : float array -> int -> float
+(** [indicator_sub fs n] = [indicator] of [fs.(0 .. n-1)] — same float
+    operations in the same order, bit-identical results — without
+    materializing any list.  The scoring hot path
+    ({!Spamlab_spambayes.Classify}) feeds it the selected clue scores
+    straight from its scratch buffer.  0.5 when [n = 0]. *)

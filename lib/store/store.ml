@@ -2,6 +2,9 @@ module Sb = Spamlab_spambayes
 module Token_db = Sb.Token_db
 module Intern = Sb.Intern
 module Label = Sb.Label
+module Options = Sb.Options
+module Classify = Sb.Classify
+module Prob_cache = Sb.Prob_cache
 module Fault = Spamlab_fault
 module Obs = Spamlab_obs.Obs
 module Io = Spamlab_io
@@ -234,6 +237,11 @@ type t = {
   t_nshards : int;
   cache_per_shard : int;
   t_prior : Token_db.t;
+  (* Shared probability cache over the immutable global prior: every
+     tenant engine scores its non-diverging tokens through this one
+     cache (concurrently, across shards — safe because it is
+     single-generation over a db nothing mutates). *)
+  t_prior_cache : Prob_cache.t;
   shards : shard array;
   mem : (string, Token_db.t) Hashtbl.t;
   mem_lock : Mutex.t;
@@ -771,7 +779,7 @@ let commit_shard t sh ~force_compact =
 (* ------------------------------------------------------------------ *)
 (* Public API. *)
 
-let open_store ?prior cfg =
+let open_store ?(options = Options.default) ?prior cfg =
   let mk dir prior nshards =
     ignore (Token_db.copy prior);
     (* pre-share: tenant copies are now O(1) and race-free *)
@@ -781,6 +789,7 @@ let open_store ?prior cfg =
       t_nshards = nshards;
       cache_per_shard = max 1 (cfg.cache / max 1 nshards);
       t_prior = prior;
+      t_prior_cache = Prob_cache.create ~shared:true options prior;
       shards =
         (match dir with
         | None -> [||]
@@ -873,6 +882,13 @@ let with_user t user f =
   match t.dir with
   | None -> Mutex.protect t.mem_lock (fun () -> f (mem_overlay t user))
   | Some _ -> with_shard t user (fun sh -> f (overlay t sh user))
+
+(* The tenant scoring fast path: a fresh overlay engine per locked
+   access (its totals comparison is hoisted at creation, so it must
+   not outlive the lock), sharing the prior cache across all tenants
+   and shards. *)
+let with_user_engine t user f =
+  with_user t user (fun db -> f (Classify.engine_overlay t.t_prior_cache db))
 
 (* Buffered records auto-flush past this size so a commit-free bulk
    load (the tenants experiment trains 10^5 users before its first

@@ -86,11 +86,18 @@ type config = {
 val default_config : config
 (** [`Memory], 16 shards, 4096 cached overlays, ratio 4.0. *)
 
-val open_store : ?prior:Token_db.t -> config -> (t, string) result
+val open_store :
+  ?options:Spamlab_spambayes.Options.t ->
+  ?prior:Token_db.t ->
+  config ->
+  (t, string) result
 (** Open (or create) a store.  The global prior — the state every
     tenant starts from — is [?prior] (default empty) when creating;
     reopening an existing sharded store loads the prior persisted in
-    [dir/prior.db] and {e ignores} [?prior].  Shard files are read
+    [dir/prior.db] and {e ignores} [?prior].  [?options] (default
+    {!Spamlab_spambayes.Options.default}) parameterizes the shared
+    prior probability cache behind {!with_user_engine}; pass the same
+    options the engines will be scored under.  Shard files are read
     lazily, on the first operation that touches the shard; a corrupt
     segment or journal header surfaces as [Sys_error] from that
     operation (run [spamlab db verify] on the directory).  [Error] on
@@ -111,6 +118,17 @@ val with_user : t -> string -> (Token_db.t -> 'a) -> 'a
 (** [with_user t user f] runs [f] on [user]'s overlay database under
     the shard lock — the read path (classify, score inspection).  [f]
     must not retain or mutate the db. *)
+
+val with_user_engine :
+  t -> string -> (Spamlab_spambayes.Classify.engine -> 'a) -> 'a
+(** [with_user t user] handing [f] a scoring engine instead of the raw
+    overlay db: tokens where the tenant does not diverge from the
+    global prior (the overwhelming majority — overlays are tiny by
+    design) read the store's shared prior probability cache; diverging
+    tokens, and every token once the tenant's own message totals have
+    shifted, recompute from the overlay counts.  Results are
+    bit-identical to scoring the overlay db uncached.  Same locking
+    contract as {!with_user}; the engine must not escape [f]. *)
 
 val train : t -> user:string -> Spamlab_spambayes.Label.gold -> string array -> unit
 (** Journal and apply one training message for [user].  [tokens] are
