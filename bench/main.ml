@@ -291,7 +291,7 @@ let run_serve lab ~jobs =
       let conn =
         match Serve.Client.connect addr with
         | Ok c -> c
-        | Error e -> failwith e
+        | Error e -> failwith (Serve.Client.error_message e)
       in
       Fun.protect ~finally:(fun () -> Serve.Client.close conn) @@ fun () ->
       (* One request over the persistent connection; round-trip µs. *)
@@ -300,7 +300,9 @@ let run_serve lab ~jobs =
         (match Serve.Client.request conn req with
         | Ok (Serve.Protocol.Ok _) -> ()
         | Ok (Serve.Protocol.Err e) -> failwith ("daemon error: " ^ e)
-        | Error e -> failwith ("serve bench transport: " ^ e));
+        | Ok Serve.Protocol.Busy -> failwith "daemon busy: unexpected in bench"
+        | Error e ->
+            failwith ("serve bench transport: " ^ Serve.Client.error_message e));
         (Unix.gettimeofday () -. t0) *. 1e6
       in
       let timings = ref [] in

@@ -1026,8 +1026,62 @@ let serve_cmd =
       & opt float Spamlab_store.Store.default_config.compact_ratio
       & info [ "store-compact-ratio" ] ~docv:"R" ~doc)
   in
+  let timeout_read_arg =
+    let doc =
+      "Absolute budget in seconds for reading one request frame; a peer \
+       trickling bytes past it is answered ERR and dropped (0 = no limit)."
+    in
+    Arg.(value & opt float 0.0 & info [ "timeout-read" ] ~docv:"SECONDS" ~doc)
+  in
+  let timeout_write_arg =
+    let doc =
+      "Absolute budget in seconds for writing one response (0 = no limit)."
+    in
+    Arg.(value & opt float 0.0 & info [ "timeout-write" ] ~docv:"SECONDS" ~doc)
+  in
+  let timeout_idle_arg =
+    let doc =
+      "Drop connections that complete no request for this many seconds \
+       (0 = never)."
+    in
+    Arg.(value & opt float 0.0 & info [ "timeout-idle" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "Admission cap: connections over it are answered BUSY and closed \
+       (0 = unlimited)."
+    in
+    Arg.(value & opt int 0 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Per-round request execution quota: requests over it are answered \
+       BUSY without executing (0 = unlimited)."
+    in
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let drain_arg =
+    let doc =
+      "Grace period in seconds between SIGTERM/SIGINT and abandoning \
+       still-active connections."
+    in
+    Arg.(
+      value
+      & opt float Serve.Daemon.default_limits.drain_s
+      & info [ "drain" ] ~docv:"SECONDS" ~doc)
+  in
+  let degraded_after_arg =
+    let doc =
+      "Consecutive publish failures before entering degraded mode \
+       (TRAIN/UNTRAIN refused, CLASSIFY keeps serving the last snapshot; \
+       0 = never)."
+    in
+    Arg.(value & opt int 0 & info [ "degraded-after" ] ~docv:"N" ~doc)
+  in
   let run seed db socket tcp publish_every max_body jobs tokenizer fault_spec
-      store_dir store_shards store_cache store_compact () =
+      store_dir store_shards store_cache store_compact timeout_read
+      timeout_write timeout_idle max_conns max_inflight drain degraded_after ()
+      =
     setup_logs ();
     let fault_configured =
       match fault_spec with
@@ -1069,6 +1123,16 @@ let serve_cmd =
                   | Some j -> j
                   | None -> Spamlab_parallel.default_jobs ());
                 store;
+                limits =
+                  {
+                    Serve.Daemon.read_timeout_s = timeout_read;
+                    write_timeout_s = timeout_write;
+                    idle_timeout_s = timeout_idle;
+                    max_conns;
+                    max_inflight;
+                    drain_s = drain;
+                    degraded_after;
+                  };
               }
             in
             match Serve.Daemon.create config with
@@ -1102,12 +1166,16 @@ let serve_cmd =
     Term.(
       const run $ seed_arg $ db_arg $ socket_arg $ tcp_arg $ publish_every_arg
       $ max_body_arg $ jobs_arg $ tokenizer_arg $ fault_spec_arg
-      $ store_dir_arg $ store_shards_arg $ store_cache_arg $ store_compact_arg)
+      $ store_dir_arg $ store_shards_arg $ store_cache_arg $ store_compact_arg
+      $ timeout_read_arg $ timeout_write_arg $ timeout_idle_arg $ max_conns_arg
+      $ max_inflight_arg $ drain_arg $ degraded_after_arg)
 
 let oneshot addr (req : Serve.Protocol.request) =
   match Serve.Client.roundtrip addr req with
-  | Error e -> fail "%s" e
+  | Error e -> fail "%s" (Serve.Client.error_message e)
   | Ok (Serve.Protocol.Err e) -> fail "daemon error: %s" e
+  | Ok Serve.Protocol.Busy ->
+      fail "daemon busy: request shed under load, retry after a backoff"
   | Ok (Serve.Protocol.Ok payload) ->
       print_string payload;
       `Ok ()
@@ -1170,6 +1238,41 @@ let client_untrain_cmd =
     ~doc:"Remove an mbox of one class from the daemon's delta."
     Term.(const (fun c -> Serve.Protocol.Untrain c) $ class_arg)
 
+let client_stall_cmd =
+  let send_arg =
+    let doc =
+      "Bytes to send before going silent (default: half a CLASSIFY header \
+       — the classic slow-loris shape)."
+    in
+    Arg.(
+      value
+      & opt string "CLASSIFY SPAMLAB/1.0\r\nContent-Le"
+      & info [ "send" ] ~docv:"BYTES" ~doc)
+  in
+  let hold_arg =
+    let doc = "Seconds to hold the half-open connection before giving up." in
+    Arg.(value & opt float 5.0 & info [ "hold" ] ~docv:"SECONDS" ~doc)
+  in
+  let run socket tcp bytes hold () =
+    match daemon_addr socket tcp with
+    | Error e -> fail "%s" e
+    | Ok addr -> (
+        match Serve.Client.stall ~addr ~bytes ~hold_s:hold with
+        | Error e -> fail "%s" (Serve.Client.error_message e)
+        | Ok outcome ->
+            (* "reaped": the daemon dropped us first (its deadline or
+               idle reaping worked); "held": we outlived the hold. *)
+            print_endline outcome;
+            `Ok ())
+  in
+  guarded
+    (Cmd.info "stall"
+       ~doc:
+         "Adversarial slow-loris probe: connect, send a partial request, \
+          then go silent; prints 'reaped' if the daemon closed the \
+          connection first and 'held' if it survived the whole hold.")
+    Term.(const run $ socket_arg $ tcp_arg $ send_arg $ hold_arg)
+
 let client_load_cmd =
   let clients_arg =
     Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N" ~doc:"Logical clients.")
@@ -1191,7 +1294,17 @@ let client_load_cmd =
             "Deal the schedule round-robin across N tenants via User headers \
              (0 = single-filter mode; requires --store-dir on the daemon).")
   in
-  let run seed socket tcp clients train_size eval_size batch users () =
+  let user_prefix_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "user-prefix" ] ~docv:"PREFIX"
+          ~doc:
+            "Prepend this to every tenant name, so concurrent load runs \
+             against one daemon can address disjoint tenant sets (default: \
+             none — the historical names).")
+  in
+  let run seed socket tcp clients train_size eval_size batch users user_prefix
+      () =
     setup_logs ();
     match daemon_addr socket tcp with
     | Error e -> fail "%s" e
@@ -1205,6 +1318,7 @@ let client_load_cmd =
             train_batch = batch;
             classify_batch = batch;
             users;
+            user_prefix;
           }
         in
         match Serve.Client.load cfg with
@@ -1224,7 +1338,8 @@ let client_load_cmd =
           deterministic summary.")
     Term.(
       const run $ seed_arg $ socket_arg $ tcp_arg $ clients_arg
-      $ train_size_arg $ eval_size_arg $ batch_arg $ users_arg)
+      $ train_size_arg $ eval_size_arg $ batch_arg $ users_arg
+      $ user_prefix_arg)
 
 let client_cmd =
   Cmd.group
@@ -1236,12 +1351,142 @@ let client_cmd =
           "Print the daemon's request counters and latency histograms \
            (latency.* lines are wall-clock and not deterministic)."
         Serve.Protocol.Stats;
+      client_simple_cmd "health"
+        ~doc:
+          "Print the daemon's overload state: \
+           state=READY|DEGRADED|DRAINING plus transition counters."
+        Serve.Protocol.Health;
       client_simple_cmd "publish"
         ~doc:"Force a snapshot publish of the daemon's training delta."
         Serve.Protocol.Publish;
       client_classify_cmd; client_train_cmd; client_untrain_cmd;
-      client_load_cmd;
+      client_stall_cmd; client_load_cmd;
     ]
+
+(* --------------------------------------------------------------- *)
+(* fault / chaos                                                    *)
+
+let fault_sites_cmd =
+  let run () =
+    List.iter
+      (fun (name, desc) -> Printf.printf "%-22s %s\n" name desc)
+      Fault.known_sites;
+    `Ok ()
+  in
+  guarded
+    (Cmd.info "sites"
+       ~doc:
+         "List every compiled-in fault-injection site with its placement, \
+          the site names --fault-spec and SPAMLAB_FAULTS accept.")
+    Term.(const run)
+
+let fault_cmd =
+  Cmd.group
+    (Cmd.info "fault" ~doc:"Deterministic fault-injection utilities.")
+    [ fault_sites_cmd ]
+
+let chaos_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Scratch directory for daemons, stores and captured client \
+             output (created if missing; stale state is removed).")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent load-client processes.")
+  in
+  let users_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "users" ] ~docv:"N"
+          ~doc:
+            "Tenants per client (>= 1: concurrent clients need disjoint \
+             tenant state for deterministic verdicts).")
+  in
+  let train_size_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "train-size" ] ~docv:"N" ~doc:"Messages each client trains.")
+  in
+  let eval_size_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "eval-size" ] ~docv:"N" ~doc:"Messages each client classifies.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 6 & info [ "batch" ] ~docv:"N" ~doc:"Messages per request.")
+  in
+  let kills_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "kills" ] ~docv:"N"
+          ~doc:"Planned crash-kill/restart cycles (at replay-safe sites).")
+  in
+  let fault_p_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "fault-p" ] ~docv:"P"
+          ~doc:"Per-occurrence transient fault probability.")
+  in
+  let publish_fault_p_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "publish-fault-p" ] ~docv:"P"
+          ~doc:
+            "Transient probability for serve.publish (higher, so degraded \
+             mode actually engages).")
+  in
+  let jobs_chaos_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains per daemon.")
+  in
+  let wall_arg =
+    Arg.(
+      value & opt float 120.0
+      & info [ "wall-budget" ] ~docv:"SECONDS"
+          ~doc:"Hard wall-clock cap for the whole soak.")
+  in
+  let run seed dir clients users train_size eval_size batch kills fault_p
+      publish_fault_p jobs wall () =
+    setup_logs ();
+    let cfg =
+      {
+        (Serve.Chaos.default ~exe:Sys.executable_name ~dir ~seed) with
+        Serve.Chaos.clients;
+        users;
+        train_size;
+        eval_size;
+        batch;
+        kills;
+        fault_p;
+        publish_fault_p;
+        jobs;
+        wall_budget_s = wall;
+      }
+    in
+    match Serve.Chaos.run cfg with
+    | Ok report ->
+        print_string report;
+        `Ok ()
+    | Error e -> fail "%s" e
+  in
+  guarded
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic chaos soak: a daemon under a seed-derived fault \
+          schedule with crash-kills and restarts, concurrent load clients, \
+          and end-state invariants (byte-identical client output vs an \
+          uninterrupted baseline, verified database, READY recovery).")
+    Term.(
+      const run $ seed_arg $ dir_arg $ clients_arg $ users_arg
+      $ train_size_arg $ eval_size_arg $ batch_arg $ kills_arg $ fault_p_arg
+      $ publish_fault_p_arg $ jobs_chaos_arg $ wall_arg)
 
 (* --------------------------------------------------------------- *)
 
@@ -1256,7 +1501,7 @@ let main_cmd =
       corpus_cmd; train_cmd; classify_cmd; classify_mbox_cmd; tokenize_cmd;
       stats_cmd;
       attack_cmd; evade_cmd; roni_cmd; thresholds_cmd; experiment_cmd;
-      tenants_cmd; db_cmd; serve_cmd; client_cmd;
+      tenants_cmd; db_cmd; serve_cmd; client_cmd; fault_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

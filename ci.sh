@@ -168,17 +168,33 @@ trap 'rm -f "$trace" "$timings" "$j1" "$j4" "$faulted" "$ckpt" "$resumed"; rm -r
 spamlab=./_build/default/bin/spamlab.exe
 daemon_pid=
 
+# Readiness means the protocol answers, not that the socket file exists
+# (the file appears at bind, a beat before the accept loop runs — and a
+# daemon that died at startup leaves the stale file of its predecessor).
+# Probe with PING under bounded backoff; fail loudly with the server log.
+# Exactly one PING succeeds per call (failed connects never reach the
+# daemon), so the probe shifts STATS identically in every compared leg.
+wait_ready() { # tag
+  for delay in 0 0.02 0.04 0.08 0.15 0.3 0.5 0.5 1 1 1 1 1 1; do
+    sleep "$delay"
+    if "$spamlab" client ping --socket "$sdir/$1.sock" > /dev/null 2>&1; then
+      return 0
+    fi
+    kill -0 "$daemon_pid" 2> /dev/null \
+      || { echo "FAIL: $1 daemon died before answering PING"; \
+           cat "$sdir/$1.serve.log"; exit 1; }
+  done
+  echo "FAIL: $1 daemon never answered PING on $sdir/$1.sock"
+  cat "$sdir/$1.serve.log"
+  exit 1
+}
+
 start_daemon() { # tag jobs [extra serve args...]
   tag=$1; dj=$2; shift 2
   "$spamlab" serve --db "$sdir/$tag.db" --socket "$sdir/$tag.sock" \
     --jobs "$dj" "$@" 2>> "$sdir/$tag.serve.log" &
   daemon_pid=$!
-  i=0
-  while [ $i -lt 100 ] && ! [ -S "$sdir/$tag.sock" ]; do
-    sleep 0.1; i=$((i + 1))
-  done
-  [ -S "$sdir/$tag.sock" ] \
-    || { echo "FAIL: $tag daemon never bound"; cat "$sdir/$tag.serve.log"; exit 1; }
+  wait_ready "$tag"
 }
 
 run_leg() { # tag jobs
@@ -317,6 +333,92 @@ done
 "$spamlab" db verify "$sdir/tcrash.store" > /dev/null \
   || { echo "FAIL: crash-and-replay store does not verify"; exit 1; }
 echo "store: crashed at append 25, restarted, replayed, byte-identical"
+
+say "fault sites listing"
+"$spamlab" fault sites > "$sdir/sites.txt"
+# Every site the gates below (and the suites above) arm must be in the
+# operator-facing listing; a check call site missing from the catalogue
+# is undocumented chaos surface.
+for site in serve.deadline serve.publish serve.read serve.accept \
+  store.journal.append intern.grow pool.task score.cache.fill \
+  checkpoint.record; do
+  grep -q "^$site " "$sdir/sites.txt" \
+    || { echo "FAIL: fault sites listing is missing $site"; exit 1; }
+done
+echo "fault sites OK: $(wc -l < "$sdir/sites.txt") sites listed"
+
+say "serve overload: stalled client reaped, service unharmed"
+# A slow-loris parasite sends half a CLASSIFY header and goes silent.
+# With --timeout-read armed the daemon must reap it at the deadline —
+# the parasite sees the close ('reaped') long before its 30 s hold —
+# while a concurrent well-behaved load run completes with stdout
+# byte-identical to the uncontended sj1 leg.  No timeout(1) wrapper:
+# the bounded waits ARE the property under test.
+start_daemon ovl 1 --timeout-read 1 --timeout-idle 5
+"$spamlab" client stall --socket "$sdir/ovl.sock" --hold 30 \
+  > "$sdir/ovl.stall.txt" &
+stall_pid=$!
+"$spamlab" client load --socket "$sdir/ovl.sock" --seed 7 \
+  > "$sdir/ovl.client.txt" 2> "$sdir/ovl.client.log" \
+  || { echo "FAIL: load failed beside a stalled parasite"; \
+       cat "$sdir/ovl.client.log"; exit 1; }
+wait "$stall_pid" || { echo "FAIL: stall probe errored"; exit 1; }
+grep -qx 'reaped' "$sdir/ovl.stall.txt" \
+  || { echo "FAIL: parasite not reaped: $(cat "$sdir/ovl.stall.txt")"; exit 1; }
+cmp -s "$sdir/sj1.client.txt" "$sdir/ovl.client.txt" \
+  || { echo "FAIL: client stdout differs beside a stalled parasite"; \
+       diff -u "$sdir/sj1.client.txt" "$sdir/ovl.client.txt" | head -20; exit 1; }
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" \
+  || { echo "FAIL: ovl daemon exited nonzero on SIGTERM"; exit 1; }
+echo "serve: parasite reaped at the deadline; load byte-identical"
+
+say "serve overload: admission cap sheds, client absorbs"
+# --max-conns 1: a silent parasite occupies (or races for) the single
+# admission slot, so the load client is answered BUSY until idle
+# reaping frees the slot.  Every shed must be absorbed by the client's
+# backoff — stdout byte-identical to the uncontended leg — and the
+# daemon must account at least one shed connection.
+start_daemon cap 1 --max-conns 1 --timeout-read 2 --timeout-idle 1
+"$spamlab" client stall --socket "$sdir/cap.sock" --send '' --hold 30 \
+  > "$sdir/cap.stall.txt" &
+stall_pid=$!
+"$spamlab" client load --socket "$sdir/cap.sock" --seed 7 \
+  > "$sdir/cap.client.txt" 2> "$sdir/cap.client.log" \
+  || { echo "FAIL: load failed against --max-conns 1"; \
+       cat "$sdir/cap.client.log"; exit 1; }
+wait "$stall_pid" || { echo "FAIL: cap stall probe errored"; exit 1; }
+cmp -s "$sdir/sj1.client.txt" "$sdir/cap.client.txt" \
+  || { echo "FAIL: client stdout differs under admission shedding"; \
+       diff -u "$sdir/sj1.client.txt" "$sdir/cap.client.txt" | head -20; exit 1; }
+sheds=0
+for _ in 1 2 3 4 5; do
+  if "$spamlab" client stats --socket "$sdir/cap.sock" \
+       > "$sdir/cap.stats.txt" 2> /dev/null; then
+    sheds=$(grep '^shed.connections ' "$sdir/cap.stats.txt" | cut -d' ' -f2)
+    break
+  fi
+  sleep 0.2 # a lingering shed answer can bounce the stats probe once
+done
+[ "${sheds:-0}" -ge 1 ] \
+  || { echo "FAIL: no shed connection accounted (shed.connections=$sheds)"; exit 1; }
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" \
+  || { echo "FAIL: cap daemon exited nonzero on SIGTERM"; exit 1; }
+echo "serve: $sheds conns shed with BUSY; load byte-identical"
+
+say "chaos soak"
+# The full deterministic chaos harness: baseline run, then the same
+# schedule under seed-derived transient faults, overload limits and two
+# crash-kill/restart cycles; asserts byte-identical client stdout, a
+# verifying database and READY recovery.  See DESIGN.md §15.
+"$spamlab" chaos --dir "$sdir/chaos" --seed 11 --clients 3 --users 2 \
+  --train-size 48 --eval-size 24 --batch 6 --kills 2 > "$sdir/chaos.txt" \
+  || { echo "FAIL: chaos soak failed"; cat "$sdir/chaos.txt"; exit 1; }
+grep -qx 'chaos ok' "$sdir/chaos.txt" \
+  || { echo "FAIL: chaos report lacks the 'chaos ok' verdict"; \
+       cat "$sdir/chaos.txt"; exit 1; }
+sed 's/^/  /' "$sdir/chaos.txt"
 
 say "bench store smoke"
 ./_build/default/bench/main.exe store \

@@ -20,6 +20,32 @@ let () =
 
 let grammar = "site:kind@n[+n...] or site:kind~p, clauses comma-separated"
 
+(* The authoritative site catalogue, sorted by name.  [check] accepts
+   any string, but every site compiled into the tree must be declared
+   here: `spamlab fault sites` renders this list (so the README table
+   cannot drift from the code), the chaos orchestrator derives its
+   randomized schedules from it, and a test asserts it stays in sync
+   with the sites the suites exercise. *)
+let known_sites =
+  [
+    ("checkpoint.record", "before a sweep checkpoint line is appended");
+    ("db.save.rename", "before the atomic rename of a token-db save");
+    ("db.save.write", "before each write syscall of a token-db save");
+    ("intern.grow", "before the intern table grows (fires pre-mutation)");
+    ("pool.task", "at the head of every supervised pool task");
+    ("score.cache.fill", "before a probability-cache slot is filled");
+    ("serve.accept", "before a ready connection is accepted");
+    ( "serve.deadline",
+      "when an armed I/O deadline starts a wait (transient = simulated \
+       timeout)" );
+    ("serve.publish", "at the head of a snapshot publish, before any mutation");
+    ("serve.read", "before every protocol read syscall");
+    ("serve.write", "before every protocol write syscall");
+    ("store.compact", "before a shard journal folds into its segment");
+    ("store.evict", "before a cached tenant overlay is evicted");
+    ("store.journal.append", "before an op record is buffered for a journal");
+  ]
+
 type selector = Occurrences of int list | Probability of float
 
 type site_config = {

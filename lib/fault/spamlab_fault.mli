@@ -80,3 +80,12 @@ val is_transient : exn -> bool
 val grammar : string
 (** One-line description of the spec grammar, for CLI help and error
     messages. *)
+
+val known_sites : (string * string) list
+(** Every fault site compiled into the tree, as [(name, description)]
+    sorted by name.  {!check} accepts any string, but this catalogue is
+    the single source of truth for documentation ([spamlab fault
+    sites]), for the chaos orchestrator's randomized schedules, and for
+    the test that pins the listing to the sites the suites exercise.
+    Adding a [check] call without declaring its site here fails that
+    test. *)

@@ -1,0 +1,53 @@
+(** Deterministic chaos soak harness for the daemon.
+
+    Runs the same deterministic load schedule twice — once against a
+    pristine daemon (the {e baseline}), once against a daemon with a
+    seed-derived randomized fault schedule, overload limits armed and
+    planned crash-kill/restart cycles — then asserts that chaos was
+    fully masked:
+
+    - every chaos client exits 0 with stdout {e byte-identical} to its
+      baseline twin;
+    - the surviving published database verifies, and a fresh fault-free
+      daemon opens it (plus the tenant store), answers [HEALTH] with
+      [state=READY] and completes a [PUBLISH];
+    - the chaos daemon's verdict counters are internally consistent
+      (best effort on the final boot).
+
+    Crash clauses are confined to replay-safe sites — places where the
+    process dies before any acknowledged-but-unreplayable mutation —
+    so the client replay contract makes the kill invisible; the
+    rationale per site is in the implementation header.
+
+    The harness shells out to [config.exe] (normally
+    [Sys.executable_name]) for every daemon and client, so each run is
+    a faithful multi-process deployment, not an in-process simulation. *)
+
+type config = {
+  exe : string;  (** spamlab binary to exec for daemons and clients *)
+  dir : string;  (** scratch directory (created; stale state removed) *)
+  seed : int;  (** sole source of schedule randomness *)
+  clients : int;  (** concurrent load-client processes *)
+  users : int;
+      (** tenants per client (must be [>= 1]: concurrent clients need
+          disjoint tenant state for deterministic verdicts) *)
+  train_size : int;
+  eval_size : int;
+  batch : int;
+  kills : int;  (** planned crash-kill/restart cycles *)
+  fault_p : float;  (** per-occurrence transient probability *)
+  publish_fault_p : float;
+      (** separate (higher) probability for ["serve.publish"], so the
+          degraded-mode machinery actually engages *)
+  jobs : int;  (** daemon worker domains *)
+  wall_budget_s : float;  (** hard wall-clock cap for the whole soak *)
+}
+
+val default : exe:string -> dir:string -> seed:int -> config
+(** 3 clients x 2 tenants, 48 train / 24 eval in batches of 6, 2 kills,
+    2% transient / 20% publish faults, 120 s budget. *)
+
+val run : config -> (string, string) result
+(** Execute the soak.  [Ok report] ends with a ["chaos ok"] line (the
+    CI grep target); [Error] pinpoints the first violated invariant and
+    the scratch file holding the evidence. *)

@@ -13,20 +13,71 @@
     generator reconnect-retries and first {e replays} the buffer in
     original order, then the failed request — so the multiset and
     order of effective training is identical to an uninterrupted run,
-    and the final published database is byte-identical. *)
+    and the final published database is byte-identical.
+
+    PR 10 hardens this for overloaded and repeatedly-crashing daemons:
+
+    {ul
+    {- {b Restart detection.}  With limits armed, every mutation ack
+       carries a [boot=] id; a changed boot is the exact restart
+       signal, covering restarts that fall {e between} round-trips
+       (no transport error to trip on).  A torn connection alone no
+       longer triggers replay — it may be deadline reaping or
+       admission shedding, where a blind replay would double-train —
+       the client just retries and lets the next ack's boot decide.}
+    {- {b Reconciled replay.}  A publish commits {e every} client's
+       journaled ops, so a buffered request may already be durable
+       (another client published; we never saw [pending = 0]) and
+       re-sending it would double-apply.  Tenant TRAIN acks carry
+       [user.msgs=], the tenant's total message count; on restart the
+       client probes each buffered tenant's surviving count with a
+       zero-message TRAIN and skips entries at or below it — exact,
+       because each tenant has a single writer and crash survival is
+       a prefix of the dead boot's journal order.  Skipped entries
+       stay buffered in case this boot also dies unpublished.}
+    {- {b Backoff.}  [BUSY] / [ERR DEGRADED] answers are absorbed
+       with capped exponential backoff under seed-derived
+       deterministic jitter, so a load run against a shedding or
+       degraded daemon completes with the same summary bytes as an
+       uncontended one.}} *)
 
 type conn
 
-val connect : Daemon.addr -> (conn, string) result
+type error = {
+  context : string;  (** what was being attempted *)
+  errno : Unix.error option;
+      (** the precise errno when the failure was a syscall —
+          [ECONNREFUSED] (daemon down), [ECONNRESET]/[EPIPE] (torn
+          mid-exchange), [ENOENT] (socket file not bound yet), … *)
+  recoverable : bool;
+      (** whether a reconnect-and-retry can help: true for
+          down/torn-connection errnos and torn response frames, false
+          for configuration problems (bad address, [EACCES]) — the
+          backoff logic fails fast on those. *)
+}
+
+val error_message : error -> string
+(** ["context: strerror"] — the human rendering. *)
+
+val connect : Daemon.addr -> (conn, error) result
 val close : conn -> unit
 
-val request : conn -> Protocol.request -> (Protocol.response, string) result
+val request : conn -> Protocol.request -> (Protocol.response, error) result
 (** Send one request and read its response.  [Error] is a transport or
     framing failure (daemon gone, torn response) — the connection is
-    dead; a protocol-level [Err] arrives as [Ok (Err _)]. *)
+    dead; a protocol-level [Err] arrives as [Ok (Err _)] and [BUSY] as
+    [Ok Busy]. *)
 
-val roundtrip : Daemon.addr -> Protocol.request -> (Protocol.response, string) result
+val roundtrip : Daemon.addr -> Protocol.request -> (Protocol.response, error) result
 (** Connect, {!request}, close. *)
+
+val stall :
+  addr:Daemon.addr -> bytes:string -> hold_s:float -> (string, error) result
+(** Adversarial parasite for the overload gates: connect, send [bytes]
+    (typically half a header, possibly nothing), then stay silent up
+    to [hold_s] seconds.  [Ok "reaped"] when the daemon closed the
+    connection first — its deadline/idle reaping worked — and
+    [Ok "held"] when the hold expired with the connection still up. *)
 
 (** {1 Deterministic load generation} *)
 
@@ -45,10 +96,17 @@ type load_config = {
           CLASSIFY batch addressed to one) — requires the daemon to run
           a tenant store.  [0] (default) sends no [User] header and
           reproduces the single-filter schedule byte for byte. *)
+  user_prefix : string;
+      (** Prepended to every tenant name (["c0-u000"]), so concurrent
+          load processes against one daemon can address disjoint
+          tenant sets and keep their verdict streams deterministic.
+          Default [""] — the historical names, byte for byte. *)
   reconnect_attempts : int;
-      (** Transport-failure retries per logical request; each retry
-          waits [reconnect_delay_s] and replays the unpublished
-          buffer first. *)
+      (** Total recovery budget per logical request: transport
+          reconnects (replaying the unpublished buffer first), [BUSY]
+          and [ERR DEGRADED] backoffs all draw from it.  Backoff
+          delays are capped-exponential with seed-derived
+          deterministic jitter. *)
   reconnect_delay_s : float;
 }
 

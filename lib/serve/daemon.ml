@@ -14,6 +14,35 @@ module Clock = Spamlab_obs.Clock
 module Pool = Spamlab_parallel.Pool
 module Store = Spamlab_store.Store
 
+type limits = {
+  read_timeout_s : float;
+  write_timeout_s : float;
+  idle_timeout_s : float;
+  max_conns : int;
+  max_inflight : int;
+  drain_s : float;
+  degraded_after : int;
+}
+
+let default_limits =
+  {
+    read_timeout_s = 0.0;
+    write_timeout_s = 0.0;
+    idle_timeout_s = 0.0;
+    max_conns = 0;
+    max_inflight = 0;
+    drain_s = 5.0;
+    degraded_after = 0;
+  }
+
+(* Whether any robustness knob is armed.  Gates the new STATS lines so
+   an unarmed daemon's STATS stays byte-identical to earlier releases
+   (the standing disabled-path invariant); [drain_s] alone does not
+   count — it only matters once a drain is actually underway. *)
+let limits_armed l =
+  l.read_timeout_s > 0.0 || l.write_timeout_s > 0.0 || l.idle_timeout_s > 0.0
+  || l.max_conns > 0 || l.max_inflight > 0 || l.degraded_after > 0
+
 type config = {
   addr : addr;
   db_path : string;
@@ -23,6 +52,7 @@ type config = {
   max_body : int;
   jobs : int;
   store : Store.config option;
+  limits : limits;
 }
 
 and addr = Unix_sock of string | Tcp of string * int
@@ -43,6 +73,7 @@ let default_config ?addr ~db_path () =
     max_body = Protocol.default_max_body;
     jobs = 1;
     store = None;
+    limits = default_limits;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -81,7 +112,7 @@ let lat_quantile l q =
     min (go 0 0) l.max_us
   end
 
-let n_verbs = 6
+let n_verbs = 7
 
 let verb_index : Protocol.verb -> int = function
   | Ping -> 0
@@ -90,8 +121,12 @@ let verb_index : Protocol.verb -> int = function
   | Classify -> 3
   | Train _ -> 4
   | Untrain _ -> 5
+  | Health -> 6
 
-let verb_stat_name = [| "ping"; "stats"; "publish"; "classify"; "train"; "untrain" |]
+let verb_stat_name =
+  [| "ping"; "stats"; "publish"; "classify"; "train"; "untrain"; "health" |]
+
+let health_verb_index = 6
 
 type stats = {
   mutable connections : int;
@@ -108,6 +143,17 @@ type stats = {
   mutable train_malformed : int;
   mutable untrain_msgs : int;
   mutable untrain_malformed : int;
+  (* Robustness counters (PR 10).  All timing- or load-dependent, so
+     their STATS lines render in the nondeterministic tail, and only
+     when limits are armed or the counter is nonzero. *)
+  mutable shed_conns : int;  (* connections refused with BUSY *)
+  mutable shed_requests : int;  (* requests answered BUSY over quota *)
+  mutable timeout_read : int;
+  mutable timeout_write : int;
+  mutable timeout_idle : int;
+  mutable degraded_entered : int;
+  mutable degraded_recovered : int;
+  mutable drain_aborted : int;  (* conns still open at the drain deadline *)
   latencies : lat array;  (* per verb_index *)
 }
 
@@ -127,6 +173,14 @@ let make_stats () =
     train_malformed = 0;
     untrain_msgs = 0;
     untrain_malformed = 0;
+    shed_conns = 0;
+    shed_requests = 0;
+    timeout_read = 0;
+    timeout_write = 0;
+    timeout_idle = 0;
+    degraded_entered = 0;
+    degraded_recovered = 0;
+    drain_aborted = 0;
     latencies = Array.init n_verbs (fun _ -> lat ());
   }
 
@@ -143,6 +197,15 @@ type t = {
   store : Store.t option;  (* per-tenant state for User-routed requests *)
   mutable pending : int;
   mutable seq : int;
+  (* Degraded-mode state machine: consecutive publish failures are a
+     streak; at [limits.degraded_after] the daemon stops accepting
+     mutations (TRAIN/UNTRAIN answer [ERR DEGRADED]) while CLASSIFY
+     keeps serving the last published snapshot.  One successful
+     publish recovers.  [draining] is set by {!run} once [stop] fires
+     and is only read back by HEALTH. *)
+  mutable degraded : bool;
+  mutable publish_fault_streak : int;
+  mutable draining : bool;
   stats : stats;
 }
 
@@ -208,12 +271,36 @@ let create config =
                   store;
                   pending = 0;
                   seq = 0;
+                  degraded = false;
+                  publish_fault_streak = 0;
+                  draining = false;
                   stats = make_stats ();
                 }))
 
 let shutdown t =
   Option.iter Store.close t.store;
   Pool.shutdown t.pool
+
+(* Degraded-state bookkeeping around every publish attempt.  Success
+   resets the failure streak and recovers from degraded mode; failure
+   grows the streak and, past the configured budget, enters it. *)
+let note_publish_result t ~ok =
+  if ok then begin
+    t.publish_fault_streak <- 0;
+    if t.degraded then begin
+      t.degraded <- false;
+      t.stats.degraded_recovered <- t.stats.degraded_recovered + 1
+    end
+  end
+  else begin
+    t.publish_fault_streak <- t.publish_fault_streak + 1;
+    let budget = t.config.limits.degraded_after in
+    if (not t.degraded) && budget > 0 && t.publish_fault_streak >= budget
+    then begin
+      t.degraded <- true;
+      t.stats.degraded_entered <- t.stats.degraded_entered + 1
+    end
+  end
 
 (* Publish: persist the delta via the crash-safe store, then promote it
    to the classification baseline.  The fault site sits at the head —
@@ -222,18 +309,28 @@ let shutdown t =
    tenant store, a publish is also its durability point: every
    journaled op is committed before the shared filter advances. *)
 let publish t =
-  Fault.check "serve.publish";
-  Option.iter Store.commit t.store;
-  Filter.save_file t.delta t.config.db_path;
-  t.baseline <- Token_db.copy (Filter.db t.delta);
-  t.seq <- t.seq + 1;
-  t.pending <- 0;
-  Intern.freeze ();
-  (* Fresh single-generation cache over the new snapshot (post-freeze,
-     so it covers tokens trained since the last publish). *)
-  t.baseline_cache <-
-    Prob_cache.create ~shared:true t.config.options t.baseline;
-  Obs.incr c_publishes
+  match
+    Fault.check "serve.publish";
+    Option.iter Store.commit t.store;
+    Filter.save_file t.delta t.config.db_path
+  with
+  | exception e ->
+      (* Crash faults exited inside the check; anything raised here is
+         a recoverable publish failure feeding the degraded budget. *)
+      note_publish_result t ~ok:false;
+      raise e
+  | () ->
+      t.baseline <- Token_db.copy (Filter.db t.delta);
+      t.seq <- t.seq + 1;
+      t.pending <- 0;
+      Intern.freeze ();
+      (* Fresh single-generation cache over the new snapshot
+         (post-freeze, so it covers tokens trained since the last
+         publish). *)
+      t.baseline_cache <-
+        Prob_cache.create ~shared:true t.config.options t.baseline;
+      note_publish_result t ~ok:true;
+      Obs.incr c_publishes
 
 (* ------------------------------------------------------------------ *)
 (* Verb execution                                                      *)
@@ -286,14 +383,49 @@ let tenant_classify t st user body =
 
 (* Shared tail of every TRAIN/UNTRAIN: pending drives the auto-publish
    cadence (tenant ops included — a publish is the store's durability
-   point), and the ack always reports post-publish pending/seq. *)
-let train_ack t ~key n dropped =
+   point), and the ack always reports post-publish pending/seq.
+
+   A {e recoverable} auto-publish failure must not turn a training that
+   did apply into an [Err] — the client would replay it and double-
+   train.  Instead the ack stays [Ok] with [pending] still nonzero (so
+   the client keeps the batch buffered for replay against the
+   still-unpublished state) plus a [publish_error=1] marker; the
+   failure itself feeds the degraded budget inside [publish].  On the
+   disabled path publishes never fail, so ack bytes are unchanged. *)
+(* Restart beacon: with any limit armed, mutation acks also carry the
+   daemon's process id.  A client that slept through a crash-and-restart
+   sees no transport error, and before the first publish a seq of 0
+   gives no regression signal either — the boot id changing is the only
+   reliable cue that buffered training was lost and must be replayed.
+   Unarmed daemons keep the historical ack bytes. *)
+let boot_field t =
+  if limits_armed t.config.limits then
+    Printf.sprintf " boot=%d" (Unix.getpid ())
+  else ""
+
+(* [user_msgs]: tenant acks (limits armed) also carry the tenant's
+   total message count after the apply.  The count is durable with the
+   overlay itself, so a restarted daemon reports exactly how much of a
+   tenant's history survived — the client's replay reconciles against
+   it instead of re-training batches that some publish (possibly
+   another client's, whose ack it never saw) already made durable. *)
+let train_ack t ~key ?user_msgs n dropped =
   t.pending <- t.pending + n;
-  if t.config.publish_every > 0 && t.pending >= t.config.publish_every then
-    publish t;
+  let publish_failed =
+    if t.config.publish_every > 0 && t.pending >= t.config.publish_every then
+      match publish t with
+      | () -> false
+      | exception (Fault.Injected _ | Sys_error _ | Unix.Unix_error _) -> true
+    else false
+  in
   Protocol.Ok
-    (Printf.sprintf "%s=%d malformed=%d pending=%d seq=%d\n" key n dropped
-       t.pending t.seq)
+    (Printf.sprintf "%s=%d malformed=%d pending=%d seq=%d%s%s%s\n" key n dropped
+       t.pending t.seq (boot_field t)
+       (match user_msgs with
+       | Some m when limits_armed t.config.limits ->
+           Printf.sprintf " user.msgs=%d" m
+       | _ -> "")
+       (if publish_failed then " publish_error=1" else ""))
 
 let train t cls body =
   let msgs, dropped = Mbox.parse_lenient body in
@@ -314,15 +446,52 @@ let untrain t cls body =
   t.stats.untrain_malformed <- t.stats.untrain_malformed + dropped;
   train_ack t ~key:"untrained" n dropped
 
+(* The [user.msgs=] reconciliation count for tenant acks.  Computed
+   only when limits are armed: the extra overlay read would otherwise
+   perturb the unarmed daemon's store.* STATS counters, which the
+   disabled-path byte-compatibility contract pins. *)
+let tenant_msgs t st user =
+  if limits_armed t.config.limits then
+    Some
+      (Store.with_user st user (fun db ->
+           Token_db.nspam db + Token_db.nham db))
+  else None
+
 (* Tenant training journals per-message ops against the user's overlay;
-   the shared delta is only consulted for tokenization. *)
+   the shared delta is only consulted for tokenization.  A fault partway
+   through the batch (e.g. an injected journal-append failure) would
+   otherwise leave a silently-applied prefix behind an [Err] ack — the
+   client could neither drop nor retry the request safely — so the
+   applied prefix is rolled back (untrain is the exact inverse of
+   train) and the whole request is all-or-nothing. *)
 let tenant_train t st user cls body =
   let msgs, dropped = Mbox.parse_lenient body in
-  List.iter (fun m -> Store.train st ~user cls (Filter.features t.delta m)) msgs;
+  let applied = ref [] in
+  (match
+     List.iter
+       (fun m ->
+         let features = Filter.features t.delta m in
+         Store.train st ~user cls features;
+         applied := features :: !applied)
+       msgs
+   with
+  | () -> ()
+  | exception e ->
+      (* The undo ops traverse the same fault sites; retry transients
+         hard — an abandoned undo would leave the partial prefix the
+         rollback exists to prevent. *)
+      let rec undo tries features =
+        try Store.untrain st ~user cls features
+        with exn when Fault.is_transient exn && tries < 8 ->
+          undo (tries + 1) features
+      in
+      List.iter (undo 0) !applied;
+      raise e);
   let n = List.length msgs in
   t.stats.train_msgs <- t.stats.train_msgs + n;
   t.stats.train_malformed <- t.stats.train_malformed + dropped;
-  train_ack t ~key:"trained" n dropped
+  let user_msgs = tenant_msgs t st user in
+  train_ack t ~key:"trained" ?user_msgs n dropped
 
 let tenant_untrain t st user cls body =
   let msgs, dropped = Mbox.parse_lenient body in
@@ -334,7 +503,8 @@ let tenant_untrain t st user cls body =
   let n = List.length msgs in
   t.stats.untrain_msgs <- t.stats.untrain_msgs + n;
   t.stats.untrain_malformed <- t.stats.untrain_malformed + dropped;
-  train_ack t ~key:"untrained" n dropped
+  let user_msgs = tenant_msgs t st user in
+  train_ack t ~key:"untrained" ?user_msgs n dropped
 
 let stats_payload t =
   let s = t.stats in
@@ -350,10 +520,16 @@ let stats_payload t =
   line "publish.seq" t.seq;
   let sorted_verbs =
     (* verb indices in lexicographic order of their stat names *)
-    [| 3; 0; 2; 1; 4; 5 |]
+    [| 3; 6; 0; 2; 1; 4; 5 |]
   in
+  (* [requests.health] only renders once HEALTH has been used (or any
+     robustness knob is armed): a daemon run with none of the new
+     machinery keeps the exact STATS bytes of earlier releases. *)
+  let armed = limits_armed t.config.limits in
   Array.iter
-    (fun i -> line ("requests." ^ verb_stat_name.(i)) s.requests.(i))
+    (fun i ->
+      if i <> health_verb_index || armed || s.requests.(i) > 0 then
+        line ("requests." ^ verb_stat_name.(i)) s.requests.(i))
     sorted_verbs;
   line "train.malformed" s.train_malformed;
   line "train.messages" s.train_msgs;
@@ -389,7 +565,39 @@ let stats_payload t =
       line "store.journal_ops" ss.Store.journal_ops;
       line "store.overlay_hits" ss.Store.hits;
       line "store.overlay_misses" ss.Store.misses);
+  (* Robustness counters: load- and timing-dependent (how many BUSYs a
+     client sees depends on scheduling), so they live with the other
+     nondeterministic tails and only when armed or nonzero — filter
+     the "shed."/"timeout."/"degraded."/"drain." prefixes along with
+     "latency."/"store." for deterministic consumption. *)
+  if
+    limits_armed t.config.limits
+    || s.shed_conns > 0 || s.shed_requests > 0 || s.timeout_read > 0
+    || s.timeout_write > 0 || s.timeout_idle > 0 || s.degraded_entered > 0
+    || s.drain_aborted > 0
+  then begin
+    line "degraded.entered" s.degraded_entered;
+    line "degraded.recovered" s.degraded_recovered;
+    line "drain.aborted" s.drain_aborted;
+    line "shed.connections" s.shed_conns;
+    line "shed.requests" s.shed_requests;
+    line "timeout.idle" s.timeout_idle;
+    line "timeout.read" s.timeout_read;
+    line "timeout.write" s.timeout_write
+  end;
   Buffer.contents b
+
+let health_payload t =
+  let state =
+    if t.draining then "DRAINING"
+    else if t.degraded then "DEGRADED"
+    else "READY"
+  in
+  Printf.sprintf
+    "state=%s seq=%d degraded.entered=%d degraded.recovered=%d \
+     publish.fault.streak=%d\n"
+    state t.seq t.stats.degraded_entered t.stats.degraded_recovered
+    t.publish_fault_streak
 
 let exec t (req : Protocol.request) =
   (* User-routed requests address per-tenant state; without a store
@@ -405,16 +613,25 @@ let exec t (req : Protocol.request) =
   match req.verb with
   | Protocol.Ping -> Protocol.Ok "pong\n"
   | Protocol.Stats -> Protocol.Ok (stats_payload t)
+  | Protocol.Health -> Protocol.Ok (health_payload t)
   | Protocol.Publish ->
       publish t;
       (* An explicit PUBLISH also folds every journal into its segment
          — the canonical on-disk form the crash gate byte-compares. *)
       Option.iter Store.compact_all t.store;
-      Protocol.Ok (Printf.sprintf "published seq=%d\n" t.seq)
+      Protocol.Ok (Printf.sprintf "published seq=%d%s\n" t.seq (boot_field t))
   | Protocol.Classify ->
       tenant
         (fun () -> classify t req.body)
         (fun user st -> tenant_classify t st user req.body)
+  | Protocol.Train _ | Protocol.Untrain _ when t.degraded ->
+      (* Refused before any state is touched, so a degraded-mode TRAIN
+         is safely retryable once a publish recovers.  The "DEGRADED"
+         prefix is the client's retry cue. *)
+      Protocol.Err
+        "DEGRADED: mutations suspended after repeated publish failures; \
+         classify still serves the last published snapshot (PUBLISH to \
+         recover)"
   | Protocol.Train cls ->
       tenant
         (fun () -> train t cls req.body)
@@ -452,11 +669,13 @@ let handle_request t (req : Protocol.request) =
 (* ------------------------------------------------------------------ *)
 (* Connection loop                                                     *)
 
-let send_response fd resp =
+let send_response ?deadline fd resp =
   let s = Protocol.render_response resp in
-  Spamlab_io.really_write_string fd s 0 (String.length s)
+  Spamlab_io.really_write_string ~site:"serve.write" ?deadline fd s 0
+    (String.length s)
 
-let send_best_effort fd resp = try send_response fd resp with _ -> ()
+let send_best_effort ?deadline fd resp =
+  try send_response ?deadline fd resp with _ -> ()
 
 let serve_connection t fd =
   let reader = Spamlab_io.reader ~site:"serve.read" fd in
@@ -515,24 +734,121 @@ let bind_listen = function
           Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))
       | Failure _ -> Error (Printf.sprintf "bad listen address %S" host))
 
-let accept_one t lfd =
+(* ------------------------------------------------------------------ *)
+(* Multiplexed event loop                                              *)
+
+(* One admitted connection.  The reader persists across rounds so a
+   request frame may arrive in arbitrarily many pieces; [last_active]
+   drives idle reaping. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_reader : Spamlab_io.reader;
+  mutable last_active : float;  (* monotonic seconds *)
+}
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let opt_deadline ~now timeout_s =
+  if timeout_s > 0.0 then Some (now +. timeout_s) else None
+
+(* Serve exactly one request from [c].  [shed] answers BUSY without
+   executing (the frame is still read and discarded — the stream stays
+   framed).  Returns [`Keep] to keep the connection, [`Close] to drop
+   it.  The read deadline is absolute across the whole frame, so a
+   peer trickling bytes cannot renew its budget; it is disarmed before
+   the (possibly slow) execution so only wire time counts. *)
+let serve_one t c ~shed ~now =
+  let lim = t.config.limits in
+  Spamlab_io.set_deadline c.c_reader (opt_deadline ~now lim.read_timeout_s);
+  let outcome =
+    match Protocol.recv_request ~max_body:t.config.max_body c.c_reader with
+    | `Eof -> `Close
+    | `Error e ->
+        t.stats.protocol_errors <- t.stats.protocol_errors + 1;
+        Obs.incr c_protocol_errors;
+        send_best_effort
+          ?deadline:(opt_deadline ~now lim.write_timeout_s)
+          c.c_fd (Protocol.Err e);
+        `Close
+    | `Request req -> (
+        Spamlab_io.set_deadline c.c_reader None;
+        let resp =
+          if shed then begin
+            t.stats.shed_requests <- t.stats.shed_requests + 1;
+            Protocol.Busy
+          end
+          else handle_request t req
+        in
+        let write_deadline =
+          opt_deadline ~now:(Spamlab_io.monotonic_s ()) lim.write_timeout_s
+        in
+        match send_response ?deadline:write_deadline c.c_fd resp with
+        | () ->
+            c.last_active <- Spamlab_io.monotonic_s ();
+            `Keep
+        | exception Spamlab_io.Timeout _ ->
+            t.stats.timeout_write <- t.stats.timeout_write + 1;
+            `Close
+        | exception (Unix.Unix_error _ | Sys_error _ | Fault.Injected _) ->
+            (* Includes a fatal injected write fault — the response is
+               torn, so the connection is all that can be given up. *)
+            t.stats.io_errors <- t.stats.io_errors + 1;
+            `Close)
+    | exception Spamlab_io.Timeout _ ->
+        t.stats.timeout_read <- t.stats.timeout_read + 1;
+        send_best_effort
+          ?deadline:(opt_deadline ~now:(Spamlab_io.monotonic_s ()) 1.0)
+          c.c_fd
+          (Protocol.Err "read deadline exceeded");
+        `Close
+    | exception (End_of_file | Unix.Unix_error _ | Sys_error _) ->
+        t.stats.io_errors <- t.stats.io_errors + 1;
+        `Close
+    | exception Fault.Injected _ ->
+        (* A fatal injected read fault (transients were retried by
+           Spamlab_io): degrade to one ERR, drop the connection. *)
+        t.stats.io_errors <- t.stats.io_errors + 1;
+        send_best_effort c.c_fd (Protocol.Err "injected read fault");
+        `Close
+  in
+  Spamlab_io.set_deadline c.c_reader None;
+  outcome
+
+(* Admission: accept whatever is ready; over [max_conns] the newcomer
+   is told BUSY and closed — deterministic shedding, not a silent RST
+   from a full backlog. *)
+let accept_admit t lfd conns ~now =
   match Fault.check "serve.accept" with
   | exception e when Fault.is_transient e ->
       (* The connection stays queued in the listen backlog; the next
          select round retries the accept. *)
-      ()
+      conns
   | () -> (
       match Unix.accept ~cloexec:true lfd with
       | exception
           Unix.Unix_error ((EINTR | ECONNABORTED | EAGAIN | EWOULDBLOCK), _, _)
         ->
-          ()
+          conns
       | fd, _ ->
-          t.stats.connections <- t.stats.connections + 1;
-          Obs.incr c_connections;
-          Fun.protect
-            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () -> serve_connection t fd))
+          let lim = t.config.limits in
+          if lim.max_conns > 0 && List.length conns >= lim.max_conns then begin
+            t.stats.shed_conns <- t.stats.shed_conns + 1;
+            send_best_effort ?deadline:(opt_deadline ~now 1.0) fd Protocol.Busy;
+            close_fd fd;
+            conns
+          end
+          else begin
+            t.stats.connections <- t.stats.connections + 1;
+            Obs.incr c_connections;
+            conns
+            @ [
+                {
+                  c_fd = fd;
+                  c_reader = Spamlab_io.reader ~site:"serve.read" fd;
+                  last_active = now;
+                };
+              ]
+          end)
 
 let run ?(ready = fun _ -> ()) ?(stop = fun () -> false) t =
   (* A peer closing mid-response must surface as EPIPE, not kill us. *)
@@ -541,20 +857,99 @@ let run ?(ready = fun _ -> ()) ?(stop = fun () -> false) t =
   match bind_listen t.config.addr with
   | Error e -> Error e
   | Ok (lfd, cleanup) ->
+      let lim = t.config.limits in
+      let conns = ref [] in
+      let drain_deadline = ref infinity in
       let finish () =
+        List.iter (fun c -> close_fd c.c_fd) !conns;
+        conns := [];
         (try Unix.close lfd with Unix.Unix_error _ -> ());
         cleanup ()
       in
       ready (Unix.getsockname lfd);
+      (* Each round: select over the listener (unless draining) and
+         every admitted connection, then serve at most one request per
+         ready connection in admission order — [max_inflight] caps how
+         many execute per round, the rest answer BUSY.  Connections
+         with bytes still buffered count as ready without selecting
+         (pipelined frames never block on the descriptor again). *)
       let rec loop () =
-        if stop () then ()
-        else
-          match Unix.select [ lfd ] [] [] 0.2 with
+        let now = Spamlab_io.monotonic_s () in
+        if !drain_deadline = infinity && stop () then begin
+          t.draining <- true;
+          drain_deadline :=
+            if lim.drain_s > 0.0 then now +. lim.drain_s else now
+        end;
+        let draining = t.draining in
+        if draining && (!conns = [] || now >= !drain_deadline) then begin
+          (* Drain deadline: whatever is still open is abandoned. *)
+          t.stats.drain_aborted <- t.stats.drain_aborted + List.length !conns
+        end
+        else begin
+          let listen_fds = if draining then [] else [ lfd ] in
+          let conn_fds = List.map (fun c -> c.c_fd) !conns in
+          let have_buffered =
+            List.exists (fun c -> Spamlab_io.buffered c.c_reader > 0) !conns
+          in
+          let tick =
+            if have_buffered then 0.0
+            else if draining then min 0.2 (max 0.0 (!drain_deadline -. now))
+            else 0.2
+          in
+          match Unix.select (listen_fds @ conn_fds) [] [] tick with
           | exception Unix.Unix_error (EINTR, _, _) -> loop ()
-          | [], _, _ -> loop ()
-          | _ ->
-              accept_one t lfd;
+          | readable, _, _ ->
+              let now = Spamlab_io.monotonic_s () in
+              if (not draining) && List.mem lfd readable then
+                conns := accept_admit t lfd !conns ~now;
+              let quota =
+                if lim.max_inflight > 0 then lim.max_inflight else max_int
+              in
+              let executed = ref 0 in
+              conns :=
+                List.filter
+                  (fun c ->
+                    let ready_now =
+                      List.mem c.c_fd readable
+                      || Spamlab_io.buffered c.c_reader > 0
+                    in
+                    if not ready_now then
+                      if draining then begin
+                        (* Between requests with nothing in flight:
+                           nothing to finish, so a drain closes it at
+                           once rather than waiting out the deadline. *)
+                        close_fd c.c_fd;
+                        false
+                      end
+                      else true
+                    else begin
+                      let shed = !executed >= quota in
+                      if not shed then incr executed;
+                      match serve_one t c ~shed ~now with
+                      | `Keep -> true
+                      | `Close ->
+                          close_fd c.c_fd;
+                          false
+                    end)
+                  !conns;
+              (* Idle reaping: connections that have not completed a
+                 request recently (including never-started ones) are
+                 dropped without ceremony, spamd-style. *)
+              if lim.idle_timeout_s > 0.0 then begin
+                let cutoff = Spamlab_io.monotonic_s () -. lim.idle_timeout_s in
+                conns :=
+                  List.filter
+                    (fun c ->
+                      if c.last_active < cutoff then begin
+                        t.stats.timeout_idle <- t.stats.timeout_idle + 1;
+                        close_fd c.c_fd;
+                        false
+                      end
+                      else true)
+                    !conns
+              end;
               loop ()
+        end
       in
       (match loop () with
       | () -> ()

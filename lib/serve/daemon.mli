@@ -29,12 +29,55 @@
     same published-state contract.  [User]-routed requests without a
     configured store answer a request-level [Err].
 
+    {2 Overload hardening}
+
+    {!run} multiplexes all admitted connections through one
+    [select]-driven event loop, serving at most one request per ready
+    connection per round in admission order.  [limits] arms the
+    defenses, all off by default:
+
+    - {e read/write deadlines} ([read_timeout_s]/[write_timeout_s]) —
+      absolute per-frame budgets; a slow-loris peer trickling bytes is
+      answered [ERR] and reaped when its budget expires, while other
+      connections keep being served.
+    - {e idle reaping} ([idle_timeout_s]) — connections that complete
+      no request within the window are closed outright.
+    - {e admission control} ([max_conns]) — connections over the cap
+      are answered [BUSY] and closed at accept.
+    - {e backpressure} ([max_inflight]) — requests over the per-round
+      execution quota are answered [BUSY] without executing (the frame
+      is read and discarded, so the stream stays framed).
+    - {e graceful drain} — once [stop] fires the daemon stops
+      accepting, keeps serving already-connected clients that are
+      actively sending, closes idle ones, and abandons whatever is
+      left at [drain_s].
+    - {e degraded mode} ([degraded_after]) — after that many {e
+      consecutive} recoverable publish failures, TRAIN/UNTRAIN answer
+      [ERR DEGRADED] (refused before touching state, so safely
+      retryable) while CLASSIFY keeps serving the last published
+      snapshot; one successful publish — e.g. an explicit [PUBLISH] —
+      recovers.  [HEALTH] reports
+      [state=READY|DEGRADED|DRAINING] plus transition counters.
+
+    With any limit armed, mutation acks additionally carry two
+    recovery beacons: [boot=] (a per-process id, so a client can tell
+    a daemon restart from mere connection loss — reaping and shedding
+    tear connections without losing state) and, on tenant
+    TRAIN/UNTRAIN, [user.msgs=] (the tenant's total message count
+    after the request, durable exactly as far as the training itself —
+    the anchor for the client's exactly-once replay reconciliation).
+    Unarmed, acks keep their historical bytes.
+
     {2 Fault sites}
 
     - ["serve.accept"] — before accepting a ready connection
       (transient: the accept round is retried);
     - ["serve.read"] — before every protocol-read syscall (transient:
       retried by {!Spamlab_io});
+    - ["serve.write"] — before every protocol-write syscall (transient:
+      retried by {!Spamlab_io});
+    - ["serve.deadline"] — when an armed deadline starts a wait
+      (transient: reported as the timeout itself);
     - ["serve.publish"] — at the head of a publish, before any
       mutation (crash: the process dies with the baseline on disk
       intact; the delta since the last publish is lost, which is the
@@ -51,6 +94,28 @@
     every [--jobs] — while latency lines describe real time and are
     not; deterministic consumers filter the ["latency."] prefix. *)
 
+type limits = {
+  read_timeout_s : float;
+      (** Absolute budget for reading one request frame; 0 = none. *)
+  write_timeout_s : float;
+      (** Absolute budget for writing one response; 0 = none. *)
+  idle_timeout_s : float;
+      (** Reap connections completing no request this long; 0 = never. *)
+  max_conns : int;  (** Admission cap; 0 = unlimited. *)
+  max_inflight : int;
+      (** Per-round request execution quota; 0 = unlimited. *)
+  drain_s : float;
+      (** Grace between [stop] firing and abandoning open conns. *)
+  degraded_after : int;
+      (** Consecutive publish failures before degraded mode; 0 = never. *)
+}
+
+val default_limits : limits
+(** Everything off (all zeroes) except [drain_s = 5.0].  With default
+    limits and no faults armed the daemon's observable behaviour —
+    responses, STATS bytes, published db — is identical to the
+    pre-hardening releases. *)
+
 type config = {
   addr : addr;
   db_path : string;  (** Loaded if present, created on first publish. *)
@@ -64,14 +129,16 @@ type config = {
   store : Spamlab_store.Store.config option;
       (** Tenant store for [User]-routed requests; [None] (default)
           serves the single shared filter only. *)
+  limits : limits;
 }
 
 and addr = Unix_sock of string | Tcp of string * int
 
 val default_config : ?addr:addr -> db_path:string -> unit -> config
 (** spambayes tokenizer, default options, publish every 32,
-    {!Protocol.default_max_body}, jobs 1, no tenant store; [addr]
-    defaults to a unix socket ["spamlab.sock"] beside [db_path]. *)
+    {!Protocol.default_max_body}, jobs 1, no tenant store,
+    {!default_limits}; [addr] defaults to a unix socket
+    ["spamlab.sock"] beside [db_path]. *)
 
 type t
 
@@ -105,8 +172,10 @@ val run :
   ?stop:(unit -> bool) ->
   t ->
   (unit, string) result
-(** Bind, listen and serve until [stop] returns true (polled between
-    connections, checked at ≤0.2 s latency).  [ready] fires once with
-    the bound address — for TCP port 0, the actual port.  Stale unix
-    socket files are replaced; SIGPIPE is ignored for the process.
-    [Error] on bind/listen failure. *)
+(** Bind, listen and serve — a select-multiplexed event loop over the
+    listener and every admitted connection — until [stop] returns true
+    (polled each round, ≤0.2 s latency), then drain per
+    [config.limits.drain_s].  [ready] fires once with the bound
+    address — for TCP port 0, the actual port.  Stale unix socket
+    files are replaced; SIGPIPE is ignored for the process.  [Error]
+    on bind/listen failure. *)

@@ -7,6 +7,7 @@ type verb =
   | Classify
   | Train of Label.gold
   | Untrain of Label.gold
+  | Health
 
 type request = { verb : verb; body : string; user : string option }
 
@@ -21,14 +22,15 @@ let verb_name = function
   | Classify -> "CLASSIFY"
   | Train _ -> "TRAIN"
   | Untrain _ -> "UNTRAIN"
+  | Health -> "HEALTH"
 
 let has_body = function
   | Classify | Train _ | Untrain _ -> true
-  | Ping | Stats | Publish -> false
+  | Ping | Stats | Publish | Health -> false
 
 let class_of = function
   | Train c | Untrain c -> Some c
-  | Ping | Stats | Publish | Classify -> None
+  | Ping | Stats | Publish | Classify | Health -> None
 
 (* --------------------------------------------------------------- *)
 (* Rendering                                                        *)
@@ -85,6 +87,7 @@ let parse_verb = function
   | "CLASSIFY" -> Some (fun _ -> Classify)
   | "TRAIN" -> Some (fun c -> Train c)
   | "UNTRAIN" -> Some (fun c -> Untrain c)
+  | "HEALTH" -> Some (fun _ -> Health)
   | _ -> None
 
 let parse_verb_line line =
@@ -189,9 +192,10 @@ let recv_request ?(max_body = default_max_body) reader =
 
 (* Declared below the [result]-returning parse helpers: the [Ok]
    constructor would otherwise shadow [Stdlib.Ok] for all of them. *)
-type response = Ok of string | Err of string
+type response = Ok of string | Err of string | Busy
 
 let render_response = function
+  | Busy -> Printf.sprintf "%s BUSY\r\n" magic
   | Err msg ->
       (* One line; embedded line breaks would fabricate frames. *)
       let msg =
@@ -218,6 +222,7 @@ let recv_response ?(max_body = default_max_body) reader =
           else ""
         in
         `Response (Err msg)
+      else if line = magic ^ " BUSY" then `Response Busy
       else if line = magic ^ " OK" then (
         match Spamlab_io.read_line reader ~max:max_line with
         | `Eof | `Too_long -> `Error "truncated response headers"

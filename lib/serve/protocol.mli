@@ -7,7 +7,7 @@
     request    = verb-line *header CRLF body
     verb-line  = verb SP "SPAMLAB/1.0" CRLF
     verb       = "PING" | "STATS" | "PUBLISH"
-               | "CLASSIFY" | "TRAIN" | "UNTRAIN"
+               | "CLASSIFY" | "TRAIN" | "UNTRAIN" | "HEALTH"
     header     = "Content-Length: " 1*DIGIT CRLF
                | "Message-Class: " ("ham" | "spam") CRLF
                | "User: " 1*VCHAR CRLF
@@ -16,16 +16,23 @@
     response   = "SPAMLAB/1.0 OK" CRLF
                  "Content-Length: " 1*DIGIT CRLF CRLF payload
                | "SPAMLAB/1.0 ERR " message CRLF
+               | "SPAMLAB/1.0 BUSY" CRLF
     v}
 
     Lines may be terminated CRLF or bare LF (a trailing CR is
     stripped).  [CLASSIFY]/[TRAIN]/[UNTRAIN] require [Content-Length]
     (0 is legal); [TRAIN]/[UNTRAIN] require [Message-Class]; [PING],
-    [STATS] and [PUBLISH] carry no body.  An [ERR] response has no
-    body and the daemon closes the connection after a {e framing}
-    error (the stream cannot be resynchronized); request-level errors
-    (e.g. an impossible UNTRAIN) also answer [ERR] but leave the
-    connection open.  Requests may be pipelined. *)
+    [STATS], [PUBLISH] and [HEALTH] carry no body.  An [ERR] response
+    has no body and the daemon closes the connection after a {e
+    framing} error (the stream cannot be resynchronized); request-level
+    errors (e.g. an impossible UNTRAIN) also answer [ERR] but leave the
+    connection open.  [BUSY] is load shedding, not an error: the
+    request was {e not} executed and may be retried after a backoff —
+    an overloaded daemon answers it either at admission (the connection
+    is closed after the line) or per-request (the connection stays
+    open).  [HEALTH] answers an [OK] payload of one line,
+    [state=READY|DEGRADED|DRAINING] plus transition counters.
+    Requests may be pipelined. *)
 
 type verb =
   | Ping
@@ -34,6 +41,7 @@ type verb =
   | Classify
   | Train of Spamlab_spambayes.Label.gold
   | Untrain of Spamlab_spambayes.Label.gold
+  | Health
 
 type request = {
   verb : verb;
@@ -46,7 +54,11 @@ type request = {
           single-filter state.  An empty value is a framing error. *)
 }
 
-type response = Ok of string  (** payload *) | Err of string
+type response =
+  | Ok of string  (** payload *)
+  | Err of string
+  | Busy
+      (** Load shed: the request was not executed; retry after backoff. *)
 
 val verb_name : verb -> string
 (** The wire verb only (["TRAIN"], not its message class). *)

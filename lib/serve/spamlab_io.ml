@@ -1,5 +1,43 @@
 module Fault = Spamlab_fault
 
+exception Timeout of string
+
+let () =
+  Printexc.register_printer (function
+    | Timeout what -> Some (Printf.sprintf "Spamlab_io.Timeout(%s)" what)
+    | _ -> None)
+
+(* Deadlines are absolute points on the monotonic clock, so a caller can
+   arm one deadline and thread it through many syscalls without the
+   budget resetting at each hop (a slow-loris peer trickling one byte
+   per syscall must not extend its welcome). *)
+let monotonic_s () =
+  Int64.to_float (Spamlab_obs.Clock.now_ns ()) *. 1e-9
+
+(* Block until [fd] is ready, or the deadline passes.  Only reached
+   when a deadline is armed, so the ["serve.deadline"] probe costs
+   deadline-free paths nothing; a transient fault there simulates the
+   timeout itself, letting tests and the chaos harness exercise the
+   reaping paths without real waiting. *)
+let wait_fd ~what ~for_write fd deadline =
+  (try Fault.check "serve.deadline"
+   with exn when Fault.is_transient exn -> raise (Timeout what));
+  let rec go () =
+    let remaining = deadline -. monotonic_s () in
+    if remaining <= 0.0 then raise (Timeout what)
+    else
+      let r, w = if for_write then ([], [ fd ]) else ([ fd ], []) in
+      match Unix.select r w [] remaining with
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | [], [], _ -> raise (Timeout what)
+      | _ -> ()
+  in
+  go ()
+
+let await ~what ~for_write fd = function
+  | None -> ()
+  | Some deadline -> wait_fd ~what ~for_write fd deadline
+
 (* Transient injected faults are retried like EINTR, but bounded: a
    probability selector could otherwise fire forever.  The bound is
    generous — the pool's supervision uses 3 attempts; I/O sites see
@@ -31,42 +69,54 @@ let rec syscall site attempts f =
 let bad_range buf pos len =
   pos < 0 || len < 0 || pos > Bytes.length buf - len
 
-let read_some ?site fd buf pos len =
+let read_some ?site ?deadline fd buf pos len =
   if bad_range buf pos len then invalid_arg "Spamlab_io.read_some";
   if len = 0 then 0
   else
     let attempts = ref 0 in
-    syscall site attempts (fun () -> Unix.read fd buf pos len)
+    syscall site attempts (fun () ->
+        await ~what:"read" ~for_write:false fd deadline;
+        Unix.read fd buf pos len)
 
-let really_read ?site fd buf pos len =
+let really_read ?site ?deadline fd buf pos len =
   if bad_range buf pos len then invalid_arg "Spamlab_io.really_read";
   let attempts = ref 0 in
   let rec go pos len =
     if len > 0 then
-      match syscall site attempts (fun () -> Unix.read fd buf pos len) with
+      match
+        syscall site attempts (fun () ->
+            await ~what:"read" ~for_write:false fd deadline;
+            Unix.read fd buf pos len)
+      with
       | 0 -> raise End_of_file
       | n -> go (pos + n) (len - n)
   in
   go pos len
 
-let really_write ?site fd buf pos len =
+let really_write ?site ?deadline fd buf pos len =
   if bad_range buf pos len then invalid_arg "Spamlab_io.really_write";
   let attempts = ref 0 in
   let rec go pos len =
     if len > 0 then
-      let n = syscall site attempts (fun () -> Unix.write fd buf pos len) in
+      let n =
+        syscall site attempts (fun () ->
+            await ~what:"write" ~for_write:true fd deadline;
+            Unix.write fd buf pos len)
+      in
       go (pos + n) (len - n)
   in
   go pos len
 
-let really_write_string ?site fd s pos len =
+let really_write_string ?site ?deadline fd s pos len =
   if pos < 0 || len < 0 || pos > String.length s - len then
     invalid_arg "Spamlab_io.really_write_string";
   let attempts = ref 0 in
   let rec go pos len =
     if len > 0 then
       let n =
-        syscall site attempts (fun () -> Unix.write_substring fd s pos len)
+        syscall site attempts (fun () ->
+            await ~what:"write" ~for_write:true fd deadline;
+            Unix.write_substring fd s pos len)
       in
       go (pos + n) (len - n)
   in
@@ -82,10 +132,23 @@ type reader = {
   mutable lo : int;  (* first unconsumed byte *)
   mutable hi : int;  (* one past the last valid byte *)
   mutable eof : bool;
+  mutable deadline : float option;
+      (** absolute monotonic seconds; applied to every refill *)
 }
 
 let reader ?site ?(buf_size = 65_536) fd =
-  { fd; site; buf = Bytes.create (max 1 buf_size); lo = 0; hi = 0; eof = false }
+  {
+    fd;
+    site;
+    buf = Bytes.create (max 1 buf_size);
+    lo = 0;
+    hi = 0;
+    eof = false;
+    deadline = None;
+  }
+
+let set_deadline r deadline = r.deadline <- deadline
+let buffered r = r.hi - r.lo
 
 (* Pull more bytes into the buffer; false at end of stream. *)
 let refill r =
@@ -100,7 +163,10 @@ let refill r =
       r.hi <- r.hi - r.lo;
       r.lo <- 0
     end;
-    match read_some ?site:r.site r.fd r.buf r.hi (Bytes.length r.buf - r.hi) with
+    match
+      read_some ?site:r.site ?deadline:r.deadline r.fd r.buf r.hi
+        (Bytes.length r.buf - r.hi)
+    with
     | 0 ->
         r.eof <- true;
         false

@@ -17,23 +17,48 @@
     internal attempt budget so a pathological spec cannot spin forever —
     while fatal faults propagate and crash faults kill the process at
     exactly that point.  [?site] absent (or the site unarmed) costs one
-    atomic load per syscall, nothing more. *)
+    atomic load per syscall, nothing more.
 
-val really_read : ?site:string -> Unix.file_descr -> bytes -> int -> int -> unit
+    {2 Deadlines}
+
+    Each helper also takes an optional [deadline]: an {e absolute}
+    point on the monotonic clock ({!monotonic_s}), checked with a
+    [select] wait before every underlying syscall.  Absolute rather
+    than per-call, so one armed deadline bounds an entire framed
+    transfer — a slow-loris peer trickling one byte per syscall cannot
+    renew its budget.  Expiry raises {!Timeout}.  When (and only when)
+    a deadline is armed, the wait consults the ["serve.deadline"] fault
+    site; a transient fault there is reported as the timeout itself, so
+    deterministic fault schedules can exercise reaping paths without
+    real waiting.  [?deadline] absent costs nothing. *)
+
+exception Timeout of string
+(** An armed deadline expired before the descriptor became ready.  The
+    payload names the direction (["read"]/["write"]). *)
+
+val monotonic_s : unit -> float
+(** The monotonic clock ({!Spamlab_obs.Clock.now_ns}) in seconds — the
+    time base deadlines are expressed in. *)
+
+val really_read :
+  ?site:string -> ?deadline:float -> Unix.file_descr -> bytes -> int -> int -> unit
 (** [really_read fd buf pos len] fills [buf.[pos .. pos+len-1]] from
     [fd], looping over short reads.
     @raise End_of_file if the descriptor is exhausted first.
     @raise Invalid_argument on a bad range. *)
 
-val read_some : ?site:string -> Unix.file_descr -> bytes -> int -> int -> int
+val read_some :
+  ?site:string -> ?deadline:float -> Unix.file_descr -> bytes -> int -> int -> int
 (** One [Unix.read] with [EINTR]/transient retry: the number of bytes
     read (at least 1), or 0 at end of stream. *)
 
-val really_write : ?site:string -> Unix.file_descr -> bytes -> int -> int -> unit
+val really_write :
+  ?site:string -> ?deadline:float -> Unix.file_descr -> bytes -> int -> int -> unit
 (** [really_write fd buf pos len] writes all [len] bytes, looping over
     short writes.  @raise Invalid_argument on a bad range. *)
 
-val really_write_string : ?site:string -> Unix.file_descr -> string -> int -> int -> unit
+val really_write_string :
+  ?site:string -> ?deadline:float -> Unix.file_descr -> string -> int -> int -> unit
 
 (** {1 Buffered line/frame reading}
 
@@ -48,6 +73,18 @@ type reader
 val reader : ?site:string -> ?buf_size:int -> Unix.file_descr -> reader
 (** Wrap a descriptor.  [site] is consulted on every refill ([?site] of
     the read helpers above).  [buf_size] defaults to 64 KiB. *)
+
+val set_deadline : reader -> float option -> unit
+(** Arm (or disarm, with [None]) an absolute monotonic deadline applied
+    to every refill until changed.  Callers typically arm it once per
+    protocol frame and disarm after, so one budget covers however many
+    syscalls the frame needs.  An expired deadline makes the next
+    refill raise {!Timeout}; bytes already buffered remain readable. *)
+
+val buffered : reader -> int
+(** Bytes already pulled from the descriptor but not yet consumed.
+    Lets a multiplexing caller know a further frame may be parsable
+    without the descriptor selecting readable again. *)
 
 val read_line : reader -> max:int -> [ `Line of string | `Eof | `Too_long ]
 (** The next line, terminated by ["\n"] (a trailing ["\r"] is stripped,

@@ -148,6 +148,47 @@ let selector_tests =
               (List.length (firing_occurrences "s" 50))));
   ]
 
+let catalogue_tests =
+  [
+    test_case "known_sites pins the catalogue behind `fault sites`" (fun () ->
+        (* `spamlab fault sites` prints exactly this list.  Adding a
+           Fault.check call site without registering it here (and
+           deciding its chaos eligibility in Serve.Chaos) is the bug
+           this test exists to catch. *)
+        let names = List.map fst known_sites in
+        Alcotest.(check (list string))
+          "catalogue"
+          [
+            "checkpoint.record";
+            "db.save.rename";
+            "db.save.write";
+            "intern.grow";
+            "pool.task";
+            "score.cache.fill";
+            "serve.accept";
+            "serve.deadline";
+            "serve.publish";
+            "serve.read";
+            "serve.write";
+            "store.compact";
+            "store.evict";
+            "store.journal.append";
+          ]
+          names;
+        Alcotest.(check (list string))
+          "sorted and duplicate-free"
+          (List.sort_uniq compare names)
+          names;
+        List.iter
+          (fun (site, doc) ->
+            check_bool (site ^ " documented") true (String.length doc > 0))
+          known_sites);
+  ]
+
 let () =
   Alcotest.run "spamlab_fault"
-    [ ("parse", parse_tests); ("selectors", selector_tests) ]
+    [
+      ("parse", parse_tests);
+      ("selectors", selector_tests);
+      ("catalogue", catalogue_tests);
+    ]

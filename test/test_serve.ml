@@ -168,6 +168,71 @@ let io_tests =
           (match Io.really_read ~site:"io.test" r buf 0 1 with
           | () -> false
           | exception Fault.Injected { kind = Transient; _ } -> true));
+    test_case "deadline: read on a silent pipe raises Timeout" (fun () ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close r;
+            Unix.close w)
+        @@ fun () ->
+        let buf = Bytes.create 1 in
+        let t0 = Io.monotonic_s () in
+        check_bool "times out" true
+          (match Io.really_read ~deadline:(t0 +. 0.05) r buf 0 1 with
+          | () -> false
+          | exception Io.Timeout _ -> true);
+        (* The wait is the deadline, not some internal retry budget. *)
+        check_bool "bounded wait" true (Io.monotonic_s () -. t0 < 2.0));
+    test_case "deadline: bytes already in flight beat the clock" (fun () ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        ignore (Unix.write_substring w "ab" 0 2);
+        Unix.close w;
+        Fun.protect ~finally:(fun () -> Unix.close r) @@ fun () ->
+        let buf = Bytes.create 2 in
+        Io.really_read ~deadline:(Io.monotonic_s () +. 5.0) r buf 0 2;
+        check_string "payload" "ab" (Bytes.to_string buf));
+    test_case "serve.deadline transient fault reports as the timeout" (fun () ->
+        (* The site only fires when a deadline is armed, and surfaces as
+           Timeout — so fault schedules can exercise reaping paths
+           without real waiting. *)
+        (match Fault.configure "serve.deadline:transient@1" with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Fault.disable @@ fun () ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        ignore (Unix.write_substring w "x" 0 1);
+        Unix.close w;
+        Fun.protect ~finally:(fun () -> Unix.close r) @@ fun () ->
+        let buf = Bytes.create 1 in
+        check_bool "simulated timeout" true
+          (match Io.really_read ~deadline:(Io.monotonic_s () +. 5.0) r buf 0 1 with
+          | () -> false
+          | exception Io.Timeout _ -> true);
+        (* With the fault disarmed the same bytes are deliverable. *)
+        Fault.disable ();
+        Io.really_read ~deadline:(Io.monotonic_s () +. 5.0) r buf 0 1;
+        check_string "delivered after disarm" "x" (Bytes.to_string buf));
+    test_case "reader deadline: oversized-line resync, byte-at-a-time" (fun () ->
+        (* A slow-loris peer trickling an oversized line one byte per
+           syscall: the armed (absolute) deadline spans all refills, and
+           resynchronization still lands on the next line. *)
+        let r, w = Unix.pipe ~cloexec:true () in
+        let writer =
+          Domain.spawn (fun () ->
+              String.iter
+                (fun c -> ignore (Unix.write w (Bytes.make 1 c) 0 1))
+                (String.make 3_000 'x' ^ "\nok\n");
+              Unix.close w)
+        in
+        Fun.protect ~finally:(fun () -> Unix.close r) @@ fun () ->
+        let reader = Io.reader ~buf_size:16 r in
+        Io.set_deadline reader (Some (Io.monotonic_s () +. 30.0));
+        check_bool "too long" true (Io.read_line reader ~max:1024 = `Too_long);
+        (match Io.read_line reader ~max:1024 with
+        | `Line l -> check_string "resynchronized" "ok" l
+        | _ -> Alcotest.fail "expected the next line");
+        check_bool "eof" true (Io.read_line reader ~max:1024 = `Eof);
+        Domain.join writer);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -185,6 +250,7 @@ let gen_verb =
   QCheck2.Gen.oneofl
     [
       Protocol.Ping;
+      Protocol.Health;
       Protocol.Stats;
       Protocol.Publish;
       Protocol.Classify;
@@ -334,6 +400,69 @@ let protocol_tests =
         match Protocol.recv_response reader with
         | `Response r -> r = resp
         | _ -> false);
+    test_case "HEALTH round-trips and carries no body" (fun () ->
+        match
+          recv
+            (Protocol.render_request
+               { Protocol.verb = Protocol.Health; body = ""; user = None })
+        with
+        | `Request { verb = Protocol.Health; body = ""; user = None } -> ()
+        | _ -> Alcotest.fail "HEALTH should parse");
+    test_case "BUSY response round-trips as a bare status line" (fun () ->
+        check_string "wire form" "SPAMLAB/1.0 BUSY\r\n"
+          (Protocol.render_response Protocol.Busy);
+        with_reader_of_string (Protocol.render_response Protocol.Busy)
+        @@ fun reader ->
+        match Protocol.recv_response reader with
+        | `Response Protocol.Busy -> ()
+        | _ -> Alcotest.fail "BUSY should parse");
+    test_case "over-cap Content-Length refused byte-at-a-time under deadline"
+      (fun () ->
+        (* An attacker declaring a body far over the 16 MiB cap, fed one
+           byte per syscall with a read deadline armed: the declared
+           length alone must produce the framing error, well before the
+           deadline and without reading any body byte. *)
+        let wire = "CLASSIFY SPAMLAB/1.0\r\nContent-Length: 999999999\r\n\r\n" in
+        let r, w = Unix.pipe ~cloexec:true () in
+        let writer =
+          Domain.spawn (fun () ->
+              String.iter
+                (fun c -> ignore (Unix.write w (Bytes.make 1 c) 0 1))
+                wire;
+              Unix.close w)
+        in
+        Fun.protect ~finally:(fun () -> Unix.close r) @@ fun () ->
+        let reader = Io.reader ~buf_size:8 r in
+        Io.set_deadline reader (Some (Io.monotonic_s () +. 30.0));
+        let t0 = Io.monotonic_s () in
+        (match Protocol.recv_request reader with
+        | `Error _ -> ()
+        | `Request _ -> Alcotest.fail "over-cap request should be refused"
+        | `Eof -> Alcotest.fail "EOF instead of framing error");
+        check_bool "refused promptly, no hang" true
+          (Io.monotonic_s () -. t0 < 10.0);
+        Domain.join writer);
+    test_case "stalled mid-header hits the read deadline, never hangs"
+      (fun () ->
+        (* Half a header then silence: without the deadline this read
+           would block forever; with it armed the frame read raises
+           Timeout in bounded time. *)
+        let r, w = Unix.pipe ~cloexec:true () in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close r;
+            Unix.close w)
+        @@ fun () ->
+        let partial = "CLASSIFY SPAMLAB/1.0\r\nContent-Le" in
+        ignore (Unix.write_substring w partial 0 (String.length partial));
+        let reader = Io.reader r in
+        Io.set_deadline reader (Some (Io.monotonic_s () +. 0.1));
+        let t0 = Io.monotonic_s () in
+        check_bool "times out" true
+          (match Protocol.recv_request reader with
+          | exception Io.Timeout _ -> true
+          | `Error _ | `Request _ | `Eof -> false);
+        check_bool "bounded" true (Io.monotonic_s () -. t0 < 5.0));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -443,12 +572,12 @@ let connection_tests =
 (* ------------------------------------------------------------------ *)
 (* Daemon end-to-end on a unix socket                                  *)
 
-let with_daemon ?(publish_every = 4) f =
+let with_daemon ?(publish_every = 4) ?(limits = Daemon.default_limits) f =
   with_temp_dir @@ fun dir ->
   let addr = Daemon.Unix_sock (Filename.concat dir "s.sock") in
   let db_path = Filename.concat dir "db.bin" in
   let config =
-    { (Daemon.default_config ~addr ~db_path ()) with Daemon.publish_every }
+    { (Daemon.default_config ~addr ~db_path ()) with Daemon.publish_every; limits }
   in
   match Daemon.create config with
   | Error e -> Alcotest.fail e
@@ -478,7 +607,13 @@ let with_daemon ?(publish_every = 4) f =
 let ok_payload = function
   | Ok (Protocol.Ok p) -> p
   | Ok (Protocol.Err e) -> Alcotest.failf "daemon error: %s" e
-  | Error e -> Alcotest.failf "transport error: %s" e
+  | Ok Protocol.Busy -> Alcotest.fail "unexpected BUSY"
+  | Error e -> Alcotest.failf "transport error: %s" (Client.error_message e)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 let spam_mbox n =
   mbox
@@ -552,7 +687,7 @@ let e2e_tests =
       (fun () ->
         with_daemon @@ fun addr _ _ ->
         match Client.connect addr with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Client.error_message e)
         | Ok conn ->
             Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
             (match
@@ -560,8 +695,9 @@ let e2e_tests =
                  { Protocol.verb = Untrain Label.Spam; body = spam_mbox 1; user = None }
              with
             | Ok (Protocol.Err _) -> ()
-            | Ok (Protocol.Ok _) -> Alcotest.fail "untrain of unseen succeeded"
-            | Error e -> Alcotest.failf "transport error: %s" e);
+            | Ok _ -> Alcotest.fail "untrain of unseen succeeded"
+            | Error e ->
+                Alcotest.failf "transport error: %s" (Client.error_message e));
             (* Semantic error: the same connection still answers. *)
             (match Client.request conn { Protocol.verb = Ping; body = ""; user = None } with
             | Ok (Protocol.Ok p) -> check_string "pong after ERR" "pong\n" p
@@ -575,8 +711,9 @@ let e2e_tests =
         Fun.protect ~finally:Fault.disable @@ fun () ->
         (match Client.roundtrip addr { Protocol.verb = Publish; body = ""; user = None } with
         | Ok (Protocol.Err _) -> ()
-        | Ok (Protocol.Ok _) -> Alcotest.fail "injected publish should fail"
-        | Error e -> Alcotest.failf "transport error: %s" e);
+        | Ok _ -> Alcotest.fail "injected publish should fail"
+        | Error e ->
+            Alcotest.failf "transport error: %s" (Client.error_message e));
         check_int "nothing published" 0 (Daemon.publish_seq t);
         ignore
           (ok_payload
@@ -635,6 +772,175 @@ let e2e_tests =
                 (Client.roundtrip addr { Protocol.verb = Classify; body = eval; user = None }))
         in
         check_string "verdicts identical across restart" first second);
+    test_case "HEALTH answers READY; unarmed STATS keeps its byte shape"
+      (fun () ->
+        with_daemon @@ fun addr _ _ ->
+        ignore
+          (ok_payload
+             (Client.roundtrip addr { Protocol.verb = Ping; body = ""; user = None }));
+        (* Before any HEALTH request, an unarmed daemon's STATS must
+           not grow new families — the disabled-path byte-compat
+           contract with pre-hardening releases. *)
+        let stats () =
+          ok_payload
+            (Client.roundtrip addr { Protocol.verb = Stats; body = ""; user = None })
+        in
+        let s = stats () in
+        List.iter
+          (fun prefix ->
+            check_int (Printf.sprintf "no %s lines" prefix) 0
+              (count_lines_with prefix s))
+          [ "shed."; "timeout."; "degraded."; "requests.health" ];
+        let h =
+          ok_payload
+            (Client.roundtrip addr { Protocol.verb = Health; body = ""; user = None })
+        in
+        check_bool "ready" true (contains h "state=READY");
+        (* Once exercised, the verb is counted like any other. *)
+        check_int "health counted" 1 (count_lines_with "requests.health 1" (stats ())));
+    test_case "stalled half-header conn is reaped while CLASSIFY proceeds"
+      (fun () ->
+        with_daemon
+          ~limits:{ Daemon.default_limits with read_timeout_s = 0.3 }
+        @@ fun addr _ _ ->
+        let parasite =
+          Domain.spawn (fun () ->
+              Client.stall ~addr ~bytes:"CLASSIFY SPAMLAB/1.0\r\nContent-Le"
+                ~hold_s:10.0)
+        in
+        (* The parasite holds one connection hostage mid-frame; a
+           well-behaved client must still be served promptly. *)
+        let t0 = Io.monotonic_s () in
+        ignore
+          (ok_payload
+             (Client.roundtrip addr
+                { Protocol.verb = Classify; body = spam_mbox 2; user = None }));
+        check_bool "served while parasite stalls" true
+          (Io.monotonic_s () -. t0 < 5.0);
+        match Domain.join parasite with
+        | Ok "reaped" -> ()
+        | Ok other -> Alcotest.failf "parasite outcome: %s" other
+        | Error e -> Alcotest.fail (Client.error_message e));
+    test_case "max-conns: the excess connection is answered BUSY" (fun () ->
+        with_daemon ~limits:{ Daemon.default_limits with max_conns = 1 }
+        @@ fun addr _ _ ->
+        match Client.connect addr with
+        | Error e -> Alcotest.fail (Client.error_message e)
+        | Ok held ->
+            Fun.protect ~finally:(fun () -> Client.close held) @@ fun () ->
+            (* Complete a request so the holder is definitely admitted
+               before the second connection arrives. *)
+            (match
+               Client.request held { Protocol.verb = Ping; body = ""; user = None }
+             with
+            | Ok (Protocol.Ok _) -> ()
+            | _ -> Alcotest.fail "holder should be served");
+            (* The excess connection is shed at admission: BUSY is
+               written and the socket closed before any request byte —
+               observed with a raw reader (a writing client can race
+               the close into EPIPE, which its retry path absorbs). *)
+            let path =
+              match addr with
+              | Daemon.Unix_sock p -> p
+              | Daemon.Tcp _ -> Alcotest.fail "unix socket expected"
+            in
+            let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+            Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            check_string "shed with BUSY" "SPAMLAB/1.0 BUSY\r\n" (read_all fd);
+            (* Shedding is bookkept, and the held connection survives. *)
+            (match
+               Client.request held { Protocol.verb = Stats; body = ""; user = None }
+             with
+            | Ok (Protocol.Ok s) ->
+                check_int "shed counted" 1 (count_lines_with "shed.connections 1" s)
+            | _ -> Alcotest.fail "held connection should still answer"));
+    test_case "publish-failure streak degrades TRAIN; PUBLISH recovers"
+      (fun () ->
+        with_daemon ~publish_every:2
+          ~limits:{ Daemon.default_limits with degraded_after = 1 }
+        @@ fun addr _ _ ->
+        (match Fault.configure "serve.publish:transient~1.0" with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Fault.disable @@ fun () ->
+        let rt verb body =
+          Client.roundtrip addr { Protocol.verb = verb; body; user = None }
+        in
+        (* 3 >= publish_every msgs: the auto-publish fails, but training
+           itself succeeded, so the ack is Ok with the failure noted. *)
+        let ack = ok_payload (rt (Train Label.Spam) (spam_mbox 3)) in
+        check_bool "publish failure noted in ack" true
+          (contains ack "publish_error=1");
+        (* Streak 1 >= degraded_after: mutations now refused... *)
+        (match rt (Train Label.Spam) (spam_mbox 1) with
+        | Ok (Protocol.Err e) ->
+            check_bool "DEGRADED error" true (contains e "DEGRADED")
+        | Ok _ -> Alcotest.fail "TRAIN should be refused when degraded"
+        | Error e -> Alcotest.fail (Client.error_message e));
+        check_bool "health says degraded" true
+          (contains (ok_payload (rt Health "")) "state=DEGRADED");
+        (* ...while reads keep serving from the last good snapshot. *)
+        ignore (ok_payload (rt Classify (spam_mbox 2)));
+        (* Operator clears the fault; an explicit PUBLISH recovers. *)
+        Fault.disable ();
+        check_bool "publish recovers" true
+          (contains (ok_payload (rt Publish "")) "seq=1");
+        check_bool "ready again" true
+          (contains (ok_payload (rt Health "")) "state=READY");
+        ignore (ok_payload (rt (Train Label.Spam) (spam_mbox 1))));
+    test_case "connect failure surfaces the errno, marked recoverable"
+      (fun () ->
+        with_temp_dir @@ fun dir ->
+        let addr = Daemon.Unix_sock (Filename.concat dir "nobody-home.sock") in
+        match Client.connect addr with
+        | Ok conn ->
+            Client.close conn;
+            Alcotest.fail "connect to an unbound socket succeeded"
+        | Error e ->
+            check_bool "errno surfaced" true
+              (match e.Client.errno with
+              | Some Unix.ENOENT | Some Unix.ECONNREFUSED -> true
+              | _ -> false);
+            check_bool "recoverable" true e.Client.recoverable;
+            (* The rendering names the syscall failure, not a vague
+               "connection lost". *)
+            check_bool "message carries strerror" true
+              (String.length (Client.error_message e) > String.length "connect"));
+    test_case "load summary is byte-identical with limits armed" (fun () ->
+        (* The acceptance invariant in miniature: the same deterministic
+           schedule against an unconstrained daemon and against one with
+           admission caps + deadlines armed must produce the same
+           summary bytes — shedding and retries are absorbed by the
+           client backoff, never surfacing in the deterministic output. *)
+        let run limits =
+          with_daemon ~publish_every:8 ~limits @@ fun addr _ _ ->
+          match
+            Client.load
+              {
+                (Client.default_load ~addr ~seed:7) with
+                clients = 2;
+                train_size = 24;
+                eval_size = 12;
+                train_batch = 4;
+                classify_batch = 4;
+              }
+          with
+          | Ok r -> r.Client.summary
+          | Error e -> Alcotest.fail e
+        in
+        let unarmed = run Daemon.default_limits in
+        let armed =
+          run
+            {
+              Daemon.default_limits with
+              read_timeout_s = 2.0;
+              idle_timeout_s = 5.0;
+              max_conns = 1;
+              max_inflight = 1;
+            }
+        in
+        check_string "summaries" unarmed armed);
   ]
 
 let () =
